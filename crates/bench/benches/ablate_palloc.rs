@@ -1,0 +1,71 @@
+//! Criterion bench for the A-ALLOC ablation: physical allocators.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use o1_hw::{FrameNo, Machine};
+use o1_palloc::{
+    BitmapAllocator, BuddyAllocator, ExtentAllocator, FrameSource, PhysExtent, SizeClassAllocator,
+};
+
+const SPAN: u64 = 1 << 20; // 4 GiB of frames
+
+fn bench_palloc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_palloc_alloc_free");
+    for frames in [1u64, 64, 4096] {
+        g.bench_with_input(BenchmarkId::new("buddy", frames), &frames, |b, &frames| {
+            let mut m = Machine::dram_only(1 << 30);
+            let mut a = BuddyAllocator::new(PhysExtent::new(FrameNo(0), SPAN));
+            b.iter(|| {
+                let e = a.alloc(&mut m, frames).unwrap();
+                a.free(&mut m, black_box(e));
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("bitmap", frames), &frames, |b, &frames| {
+            let mut m = Machine::dram_only(1 << 30);
+            let mut a = BitmapAllocator::new(PhysExtent::new(FrameNo(0), SPAN));
+            b.iter(|| {
+                let e = a.alloc(&mut m, frames).unwrap();
+                a.free(&mut m, black_box(e));
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("extent", frames), &frames, |b, &frames| {
+            let mut m = Machine::dram_only(1 << 30);
+            let mut a = ExtentAllocator::new(PhysExtent::new(FrameNo(0), SPAN));
+            b.iter(|| {
+                let e = a.alloc(&mut m, frames).unwrap();
+                a.free(&mut m, black_box(e));
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("slab", frames), &frames, |b, &frames| {
+            let mut m = Machine::dram_only(1 << 30);
+            let mut a =
+                SizeClassAllocator::new(ExtentAllocator::new(PhysExtent::new(FrameNo(0), SPAN)), 6);
+            b.iter(|| {
+                let e = a.alloc(&mut m, frames).unwrap();
+                a.free(&mut m, black_box(e));
+            })
+        });
+    }
+    g.finish();
+
+    // Fragmented best-fit: allocator performance with many free runs.
+    let mut g = c.benchmark_group("ablate_palloc_fragmented");
+    g.bench_function("extent_1000_runs", |b| {
+        let mut m = Machine::dram_only(1 << 30);
+        let mut a = ExtentAllocator::new(PhysExtent::new(FrameNo(0), SPAN));
+        // Create ~1000 free runs.
+        let held: Vec<_> = (0..2000).map(|_| a.alloc(&mut m, 256).unwrap()).collect();
+        for e in held.iter().step_by(2) {
+            a.free(&mut m, *e);
+        }
+        b.iter(|| {
+            let e = a.alloc(&mut m, 100).unwrap();
+            a.free(&mut m, black_box(e));
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_palloc);
+criterion_main!(benches);

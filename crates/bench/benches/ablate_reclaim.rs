@@ -1,0 +1,65 @@
+//! Criterion bench for the A-RECLAIM ablation: clock scanning vs
+//! file-granular discard.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use o1_core::{FomConfig, FomKernel, MapMech};
+use o1_hw::PAGE_SIZE;
+use o1_vm::{
+    Backing, BaselineConfig, BaselineKernel, MapFlags, MemSys, Prot, ReclaimPolicy, ThpMode,
+};
+
+fn bench_reclaim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_reclaim_4096_resident");
+    g.sample_size(20);
+    let resident = 4096u64;
+    g.bench_function("baseline_clock_scan", |b| {
+        b.iter(|| {
+            let mut k = BaselineKernel::new(BaselineConfig {
+                dram_bytes: (resident + 64) * PAGE_SIZE,
+                reclaim: ReclaimPolicy::Clock,
+                low_watermark_frames: 0,
+                swap_enabled: true,
+                thp: ThpMode::Never,
+                fault_around: 1,
+            });
+            let pid = MemSys::create_process(&mut k);
+            let va = k
+                .mmap(
+                    pid,
+                    resident * PAGE_SIZE,
+                    Prot::ReadWrite,
+                    Backing::Anon,
+                    MapFlags::private(),
+                )
+                .unwrap();
+            for p in 0..resident {
+                k.store(pid, va + p * PAGE_SIZE, p).unwrap();
+            }
+            black_box(k.reclaim_until(resident / 4))
+        })
+    });
+    g.bench_function("fom_discard_files", |b| {
+        b.iter(|| {
+            let mut k = FomKernel::new(FomConfig {
+                nvm_bytes: (resident + 64) * PAGE_SIZE,
+                mech: MapMech::SharedPt,
+                ..FomConfig::default()
+            });
+            let pid = k.create_process();
+            for i in 0..16u64 {
+                let (_, va) = k
+                    .create_named_discardable(pid, &format!("/c{i}"), resident / 16 * PAGE_SIZE)
+                    .unwrap();
+                k.store(pid, va, i).unwrap();
+                k.unmap(pid, va).unwrap();
+            }
+            black_box(k.reclaim_discardable(resident / 4))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_reclaim);
+criterion_main!(benches);

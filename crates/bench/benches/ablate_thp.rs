@@ -1,0 +1,75 @@
+//! Criterion bench for the A-THP ablation: huge-page policies on the
+//! allocate-and-touch path, plus the huge-page split cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use o1_hw::{HUGE_2M, PAGE_SIZE};
+use o1_vm::{
+    Backing, BaselineConfig, BaselineKernel, MapFlags, MemSys, Prot, ReclaimPolicy, ThpMode,
+};
+
+fn kernel(thp: ThpMode) -> BaselineKernel {
+    BaselineKernel::new(BaselineConfig {
+        dram_bytes: 128 << 20,
+        reclaim: ReclaimPolicy::Clock,
+        low_watermark_frames: 0,
+        swap_enabled: false,
+        thp,
+        fault_around: 1,
+    })
+}
+
+fn bench_thp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_thp_alloc_touch_8mb");
+    for (label, mode) in [
+        ("4k", ThpMode::Never),
+        ("thp", ThpMode::Aligned2M),
+        ("greedy", ThpMode::GreedyHuge),
+    ] {
+        g.bench_with_input(BenchmarkId::new(label, "8MiB"), &mode, |b, &mode| {
+            b.iter(|| {
+                let mut k = kernel(mode);
+                let pid = MemSys::create_process(&mut k);
+                let va = k
+                    .mmap(
+                        pid,
+                        8 << 20,
+                        Prot::ReadWrite,
+                        Backing::Anon,
+                        MapFlags::private(),
+                    )
+                    .unwrap();
+                for p in 0..(8u64 << 20) / PAGE_SIZE {
+                    k.store(pid, va + p * PAGE_SIZE, p).unwrap();
+                }
+                black_box(va)
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("ablate_thp_split");
+    g.bench_function("partial_munmap_of_huge", |b| {
+        b.iter(|| {
+            let mut k = kernel(ThpMode::Aligned2M);
+            let pid = MemSys::create_process(&mut k);
+            let va = k
+                .mmap(
+                    pid,
+                    HUGE_2M,
+                    Prot::ReadWrite,
+                    Backing::Anon,
+                    MapFlags::private_populate(),
+                )
+                .unwrap();
+            // Punching a 4 KiB hole forces the in-place split.
+            k.munmap(pid, va + 4 * PAGE_SIZE, PAGE_SIZE).unwrap();
+            black_box(va)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_thp);
+criterion_main!(benches);

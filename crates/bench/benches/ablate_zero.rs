@@ -1,0 +1,51 @@
+//! Criterion bench for the A-ZERO ablation: erase policies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use o1_hw::{FrameNo, Machine};
+use o1_palloc::{CryptoZero, EagerZero, ExtentAllocator, FrameSource, PhysExtent, ZeroPool};
+
+fn bench_zero(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_zero_alloc_free");
+    for frames in [16u64, 1024, 65536] {
+        g.bench_with_input(BenchmarkId::new("eager", frames), &frames, |b, &frames| {
+            let mut m = Machine::dram_only(1 << 30);
+            let mut a = EagerZero::new(ExtentAllocator::new(PhysExtent::new(
+                FrameNo(0),
+                frames * 2,
+            )));
+            b.iter(|| {
+                let e = a.alloc(&mut m, frames).unwrap();
+                a.free(&mut m, black_box(e));
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("pool", frames), &frames, |b, &frames| {
+            let mut m = Machine::dram_only(1 << 30);
+            let mut a = ZeroPool::new(ExtentAllocator::new(PhysExtent::new(
+                FrameNo(0),
+                frames * 2,
+            )));
+            b.iter(|| {
+                let e = a.alloc(&mut m, frames).unwrap();
+                a.free(&mut m, black_box(e));
+                a.background_tick(&mut m, frames);
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("crypto", frames), &frames, |b, &frames| {
+            let mut m = Machine::dram_only(1 << 30);
+            let mut a = CryptoZero::new(ExtentAllocator::new(PhysExtent::new(
+                FrameNo(0),
+                frames * 2,
+            )));
+            b.iter(|| {
+                let e = a.alloc(&mut m, frames).unwrap();
+                a.free(&mut m, black_box(e));
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_zero);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Criterion bench for Figure 1a/1b: host-side cost of the mmap
+//! populate/demand paths over the simulated kernel. (The paper-shape
+//! numbers come from the deterministic simulated clock via the
+//! `figures` binary; this bench tracks the implementation's own
+//! speed.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use o1_hw::PAGE_SIZE;
+use o1_vm::{
+    Backing, BaselineConfig, BaselineKernel, MapFlags, MemSys, Prot, ReclaimPolicy, ThpMode,
+};
+
+fn kernel(pages: u64) -> BaselineKernel {
+    BaselineKernel::new(BaselineConfig {
+        dram_bytes: (pages * PAGE_SIZE * 2).max(64 << 20),
+        reclaim: ReclaimPolicy::Clock,
+        low_watermark_frames: 0,
+        swap_enabled: false,
+        thp: ThpMode::Never,
+        fault_around: 1,
+    })
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1a_mmap");
+    for pages in [16u64, 256, 1024] {
+        g.bench_with_input(BenchmarkId::new("private", pages), &pages, |b, &pages| {
+            b.iter(|| {
+                let mut k = kernel(pages);
+                let pid = MemSys::create_process(&mut k);
+                let id = k.create_file("f", pages * PAGE_SIZE).unwrap();
+                black_box(
+                    k.mmap(
+                        pid,
+                        pages * PAGE_SIZE,
+                        Prot::ReadWrite,
+                        Backing::File { id, offset: 0 },
+                        MapFlags::private(),
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("populate", pages), &pages, |b, &pages| {
+            b.iter(|| {
+                let mut k = kernel(pages);
+                let pid = MemSys::create_process(&mut k);
+                let id = k.create_file("f", pages * PAGE_SIZE).unwrap();
+                black_box(
+                    k.mmap(
+                        pid,
+                        pages * PAGE_SIZE,
+                        Prot::ReadWrite,
+                        Backing::File { id, offset: 0 },
+                        MapFlags::private_populate(),
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("fig1b_touch");
+    for pages in [64u64, 256] {
+        g.bench_with_input(BenchmarkId::new("demand", pages), &pages, |b, &pages| {
+            b.iter(|| {
+                let mut k = kernel(pages);
+                let pid = MemSys::create_process(&mut k);
+                let id = k.create_file("f", pages * PAGE_SIZE).unwrap();
+                let va = k
+                    .mmap(
+                        pid,
+                        pages * PAGE_SIZE,
+                        Prot::ReadWrite,
+                        Backing::File { id, offset: 0 },
+                        MapFlags::private(),
+                    )
+                    .unwrap();
+                for p in 0..pages {
+                    black_box(k.load(pid, va + p * PAGE_SIZE).unwrap());
+                }
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("populated", pages), &pages, |b, &pages| {
+            b.iter(|| {
+                let mut k = kernel(pages);
+                let pid = MemSys::create_process(&mut k);
+                let id = k.create_file("f", pages * PAGE_SIZE).unwrap();
+                let va = k
+                    .mmap(
+                        pid,
+                        pages * PAGE_SIZE,
+                        Prot::ReadWrite,
+                        Backing::File { id, offset: 0 },
+                        MapFlags::private_populate(),
+                    )
+                    .unwrap();
+                for p in 0..pages {
+                    black_box(k.load(pid, va + p * PAGE_SIZE).unwrap());
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion bench for Figure 2/7: allocate-and-touch via anonymous
+//! memory, a memory-fs file, and file-only memory.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use o1_core::{FomKernel, MapMech};
+use o1_hw::PAGE_SIZE;
+use o1_memfs::FileClass;
+use o1_vm::{Backing, BaselineKernel, MapFlags, MemSys, Prot};
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_alloc_touch");
+    for pages in [64u64, 1024, 4096] {
+        let bytes = pages * PAGE_SIZE;
+        g.bench_with_input(
+            BenchmarkId::new("anon_demand", pages),
+            &pages,
+            |b, &pages| {
+                b.iter(|| {
+                    let mut k = BaselineKernel::with_dram((bytes * 2).max(64 << 20));
+                    let pid = MemSys::create_process(&mut k);
+                    let va = k
+                        .mmap(
+                            pid,
+                            bytes,
+                            Prot::ReadWrite,
+                            Backing::Anon,
+                            MapFlags::private(),
+                        )
+                        .unwrap();
+                    for p in 0..pages {
+                        k.store(pid, va + p * PAGE_SIZE, p).unwrap();
+                    }
+                    black_box(va)
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("file_demand", pages),
+            &pages,
+            |b, &pages| {
+                b.iter(|| {
+                    let mut k = BaselineKernel::with_dram((bytes * 2).max(64 << 20));
+                    let pid = MemSys::create_process(&mut k);
+                    let id = k.create_file("f", bytes).unwrap();
+                    let va = k
+                        .mmap(
+                            pid,
+                            bytes,
+                            Prot::ReadWrite,
+                            Backing::File { id, offset: 0 },
+                            MapFlags::shared(),
+                        )
+                        .unwrap();
+                    for p in 0..pages {
+                        k.store(pid, va + p * PAGE_SIZE, p).unwrap();
+                    }
+                    black_box(va)
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("fom_falloc", pages),
+            &pages,
+            |b, &pages| {
+                b.iter(|| {
+                    let mut k = FomKernel::with_mech(MapMech::SharedPt);
+                    let pid = k.create_process();
+                    let (_, va) = k.falloc(pid, bytes, FileClass::Volatile).unwrap();
+                    for p in 0..pages {
+                        k.store(pid, va + p * PAGE_SIZE, p).unwrap();
+                    }
+                    black_box(va)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion bench for Figure 3/8: the cost for an additional process
+//! to map an already-shared file, by mechanism.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use o1_core::{FomKernel, MapMech};
+use o1_memfs::FileClass;
+use o1_vm::{Backing, BaselineKernel, MapFlags, MemSys, Prot};
+
+const BYTES: u64 = 8 << 20;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_nth_mapper");
+    g.bench_function("baseline_populate", |b| {
+        let mut k = BaselineKernel::with_dram(512 << 20);
+        let id = k.create_file("shared", BYTES).unwrap();
+        k.file_write(id, 0, &vec![1u8; BYTES as usize]).unwrap();
+        b.iter(|| {
+            let pid = MemSys::create_process(&mut k);
+            let va = k
+                .mmap(
+                    pid,
+                    BYTES,
+                    Prot::ReadWrite,
+                    Backing::File { id, offset: 0 },
+                    MapFlags::shared_populate(),
+                )
+                .unwrap();
+            k.munmap(pid, va, BYTES).unwrap();
+            MemSys::destroy_process(&mut k, pid).unwrap();
+            black_box(va)
+        })
+    });
+    for (label, mech) in [
+        ("fom_shared_pt", MapMech::SharedPt),
+        ("fom_pbm", MapMech::Pbm),
+        ("fom_ranges", MapMech::Ranges),
+    ] {
+        g.bench_with_input(BenchmarkId::new(label, "8MiB"), &mech, |b, &mech| {
+            let mut k = FomKernel::with_mech(mech);
+            let setup = k.create_process();
+            k.create_named(setup, "/shared", BYTES, FileClass::Persistent)
+                .unwrap();
+            b.iter(|| {
+                let pid = k.create_process();
+                let (_, va) = k.open_map(pid, "/shared", Prot::ReadWrite).unwrap();
+                k.unmap(pid, va).unwrap();
+                k.destroy_process(pid).unwrap();
+                black_box(va)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

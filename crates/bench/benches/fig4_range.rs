@@ -1,0 +1,95 @@
+//! Criterion bench for Figures 4/5/9: range-table and range-TLB
+//! operations vs page-table mapping, plus sparse access.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use o1_core::{FomKernel, MapMech};
+use o1_hw::{Machine, PhysAddr, PteFlags, RangeEntry, RangeTable, VirtAddr, PAGE_SIZE};
+use o1_memfs::FileClass;
+use o1_workloads::AccessPattern;
+
+fn bench_range_table(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_range_table");
+    g.bench_function("insert_remove_1gb_entry", |b| {
+        let mut rt = RangeTable::new();
+        b.iter(|| {
+            rt.insert(RangeEntry::new(
+                VirtAddr(0x4000_0000),
+                1 << 30,
+                PhysAddr(1 << 30),
+                PteFlags::user_rw(),
+            ))
+            .unwrap();
+            black_box(rt.lookup(VirtAddr(0x4000_1234)));
+            rt.remove(VirtAddr(0x4000_0000)).unwrap();
+        })
+    });
+    g.bench_function("lookup_among_1000_ranges", |b| {
+        let mut rt = RangeTable::new();
+        for i in 0..1000u64 {
+            rt.insert(RangeEntry::new(
+                VirtAddr(i * (2 << 20)),
+                1 << 20,
+                PhysAddr(i * (1 << 20)),
+                PteFlags::user_rw(),
+            ))
+            .unwrap();
+        }
+        b.iter(|| black_box(rt.lookup(VirtAddr(567 * (2 << 20) + 4096))))
+    });
+    g.finish();
+}
+
+fn bench_map_mechanisms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_map_whole_file");
+    for (label, mech) in [
+        ("page_tables", MapMech::PageTables),
+        ("ranges", MapMech::Ranges),
+    ] {
+        for kb in [1024u64, 65536] {
+            g.bench_with_input(
+                BenchmarkId::new(label, kb),
+                &(mech, kb),
+                |b, &(mech, kb)| {
+                    let mut k = FomKernel::with_mech(mech);
+                    let setup = k.create_process();
+                    k.create_named(setup, "/blob", kb * 1024, FileClass::Persistent)
+                        .unwrap();
+                    b.iter(|| {
+                        let pid = k.create_process();
+                        let (_, va) = k.open_map(pid, "/blob", o1_vm::Prot::ReadWrite).unwrap();
+                        k.unmap(pid, va).unwrap();
+                        k.destroy_process(pid).unwrap();
+                        black_box(va)
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("fig4_sparse_access");
+    for (label, mech) in [
+        ("page_tables", MapMech::PageTables),
+        ("ranges", MapMech::Ranges),
+    ] {
+        g.bench_with_input(BenchmarkId::new(label, "64MiB"), &mech, |b, &mech| {
+            let mut k = FomKernel::with_mech(mech);
+            let pid = k.create_process();
+            let (_, va) = k.falloc(pid, 64 << 20, FileClass::Volatile).unwrap();
+            let pages = (64 << 20) / PAGE_SIZE;
+            let seq = AccessPattern::RandomUniform { count: 1024 }.generate(pages, 7);
+            b.iter(|| {
+                for &p in &seq {
+                    black_box(k.load(pid, va + p * PAGE_SIZE).unwrap());
+                }
+            })
+        });
+    }
+    g.finish();
+    let _ = Machine::dram_only(1 << 20);
+}
+
+criterion_group!(benches, bench_range_table, bench_map_mechanisms);
+criterion_main!(benches);

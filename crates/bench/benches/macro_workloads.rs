@@ -1,0 +1,70 @@
+//! Criterion benches for the macro workloads: server-churn trace
+//! replay and device DMA, per design.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use o1_core::{FomKernel, MapMech};
+use o1_hw::{DmaEngine, PAGE_SIZE};
+use o1_memfs::FileClass;
+use o1_vm::{Backing, BaselineKernel, MapFlags, MemSys, Prot};
+use o1_workloads::Trace;
+
+fn bench_churn(c: &mut Criterion) {
+    let trace = Trace::server_churn(7, 1500, 16, 64);
+    let mut g = c.benchmark_group("macro_churn_1500_events");
+    g.sample_size(20);
+    g.bench_function("baseline", |b| {
+        b.iter(|| {
+            let mut k = BaselineKernel::with_dram(512 << 20);
+            let pid = MemSys::create_process(&mut k);
+            black_box(trace.replay(&mut k, pid).unwrap())
+        })
+    });
+    for (label, mech) in [
+        ("fom_shared", MapMech::SharedPt),
+        ("fom_ranges", MapMech::Ranges),
+    ] {
+        g.bench_with_input(BenchmarkId::new(label, "1500"), &mech, |b, &mech| {
+            b.iter(|| {
+                let mut k = FomKernel::with_mech(mech);
+                let pid = MemSys::create_process(&mut k);
+                black_box(trace.replay(&mut k, pid).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_dma(c: &mut Criterion) {
+    let bytes = 4u64 << 20;
+    let mut g = c.benchmark_group("macro_dma_4mb");
+    g.bench_function("baseline_pinned", |b| {
+        let mut k = BaselineKernel::with_dram(64 << 20);
+        let pid = MemSys::create_process(&mut k);
+        let va = k
+            .mmap(
+                pid,
+                bytes,
+                Prot::ReadWrite,
+                Backing::Anon,
+                MapFlags::private_populate(),
+            )
+            .unwrap();
+        k.pin_range(pid, va, bytes).unwrap();
+        let mut dma = DmaEngine::new();
+        b.iter(|| black_box(k.dma_transfer(pid, va, bytes, &mut dma).unwrap()))
+    });
+    g.bench_function("fom_implicit", |b| {
+        let mut k = FomKernel::with_mech(MapMech::Ranges);
+        let pid = k.create_process();
+        let (_, va) = k.falloc(pid, bytes, FileClass::Volatile).unwrap();
+        let mut dma = DmaEngine::new();
+        b.iter(|| black_box(k.dma_transfer(pid, va, bytes, &mut dma).unwrap()))
+    });
+    g.finish();
+    let _ = PAGE_SIZE;
+}
+
+criterion_group!(benches, bench_churn, bench_dma);
+criterion_main!(benches);

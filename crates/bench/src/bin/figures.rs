@@ -1,0 +1,159 @@
+//! Regenerate every figure of *Towards O(1) Memory* from the
+//! simulator and print paper-style tables.
+//!
+//! Usage:
+//! ```text
+//! figures                 # all figures, text tables
+//! figures --fig fig1a     # one figure
+//! figures --json out.json # also dump machine-readable series
+//! figures --csv  out_dir  # one CSV per figure
+//! figures --list          # list figure ids
+//! ```
+
+use std::io::Write as _;
+
+use o1_bench::experiments;
+use o1_bench::Figure;
+
+fn figure_by_id(id: &str) -> Option<Figure> {
+    let f = match id {
+        "1a" | "fig1a" | "6a" => experiments::fig1a(),
+        "1b" | "fig1b" | "6b" => experiments::fig1b(),
+        "2" | "fig2" | "7" => experiments::fig2(),
+        "3" | "fig3" | "8" => experiments::fig3(),
+        "4" | "fig4_map" | "fig4" | "9" => experiments::fig4_map(),
+        "4access" | "fig4_access" => experiments::fig4_access(),
+        "faults" | "fig_faults" => experiments::fig_faults(),
+        "read16k" | "fig_read16k" => experiments::fig_read16k(),
+        "meta" | "fig_meta" => experiments::fig_meta(),
+        "zero" | "fig_zero" => experiments::fig_zero(),
+        "reclaim" | "fig_reclaim" => experiments::fig_reclaim(),
+        "palloc" | "fig_palloc" => experiments::fig_palloc(),
+        "persist" | "fig_persist" => experiments::fig_persist(),
+        "virt" | "fig_virt" => experiments::fig_virt(),
+        "thp" | "fig_thp" => experiments::fig_thp(),
+        "teardown" | "fig_teardown" => experiments::fig_teardown(),
+        "frag" | "fig_frag" => experiments::fig_frag(),
+        "churn" | "fig_churn" => experiments::fig_churn(),
+        "dma" | "fig_dma" => experiments::fig_dma(),
+        _ => return None,
+    };
+    Some(f)
+}
+
+const ALL_IDS: [&str; 19] = [
+    "fig1a",
+    "fig1b",
+    "fig2",
+    "fig3",
+    "fig4_map",
+    "fig4_access",
+    "fig_faults",
+    "fig_read16k",
+    "fig_meta",
+    "fig_zero",
+    "fig_reclaim",
+    "fig_palloc",
+    "fig_persist",
+    "fig_virt",
+    "fig_thp",
+    "fig_teardown",
+    "fig_frag",
+    "fig_churn",
+    "fig_dma",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut want: Option<String> = None;
+    let mut json_path: Option<String> = None;
+    let mut csv_dir: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--list" => {
+                for id in ALL_IDS {
+                    println!("{id}");
+                }
+                return;
+            }
+            "--fig" => {
+                i += 1;
+                want = Some(args.get(i).cloned().unwrap_or_default());
+            }
+            "--json" => {
+                i += 1;
+                json_path = Some(args.get(i).cloned().unwrap_or_default());
+            }
+            "--csv" => {
+                i += 1;
+                csv_dir = Some(args.get(i).cloned().unwrap_or_default());
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: figures [--fig <id>] [--json <path>] [--csv <dir>] [--list]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let figures: Vec<Figure> = match want {
+        Some(id) => match figure_by_id(&id) {
+            Some(f) => vec![f],
+            None => {
+                eprintln!("unknown figure id '{id}'; try --list");
+                std::process::exit(2);
+            }
+        },
+        None => ALL_IDS
+            .iter()
+            .map(|id| figure_by_id(id).expect("known id"))
+            .collect(),
+    };
+
+    println!("# Towards O(1) Memory — regenerated figures (simulated ns, deterministic)\n");
+    for f in &figures {
+        println!("{}", f.to_table());
+    }
+
+    if let Some(dir) = csv_dir {
+        std::fs::create_dir_all(&dir).expect("create csv dir");
+        for f in &figures {
+            let path = format!("{dir}/{}.csv", f.id);
+            let mut out = String::new();
+            out.push_str(&f.x_label.replace(',', ";"));
+            for s in &f.series {
+                out.push(',');
+                out.push_str(&s.label.replace(',', ";"));
+            }
+            out.push('\n');
+            let mut xs: Vec<u64> = f
+                .series
+                .iter()
+                .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+                .collect();
+            xs.sort_unstable();
+            xs.dedup();
+            for x in xs {
+                out.push_str(&x.to_string());
+                for s in &f.series {
+                    out.push(',');
+                    if let Some(y) = s.y_at(x) {
+                        out.push_str(&format!("{y}"));
+                    }
+                }
+                out.push('\n');
+            }
+            std::fs::write(&path, out).expect("write csv");
+        }
+        eprintln!("wrote CSVs to {dir}/");
+    }
+
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&figures).expect("serializable");
+        let mut file = std::fs::File::create(&path).expect("create json output");
+        file.write_all(json.as_bytes()).expect("write json output");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,13 @@
+//! # o1-bench — the benchmark harness for *Towards O(1) Memory*
+//!
+//! [`experiments`] regenerates every figure of the paper (and the
+//! ablations DESIGN.md adds) as deterministic simulated-time series;
+//! [`series`] holds the data and prints paper-style tables. The
+//! `figures` binary drives it all; Criterion benches in `benches/`
+//! measure the host-side cost of the same operations.
+
+pub mod experiments;
+pub mod series;
+
+pub use experiments::all_figures;
+pub use series::{Figure, Series};

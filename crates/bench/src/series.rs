@@ -1,0 +1,162 @@
+//! Figure data containers and table printing.
+
+use serde::Serialize;
+
+/// One plotted series: label plus (x, y) points.
+#[derive(Clone, Debug, Serialize)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// (x, y) points in x order.
+    pub points: Vec<(u64, f64)>,
+}
+
+impl Series {
+    /// Build a series.
+    pub fn new(label: impl Into<String>) -> Series {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Append a point.
+    pub fn push(&mut self, x: u64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// y value at the given x, if present.
+    pub fn y_at(&self, x: u64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|&&(px, _)| px == x)
+            .map(|&(_, y)| y)
+    }
+
+    /// First and last y values (for slope checks).
+    pub fn ends(&self) -> Option<(f64, f64)> {
+        match (self.points.first(), self.points.last()) {
+            (Some(&(_, a)), Some(&(_, b))) => Some((a, b)),
+            _ => None,
+        }
+    }
+}
+
+/// A full figure: id, axis labels, and its series.
+#[derive(Clone, Debug, Serialize)]
+pub struct Figure {
+    /// Experiment id (e.g. "fig1a").
+    pub id: String,
+    /// Human title matching the paper caption.
+    pub title: String,
+    /// x-axis label.
+    pub x_label: String,
+    /// y-axis label.
+    pub y_label: String,
+    /// All series.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Build an empty figure.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Figure {
+        Figure {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Find a series by label.
+    pub fn series(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+
+    /// Render as an aligned text table (x column + one column per
+    /// series), the format the `figures` binary prints.
+    pub fn to_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "## {} — {}", self.id, self.title);
+        let _ = write!(out, "{:>14}", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, "  {:>22}", s.label);
+        }
+        let _ = writeln!(out, "    [{}]", self.y_label);
+        let xs: Vec<u64> = {
+            let mut xs: Vec<u64> = self
+                .series
+                .iter()
+                .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+                .collect();
+            xs.sort_unstable();
+            xs.dedup();
+            xs
+        };
+        for x in xs {
+            let _ = write!(out, "{x:>14}");
+            for s in &self.series {
+                match s.y_at(x) {
+                    Some(y) if y >= 1000.0 => {
+                        let _ = write!(out, "  {y:>22.0}");
+                    }
+                    Some(y) => {
+                        let _ = write!(out, "  {y:>22.2}");
+                    }
+                    None => {
+                        let _ = write!(out, "  {:>22}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_accessors() {
+        let mut s = Series::new("a");
+        s.push(1, 10.0);
+        s.push(2, 20.0);
+        assert_eq!(s.y_at(2), Some(20.0));
+        assert_eq!(s.y_at(3), None);
+        assert_eq!(s.ends(), Some((10.0, 20.0)));
+    }
+
+    #[test]
+    fn table_renders_all_columns() {
+        let mut f = Figure::new("figX", "test", "size", "ns");
+        let mut a = Series::new("alpha");
+        a.push(4, 1.0);
+        a.push(8, 2.0);
+        let mut b = Series::new("beta");
+        b.push(4, 100.5);
+        f.series.push(a);
+        f.series.push(b);
+        let t = f.to_table();
+        assert!(t.contains("figX"));
+        assert!(t.contains("alpha"));
+        assert!(t.contains("beta"));
+        assert!(t.contains("100.50"));
+        assert!(t.contains('-'), "missing point rendered as dash");
+    }
+
+    #[test]
+    fn figure_serializes_to_json() {
+        let f = Figure::new("f", "t", "x", "y");
+        let j = serde_json::to_string(&f).unwrap();
+        assert!(j.contains("\"id\":\"f\""));
+    }
+}

@@ -1,0 +1,16 @@
+//! # o1-core — file-only memory, the contribution of *Towards O(1) Memory*
+//!
+//! [`fom::FomKernel`] manages all user memory as whole files in a
+//! persistent-memory file system, with four mapping mechanisms
+//! ([`fom::MapMech`]): conventional page tables, pre-created shared
+//! page-table subtrees, physically based mappings (§4.2), and hardware
+//! range translations (§4.3). See the repository's DESIGN.md for the
+//! experiment map.
+
+pub mod fom;
+pub mod heap;
+pub mod sync;
+
+pub use fom::{ErasePolicy, FomConfig, FomKernel, MapMech, FOM_MMAP_BASE, PBM_BASE};
+pub use heap::FomHeap;
+pub use sync::SyncFom;

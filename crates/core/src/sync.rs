@@ -1,0 +1,165 @@
+//! Thread-safe wrapper around the file-only memory kernel.
+//!
+//! The simulation core is single-threaded and deterministic; real
+//! consumers want to call it from many threads. [`SyncFom`] wraps a
+//! [`FomKernel`] in a [`parking_lot::Mutex`] and exposes the common
+//! operations. Determinism of the *per-operation* costs is preserved;
+//! the interleaving across threads is whatever the scheduler produces,
+//! as it would be on real hardware.
+
+use parking_lot::Mutex;
+
+use o1_hw::{SimNs, VirtAddr};
+use o1_memfs::FileClass;
+use o1_vm::{Pid, Prot, VmError};
+
+use crate::fom::{FomConfig, FomKernel};
+
+/// A `Send + Sync` handle to a file-only-memory kernel.
+#[derive(Debug)]
+pub struct SyncFom {
+    inner: Mutex<FomKernel>,
+}
+
+impl SyncFom {
+    /// Boot a kernel behind a lock.
+    pub fn new(config: FomConfig) -> SyncFom {
+        SyncFom {
+            inner: Mutex::new(FomKernel::new(config)),
+        }
+    }
+
+    /// Create a process.
+    pub fn create_process(&self) -> Pid {
+        self.inner.lock().create_process()
+    }
+
+    /// Destroy a process.
+    pub fn destroy_process(&self, pid: Pid) -> Result<(), VmError> {
+        self.inner.lock().destroy_process(pid)
+    }
+
+    /// Allocate-and-map a volatile file of `bytes`.
+    pub fn alloc(&self, pid: Pid, bytes: u64) -> Result<VirtAddr, VmError> {
+        self.inner
+            .lock()
+            .falloc(pid, bytes, FileClass::Volatile)
+            .map(|(_, va)| va)
+    }
+
+    /// Create-and-map a named persistent file.
+    pub fn create_named(&self, pid: Pid, name: &str, bytes: u64) -> Result<VirtAddr, VmError> {
+        self.inner
+            .lock()
+            .create_named(pid, name, bytes, FileClass::Persistent)
+            .map(|(_, va)| va)
+    }
+
+    /// Map an existing named file.
+    pub fn open_map(&self, pid: Pid, name: &str, prot: Prot) -> Result<VirtAddr, VmError> {
+        self.inner
+            .lock()
+            .open_map(pid, name, prot)
+            .map(|(_, va)| va)
+    }
+
+    /// Unmap a mapping by base address.
+    pub fn unmap(&self, pid: Pid, va: VirtAddr) -> Result<(), VmError> {
+        self.inner.lock().unmap(pid, va)
+    }
+
+    /// 8-byte load.
+    pub fn load(&self, pid: Pid, va: VirtAddr) -> Result<u64, VmError> {
+        self.inner.lock().load(pid, va)
+    }
+
+    /// 8-byte store.
+    pub fn store(&self, pid: Pid, va: VirtAddr, value: u64) -> Result<(), VmError> {
+        self.inner.lock().store(pid, va, value)
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimNs {
+        self.inner.lock().machine().now()
+    }
+
+    /// Free frames in the volume.
+    pub fn free_frames(&self) -> u64 {
+        self.inner.lock().free_frames()
+    }
+
+    /// Run `f` with exclusive kernel access (batch operations).
+    pub fn with<T>(&self, f: impl FnOnce(&mut FomKernel) -> T) -> T {
+        f(&mut self.inner.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fom::MapMech;
+    use o1_hw::PAGE_SIZE;
+
+    #[test]
+    fn concurrent_processes_do_not_interfere() {
+        let fom = std::sync::Arc::new(SyncFom::new(FomConfig {
+            mech: MapMech::SharedPt,
+            ..FomConfig::default()
+        }));
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let fom = fom.clone();
+                std::thread::spawn(move || {
+                    let pid = fom.create_process();
+                    let va = fom.alloc(pid, 64 * PAGE_SIZE).unwrap();
+                    for i in 0..64u64 {
+                        fom.store(pid, va + i * PAGE_SIZE, t * 1000 + i).unwrap();
+                    }
+                    for i in 0..64u64 {
+                        assert_eq!(fom.load(pid, va + i * PAGE_SIZE).unwrap(), t * 1000 + i);
+                    }
+                    fom.destroy_process(pid).unwrap();
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn crossbeam_scoped_sharing_of_a_file() {
+        let fom = SyncFom::new(FomConfig::default());
+        let writer = fom.create_process();
+        let base = fom.create_named(writer, "/shared/blob", 1 << 20).unwrap();
+        for i in 0..16u64 {
+            fom.store(writer, base + i * 8, i * i).unwrap();
+        }
+        crossbeam::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    let pid = fom.create_process();
+                    let va = fom.open_map(pid, "/shared/blob", Prot::Read).unwrap();
+                    for i in 0..16u64 {
+                        assert_eq!(fom.load(pid, va + i * 8).unwrap(), i * i);
+                    }
+                    fom.destroy_process(pid).unwrap();
+                });
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn with_gives_batch_access() {
+        let fom = SyncFom::new(FomConfig::default());
+        let frames = fom.with(|k| {
+            let pid = k.create_process();
+            let (_, va) = k.falloc(pid, PAGE_SIZE, FileClass::Volatile).unwrap();
+            k.store(pid, va, 5).unwrap();
+            k.free_frames()
+        });
+        assert!(frames > 0);
+        assert!(fom.now().0 > 0);
+    }
+}

@@ -1,0 +1,236 @@
+//! The simulated machine: physical memory + cost model + clock +
+//! performance counters.
+//!
+//! Everything that "takes time" in the simulation charges nanoseconds
+//! to the machine clock through [`Machine::charge`]. Experiments read
+//! the clock before and after an operation; because the simulation is
+//! deterministic, the same workload always yields the same duration.
+
+use crate::cost::CostModel;
+use crate::perf::PerfCounters;
+use crate::phys::{MemTier, PhysicalMemory};
+
+/// A timestamp on the simulated clock, in nanoseconds since boot.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Default, Hash)]
+pub struct SimNs(pub u64);
+
+impl SimNs {
+    /// Nanoseconds elapsed since `earlier`.
+    ///
+    /// # Panics
+    /// Panics if `earlier` is later than `self`.
+    pub fn since(self, earlier: SimNs) -> u64 {
+        self.0
+            .checked_sub(earlier.0)
+            .expect("SimNs::since: clock went backwards")
+    }
+}
+
+/// The simulated machine.
+#[derive(Debug)]
+pub struct Machine {
+    /// Per-operation cost table (public for sensitivity sweeps).
+    pub cost: CostModel,
+    /// Physical memory (DRAM + NVM tiers).
+    pub phys: PhysicalMemory,
+    /// Event counters.
+    pub perf: PerfCounters,
+    clock_ns: u64,
+    /// Number of CPUs, which scales TLB-shootdown cost.
+    cpus: u32,
+}
+
+impl Machine {
+    /// Build a machine with the given memory geometry and cost model.
+    pub fn new(dram_bytes: u64, nvm_bytes: u64, cost: CostModel) -> Self {
+        Machine {
+            cost,
+            phys: PhysicalMemory::new(dram_bytes, nvm_bytes),
+            perf: PerfCounters::default(),
+            clock_ns: 0,
+            cpus: 4,
+        }
+    }
+
+    /// Convenience constructor matching the paper's tmpfs testbed:
+    /// DRAM only, default cost model.
+    pub fn dram_only(dram_bytes: u64) -> Self {
+        Machine::new(dram_bytes, 0, CostModel::tmpfs_dram())
+    }
+
+    /// Convenience constructor for a persistent-memory machine: a small
+    /// DRAM tier plus a large NVM tier.
+    pub fn with_nvm(dram_bytes: u64, nvm_bytes: u64) -> Self {
+        Machine::new(dram_bytes, nvm_bytes, CostModel::tmpfs_dram())
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimNs {
+        SimNs(self.clock_ns)
+    }
+
+    /// Advance the clock by `ns` nanoseconds.
+    #[inline]
+    pub fn charge(&mut self, ns: u64) {
+        self.clock_ns = self
+            .clock_ns
+            .checked_add(ns)
+            .expect("simulated clock overflow");
+    }
+
+    /// Number of CPUs (affects shootdown costs).
+    #[inline]
+    pub fn cpus(&self) -> u32 {
+        self.cpus
+    }
+
+    /// Set the CPU count.
+    ///
+    /// # Panics
+    /// Panics if `cpus` is zero.
+    pub fn set_cpus(&mut self, cpus: u32) {
+        assert!(cpus > 0, "machine needs at least one CPU");
+        self.cpus = cpus;
+    }
+
+    /// Charge the cost of one program-issued load of up to a cache
+    /// line from the given tier, and count it.
+    #[inline]
+    pub fn charge_load(&mut self, tier: MemTier) {
+        self.perf.loads += 1;
+        let ns = match tier {
+            MemTier::Dram => self.cost.mem_read_dram,
+            MemTier::Nvm => self.cost.mem_read_nvm,
+        };
+        self.charge(ns);
+    }
+
+    /// Charge the cost of one program-issued store to the given tier.
+    #[inline]
+    pub fn charge_store(&mut self, tier: MemTier) {
+        self.perf.stores += 1;
+        let ns = match tier {
+            MemTier::Dram => self.cost.mem_write_dram,
+            MemTier::Nvm => self.cost.mem_write_nvm,
+        };
+        self.charge(ns);
+    }
+
+    /// Charge a foreground zero of `bytes` bytes in `tier` and count it
+    /// against the critical path.
+    pub fn charge_zero_fg(&mut self, tier: MemTier, bytes: u64) {
+        self.perf.bytes_zeroed_fg += bytes;
+        let ns = match tier {
+            MemTier::Dram => self.cost.zero_bytes_dram(bytes),
+            MemTier::Nvm => self.cost.zero_bytes_nvm(bytes),
+        };
+        self.charge(ns);
+    }
+
+    /// Count a background zero of `bytes` bytes. Background work does
+    /// not advance the foreground clock (it runs on idle cycles), but
+    /// is still recorded so experiments can report total work.
+    pub fn note_zero_bg(&mut self, bytes: u64) {
+        self.perf.bytes_zeroed_bg += bytes;
+    }
+
+    /// Charge one system-call crossing.
+    #[inline]
+    pub fn charge_syscall(&mut self) {
+        self.perf.syscalls += 1;
+        self.charge(self.cost.syscall);
+    }
+
+    /// Charge a TLB shootdown: a local flush plus one IPI per remote
+    /// CPU.
+    pub fn charge_shootdown(&mut self) {
+        self.perf.tlb_shootdowns += 1;
+        let remote = u64::from(self.cpus.saturating_sub(1));
+        self.charge(self.cost.tlb_flush_asid + remote * self.cost.tlb_shootdown_percpu);
+    }
+
+    /// Run `f` and return its result along with the simulated
+    /// nanoseconds it consumed.
+    pub fn timed<T>(&mut self, f: impl FnOnce(&mut Machine) -> T) -> (T, u64) {
+        let start = self.now();
+        let out = f(self);
+        let elapsed = self.now().since(start);
+        (out, elapsed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::PAGE_SIZE;
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut m = Machine::dram_only(1 << 20);
+        assert_eq!(m.now(), SimNs(0));
+        m.charge(100);
+        m.charge(50);
+        assert_eq!(m.now(), SimNs(150));
+        assert_eq!(m.now().since(SimNs(100)), 50);
+    }
+
+    #[test]
+    fn loads_and_stores_charge_by_tier() {
+        let mut m = Machine::with_nvm(1 << 20, 1 << 20);
+        let t0 = m.now();
+        m.charge_load(MemTier::Dram);
+        let dram_ns = m.now().since(t0);
+        let t1 = m.now();
+        m.charge_load(MemTier::Nvm);
+        let nvm_ns = m.now().since(t1);
+        assert!(nvm_ns > dram_ns);
+        assert_eq!(m.perf.loads, 2);
+        let t2 = m.now();
+        m.charge_store(MemTier::Nvm);
+        assert!(m.now().since(t2) > nvm_ns, "NVM stores dearer than loads");
+        assert_eq!(m.perf.stores, 1);
+    }
+
+    #[test]
+    fn zeroing_fg_charges_bg_does_not() {
+        let mut m = Machine::dram_only(1 << 20);
+        let (_, fg) = m.timed(|m| m.charge_zero_fg(MemTier::Dram, 4 * PAGE_SIZE));
+        assert_eq!(fg, 4 * m.cost.zero_page_dram);
+        let (_, bg) = m.timed(|m| m.note_zero_bg(4 * PAGE_SIZE));
+        assert_eq!(bg, 0);
+        assert_eq!(m.perf.bytes_zeroed_fg, 4 * PAGE_SIZE);
+        assert_eq!(m.perf.bytes_zeroed_bg, 4 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn shootdown_scales_with_cpus() {
+        let mut m = Machine::dram_only(1 << 20);
+        m.set_cpus(1);
+        let (_, one) = m.timed(|m| m.charge_shootdown());
+        m.set_cpus(8);
+        let (_, eight) = m.timed(|m| m.charge_shootdown());
+        assert_eq!(eight - one, 7 * m.cost.tlb_shootdown_percpu);
+        assert_eq!(m.perf.tlb_shootdowns, 2);
+    }
+
+    #[test]
+    fn timed_reports_elapsed() {
+        let mut m = Machine::dram_only(1 << 20);
+        let (v, ns) = m.timed(|m| {
+            m.charge(123);
+            "done"
+        });
+        assert_eq!(v, "done");
+        assert_eq!(ns, 123);
+    }
+
+    #[test]
+    fn syscall_counts() {
+        let mut m = Machine::dram_only(1 << 20);
+        m.charge_syscall();
+        m.charge_syscall();
+        assert_eq!(m.perf.syscalls, 2);
+        assert_eq!(m.now().0, 2 * m.cost.syscall);
+    }
+}

@@ -1,0 +1,674 @@
+//! The simulated MMU: ties together the range TLB, the page TLB, the
+//! range table and the page-table walker.
+//!
+//! Translation order on each access (when range translations are
+//! enabled, per the Gandhi et al. proposal the paper adopts):
+//!
+//! 1. probe the **range TLB** (fully associative, small);
+//! 2. probe the **page TLB**;
+//! 3. walk the **range table** (≈ 2 memory references);
+//! 4. walk the **page tables** (up to 4 memory references), filling
+//!    the page TLB and setting ACCESSED/DIRTY bits;
+//! 5. otherwise raise a translation fault for the kernel to handle.
+//!
+//! Every step charges its modelled cost and bumps the perf counters,
+//! so experiments can attribute time to translation machinery exactly.
+
+use crate::addr::{PhysAddr, VirtAddr};
+use crate::machine::Machine;
+use crate::pagetable::{PageTables, PtNodeId, PteFlags};
+use crate::range::{RangeTable, RangeTlb};
+use crate::tlb::{Asid, Tlb};
+
+/// Kind of memory access being translated.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Access {
+    /// Data load.
+    Read,
+    /// Data store.
+    Write,
+}
+
+/// Translation failure, to be turned into a page fault by the kernel.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TranslateError {
+    /// No mapping covers the address.
+    NotMapped,
+    /// A mapping exists but forbids this access.
+    Protection,
+}
+
+impl core::fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TranslateError::NotMapped => write!(f, "address not mapped"),
+            TranslateError::Protection => write!(f, "protection violation"),
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+/// Which structure satisfied a translation (for diagnostics/tests).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Satisfied {
+    /// Range-TLB hit.
+    RangeTlb,
+    /// Page-TLB hit.
+    PageTlb,
+    /// Range-table walk.
+    RangeWalk,
+    /// Page-table walk.
+    PageWalk,
+}
+
+/// A successful translation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Translated {
+    /// Resulting physical address.
+    pub pa: PhysAddr,
+    /// Which structure produced it.
+    pub by: Satisfied,
+}
+
+/// How deep the hardware translation is — §2 of the paper: "Intel
+/// recently introduced 5-level address translation, which can address
+/// 4PB of physical memory but requires up to 35 memory references in
+/// virtualized systems." The mode scales the cost of every TLB-miss
+/// walk; the structures walked stay the same (we model the extra
+/// levels/nesting as pure reference-count overhead).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum WalkMode {
+    /// Native 4-level paging: up to 4 references per walk.
+    #[default]
+    Native4,
+    /// Native 5-level paging: up to 5 references per walk.
+    Native5,
+    /// 4-level guest under 4-level EPT: up to 24 references.
+    Virtualized4,
+    /// 5-level guest under 5-level EPT: up to 35 references.
+    Virtualized5,
+}
+
+impl WalkMode {
+    /// Memory references charged for a walk that touched `levels`
+    /// guest levels (4 on a leaf hit at the bottom).
+    pub fn refs(self, levels: u8) -> u64 {
+        let l = u64::from(levels);
+        match self {
+            WalkMode::Native4 => l,
+            WalkMode::Native5 => l + 1,
+            // Nested translation: each guest level costs a host walk
+            // plus itself — (n+1)² − 1 total for a full n-level walk.
+            WalkMode::Virtualized4 => l * 6,     // 24 at l = 4
+            WalkMode::Virtualized5 => l * 8 + 3, // 35 at l = 4
+        }
+    }
+
+    /// References beyond the native-4-level baseline (already charged
+    /// by the walker itself).
+    fn extra_refs(self, levels: u8) -> u64 {
+        self.refs(levels) - u64::from(levels)
+    }
+}
+
+/// The per-machine MMU state (we model one CPU's translation caches).
+#[derive(Debug)]
+pub struct Mmu {
+    /// Page TLB.
+    pub tlb: Tlb,
+    /// Range TLB.
+    pub rtlb: RangeTlb,
+    /// Whether the range-translation hardware extension is present.
+    pub ranges_enabled: bool,
+    /// Translation depth / virtualization mode.
+    pub walk_mode: WalkMode,
+}
+
+impl Default for Mmu {
+    fn default() -> Self {
+        Mmu {
+            tlb: Tlb::default(),
+            rtlb: RangeTlb::default(),
+            ranges_enabled: false,
+            walk_mode: WalkMode::Native4,
+        }
+    }
+}
+
+impl Mmu {
+    /// MMU with conventional paging only.
+    pub fn paging_only() -> Mmu {
+        Mmu::default()
+    }
+
+    /// MMU with the range-translation extension enabled.
+    pub fn with_ranges() -> Mmu {
+        Mmu {
+            ranges_enabled: true,
+            ..Mmu::default()
+        }
+    }
+
+    /// Translate `va` for `asid`, charging all hardware costs.
+    ///
+    /// `root` is the address space's page-table root; `ranges` its
+    /// range table (ignored unless the extension is enabled).
+    #[allow(clippy::too_many_arguments)] // one parameter per hardware structure
+    pub fn translate(
+        &mut self,
+        m: &mut Machine,
+        pt: &mut PageTables,
+        root: PtNodeId,
+        ranges: &RangeTable,
+        asid: Asid,
+        va: VirtAddr,
+        access: Access,
+    ) -> Result<Translated, TranslateError> {
+        // 1. Range TLB.
+        if self.ranges_enabled {
+            if let Some(entry) = self.rtlb.lookup(asid, va) {
+                m.perf.rtlb_hits += 1;
+                m.charge(m.cost.rtlb_hit);
+                check_prot(entry.prot, access)?;
+                return Ok(Translated {
+                    pa: entry.translate(va),
+                    by: Satisfied::RangeTlb,
+                });
+            }
+            m.perf.rtlb_misses += 1;
+        }
+
+        // 2. Page TLB.
+        if let Some((frame, size, flags)) = self.tlb.lookup(asid, va) {
+            m.perf.tlb_hits += 1;
+            m.charge(m.cost.tlb_hit);
+            check_prot(flags, access)?;
+            // Hardware sets the dirty bit on the first write through a
+            // clean TLB entry; modelling that requires a PT update.
+            if access == Access::Write {
+                pt.mark_accessed(root, va, true);
+            }
+            let off = va.0 & (size.bytes() - 1);
+            return Ok(Translated {
+                pa: PhysAddr(frame.base().0 + off),
+                by: Satisfied::PageTlb,
+            });
+        }
+        m.perf.tlb_misses += 1;
+
+        // 3. Range-table walk.
+        if self.ranges_enabled {
+            m.charge(m.cost.range_walk);
+            if let Some(entry) = ranges.lookup(va).copied() {
+                check_prot(entry.prot, access)?;
+                m.charge(m.cost.rtlb_fill);
+                self.rtlb.insert(asid, entry);
+                return Ok(Translated {
+                    pa: entry.translate(va),
+                    by: Satisfied::RangeWalk,
+                });
+            }
+        }
+
+        // 4. Page-table walk (charges native refs; deeper/virtualized
+        // modes charge the extra references on top).
+        match pt.walk(m, root, va) {
+            Some(t) => {
+                m.charge(m.cost.ptw_level_ref * self.walk_mode.extra_refs(t.levels_touched));
+                check_prot(t.flags, access)?;
+                m.charge(m.cost.tlb_fill);
+                let base = va.align_down(t.size.bytes());
+                let frame = pt
+                    .lookup(root, base)
+                    .expect("leaf vanished during walk")
+                    .pa
+                    .frame();
+                self.tlb.insert(asid, va, frame, t.size, t.flags);
+                pt.mark_accessed(root, va, access == Access::Write);
+                Ok(Translated {
+                    pa: t.pa,
+                    by: Satisfied::PageWalk,
+                })
+            }
+            None => {
+                m.charge(m.cost.ptw_level_ref * self.walk_mode.extra_refs(crate::addr::PT_LEVELS));
+                Err(TranslateError::NotMapped)
+            }
+        }
+    }
+
+    /// Invalidate one page translation locally (INVLPG), charging its
+    /// cost. The kernel calls [`Machine::charge_shootdown`] separately
+    /// when remote CPUs must also be notified.
+    pub fn invalidate_page(&mut self, m: &mut Machine, asid: Asid, va: VirtAddr) {
+        m.charge(m.cost.tlb_invlpg);
+        self.tlb.invalidate_page(asid, va);
+    }
+
+    /// Invalidate one cached range entry (the O(1) unmap path).
+    pub fn invalidate_range(&mut self, m: &mut Machine, asid: Asid, base: VirtAddr) {
+        m.charge(m.cost.tlb_invlpg);
+        self.rtlb.invalidate(asid, base);
+    }
+
+    /// Flush all translations for an address space.
+    pub fn flush_asid(&mut self, m: &mut Machine, asid: Asid) {
+        m.charge(m.cost.tlb_flush_asid);
+        self.tlb.flush_asid(asid);
+        self.rtlb.flush_asid(asid);
+    }
+}
+
+fn check_prot(flags: PteFlags, access: Access) -> Result<(), TranslateError> {
+    match access {
+        Access::Read => Ok(()),
+        Access::Write if flags.contains(PteFlags::WRITE) => Ok(()),
+        Access::Write => Err(TranslateError::Protection),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{FrameNo, PageSize, PAGE_SIZE};
+    use crate::range::RangeEntry;
+
+    const A: Asid = Asid(1);
+
+    struct Fix {
+        m: Machine,
+        pt: PageTables,
+        root: PtNodeId,
+        rt: RangeTable,
+        mmu: Mmu,
+    }
+
+    fn fix(ranges: bool) -> Fix {
+        let mut m = Machine::dram_only(64 << 20);
+        let mut pt = PageTables::new();
+        let root = pt.create_root(&mut m);
+        Fix {
+            m,
+            pt,
+            root,
+            rt: RangeTable::new(),
+            mmu: if ranges {
+                Mmu::with_ranges()
+            } else {
+                Mmu::paging_only()
+            },
+        }
+    }
+
+    #[test]
+    fn walk_then_tlb_hit() {
+        let mut f = fix(false);
+        let va = VirtAddr(0x10_0000);
+        f.pt.map(
+            &mut f.m,
+            f.root,
+            va,
+            FrameNo(77),
+            PageSize::Base,
+            PteFlags::user_rw(),
+        )
+        .unwrap();
+        let t1 = f
+            .mmu
+            .translate(&mut f.m, &mut f.pt, f.root, &f.rt, A, va, Access::Read)
+            .unwrap();
+        assert_eq!(t1.by, Satisfied::PageWalk);
+        assert_eq!(t1.pa, PhysAddr(77 * PAGE_SIZE));
+        let t2 = f
+            .mmu
+            .translate(&mut f.m, &mut f.pt, f.root, &f.rt, A, va + 8, Access::Read)
+            .unwrap();
+        assert_eq!(t2.by, Satisfied::PageTlb);
+        assert_eq!(t2.pa, PhysAddr(77 * PAGE_SIZE + 8));
+        assert_eq!(f.m.perf.tlb_misses, 1);
+        assert_eq!(f.m.perf.tlb_hits, 1);
+        assert_eq!(f.m.perf.page_walks, 1);
+    }
+
+    #[test]
+    fn unmapped_faults() {
+        let mut f = fix(false);
+        let err = f
+            .mmu
+            .translate(
+                &mut f.m,
+                &mut f.pt,
+                f.root,
+                &f.rt,
+                A,
+                VirtAddr(0x5000),
+                Access::Read,
+            )
+            .unwrap_err();
+        assert_eq!(err, TranslateError::NotMapped);
+    }
+
+    #[test]
+    fn write_to_readonly_faults() {
+        let mut f = fix(false);
+        let va = VirtAddr(0x3000);
+        f.pt.map(
+            &mut f.m,
+            f.root,
+            va,
+            FrameNo(3),
+            PageSize::Base,
+            PteFlags::user_ro(),
+        )
+        .unwrap();
+        assert!(f
+            .mmu
+            .translate(&mut f.m, &mut f.pt, f.root, &f.rt, A, va, Access::Read)
+            .is_ok());
+        assert_eq!(
+            f.mmu
+                .translate(&mut f.m, &mut f.pt, f.root, &f.rt, A, va, Access::Write)
+                .unwrap_err(),
+            TranslateError::Protection
+        );
+        // Protection also enforced on the TLB-hit path.
+        assert_eq!(
+            f.mmu
+                .translate(&mut f.m, &mut f.pt, f.root, &f.rt, A, va, Access::Write)
+                .unwrap_err(),
+            TranslateError::Protection
+        );
+    }
+
+    #[test]
+    fn accessed_dirty_set_by_hardware() {
+        let mut f = fix(false);
+        let va = VirtAddr(0x8000);
+        f.pt.map(
+            &mut f.m,
+            f.root,
+            va,
+            FrameNo(8),
+            PageSize::Base,
+            PteFlags::user_rw(),
+        )
+        .unwrap();
+        f.mmu
+            .translate(&mut f.m, &mut f.pt, f.root, &f.rt, A, va, Access::Read)
+            .unwrap();
+        let flags = f.pt.lookup(f.root, va).unwrap().flags;
+        assert!(flags.contains(PteFlags::ACCESSED));
+        assert!(!flags.contains(PteFlags::DIRTY));
+        // A write through the now-cached TLB entry sets DIRTY.
+        f.mmu
+            .translate(&mut f.m, &mut f.pt, f.root, &f.rt, A, va, Access::Write)
+            .unwrap();
+        assert!(f
+            .pt
+            .lookup(f.root, va)
+            .unwrap()
+            .flags
+            .contains(PteFlags::DIRTY));
+    }
+
+    #[test]
+    fn range_translation_path() {
+        let mut f = fix(true);
+        let base = VirtAddr(0x100_0000);
+        f.rt.insert(RangeEntry::new(
+            base,
+            1 << 20,
+            PhysAddr(0x40_0000),
+            PteFlags::user_rw(),
+        ))
+        .unwrap();
+        // First access: range-table walk.
+        let t1 = f
+            .mmu
+            .translate(
+                &mut f.m,
+                &mut f.pt,
+                f.root,
+                &f.rt,
+                A,
+                base + 0x1234,
+                Access::Read,
+            )
+            .unwrap();
+        assert_eq!(t1.by, Satisfied::RangeWalk);
+        assert_eq!(t1.pa, PhysAddr(0x40_1234));
+        // Second access anywhere in the megabyte: range-TLB hit.
+        let t2 = f
+            .mmu
+            .translate(
+                &mut f.m,
+                &mut f.pt,
+                f.root,
+                &f.rt,
+                A,
+                base + 0xf_0000,
+                Access::Write,
+            )
+            .unwrap();
+        assert_eq!(t2.by, Satisfied::RangeTlb);
+        assert_eq!(f.m.perf.rtlb_hits, 1);
+        assert_eq!(f.m.perf.rtlb_misses, 1);
+        // No page walk ever happened.
+        assert_eq!(f.m.perf.page_walks, 0);
+    }
+
+    #[test]
+    fn range_miss_falls_back_to_paging() {
+        let mut f = fix(true);
+        let va = VirtAddr(0x9000);
+        f.pt.map(
+            &mut f.m,
+            f.root,
+            va,
+            FrameNo(9),
+            PageSize::Base,
+            PteFlags::user_rw(),
+        )
+        .unwrap();
+        let t = f
+            .mmu
+            .translate(&mut f.m, &mut f.pt, f.root, &f.rt, A, va, Access::Read)
+            .unwrap();
+        assert_eq!(t.by, Satisfied::PageWalk);
+    }
+
+    #[test]
+    fn range_protection_enforced() {
+        let mut f = fix(true);
+        let base = VirtAddr(0x100_0000);
+        f.rt.insert(RangeEntry::new(
+            base,
+            PAGE_SIZE,
+            PhysAddr(0x40_0000),
+            PteFlags::user_ro(),
+        ))
+        .unwrap();
+        assert_eq!(
+            f.mmu
+                .translate(&mut f.m, &mut f.pt, f.root, &f.rt, A, base, Access::Write)
+                .unwrap_err(),
+            TranslateError::Protection
+        );
+    }
+
+    #[test]
+    fn invalidate_range_forces_rewalk() {
+        let mut f = fix(true);
+        let base = VirtAddr(0x200_0000);
+        f.rt.insert(RangeEntry::new(
+            base,
+            PAGE_SIZE,
+            PhysAddr(0x40_0000),
+            PteFlags::user_rw(),
+        ))
+        .unwrap();
+        f.mmu
+            .translate(&mut f.m, &mut f.pt, f.root, &f.rt, A, base, Access::Read)
+            .unwrap();
+        f.mmu.invalidate_range(&mut f.m, A, base);
+        f.rt.remove(base).unwrap();
+        assert_eq!(
+            f.mmu
+                .translate(&mut f.m, &mut f.pt, f.root, &f.rt, A, base, Access::Read)
+                .unwrap_err(),
+            TranslateError::NotMapped
+        );
+    }
+
+    #[test]
+    fn flush_asid_clears_both_tlbs() {
+        let mut f = fix(true);
+        let va = VirtAddr(0x9000);
+        f.pt.map(
+            &mut f.m,
+            f.root,
+            va,
+            FrameNo(9),
+            PageSize::Base,
+            PteFlags::user_rw(),
+        )
+        .unwrap();
+        f.rt.insert(RangeEntry::new(
+            VirtAddr(0x100_0000),
+            PAGE_SIZE,
+            PhysAddr(0x40_0000),
+            PteFlags::user_rw(),
+        ))
+        .unwrap();
+        f.mmu
+            .translate(&mut f.m, &mut f.pt, f.root, &f.rt, A, va, Access::Read)
+            .unwrap();
+        f.mmu
+            .translate(
+                &mut f.m,
+                &mut f.pt,
+                f.root,
+                &f.rt,
+                A,
+                VirtAddr(0x100_0000),
+                Access::Read,
+            )
+            .unwrap();
+        f.mmu.flush_asid(&mut f.m, A);
+        assert_eq!(f.mmu.tlb.occupancy(), 0);
+        assert_eq!(f.mmu.rtlb.occupancy(), 0);
+    }
+
+    #[test]
+    fn walk_mode_reference_counts() {
+        assert_eq!(WalkMode::Native4.refs(4), 4);
+        assert_eq!(WalkMode::Native5.refs(4), 5);
+        assert_eq!(WalkMode::Virtualized4.refs(4), 24);
+        assert_eq!(WalkMode::Virtualized5.refs(4), 35, "the paper's §2 number");
+        // Monotone in depth.
+        for l in 1..=4u8 {
+            assert!(WalkMode::Virtualized5.refs(l) > WalkMode::Virtualized4.refs(l));
+            assert!(WalkMode::Virtualized4.refs(l) > WalkMode::Native5.refs(l));
+        }
+    }
+
+    #[test]
+    fn virtualized_walks_cost_more() {
+        let cost = |mode: WalkMode| {
+            let mut f = fix(false);
+            f.mmu.walk_mode = mode;
+            let va = VirtAddr(0x10_0000);
+            f.pt.map(
+                &mut f.m,
+                f.root,
+                va,
+                FrameNo(7),
+                PageSize::Base,
+                PteFlags::user_rw(),
+            )
+            .unwrap();
+            let (pt, rt, root, mmu) = (&mut f.pt, &f.rt, f.root, &mut f.mmu);
+            f.m.timed(|m| mmu.translate(m, pt, root, rt, A, va, Access::Read).unwrap())
+                .1
+        };
+        let native = cost(WalkMode::Native4);
+        let virt = cost(WalkMode::Virtualized5);
+        // 35 vs 4 references: the miss penalty scales accordingly.
+        assert!(virt > 5 * native, "native {native} vs virtualized {virt}");
+        // TLB hits are unaffected by the walk mode.
+        let mut f = fix(false);
+        f.mmu.walk_mode = WalkMode::Virtualized5;
+        let va = VirtAddr(0x10_0000);
+        f.pt.map(
+            &mut f.m,
+            f.root,
+            va,
+            FrameNo(7),
+            PageSize::Base,
+            PteFlags::user_rw(),
+        )
+        .unwrap();
+        let (pt, rt, root, mmu) = (&mut f.pt, &f.rt, f.root, &mut f.mmu);
+        f.m.timed(|m| mmu.translate(m, pt, root, rt, A, va, Access::Read).unwrap());
+        let (_, hit) =
+            f.m.timed(|m| mmu.translate(m, pt, root, rt, A, va, Access::Read).unwrap());
+        assert_eq!(hit, f.m.cost.tlb_hit);
+    }
+
+    #[test]
+    fn translation_cost_ordering() {
+        // rtlb hit < tlb hit+pt update < range walk < page walk.
+        let mut f = fix(true);
+        let base = VirtAddr(0x100_0000);
+        f.rt.insert(RangeEntry::new(
+            base,
+            1 << 20,
+            PhysAddr(0x40_0000),
+            PteFlags::user_rw(),
+        ))
+        .unwrap();
+        let va_pt = VirtAddr(0x9000);
+        f.pt.map(
+            &mut f.m,
+            f.root,
+            va_pt,
+            FrameNo(9),
+            PageSize::Base,
+            PteFlags::user_rw(),
+        )
+        .unwrap();
+
+        let (_, walk_ns) = {
+            let (pt, rt, root, mmu) = (&mut f.pt, &f.rt, f.root, &mut f.mmu);
+            f.m.timed(|m| {
+                mmu.translate(m, pt, root, rt, A, va_pt, Access::Read)
+                    .unwrap()
+            })
+        };
+        let (_, tlb_ns) = {
+            let (pt, rt, root, mmu) = (&mut f.pt, &f.rt, f.root, &mut f.mmu);
+            f.m.timed(|m| {
+                mmu.translate(m, pt, root, rt, A, va_pt, Access::Read)
+                    .unwrap()
+            })
+        };
+        let (_, rwalk_ns) = {
+            let (pt, rt, root, mmu) = (&mut f.pt, &f.rt, f.root, &mut f.mmu);
+            f.m.timed(|m| {
+                mmu.translate(m, pt, root, rt, A, base, Access::Read)
+                    .unwrap()
+            })
+        };
+        let (_, rtlb_ns) = {
+            let (pt, rt, root, mmu) = (&mut f.pt, &f.rt, f.root, &mut f.mmu);
+            f.m.timed(|m| {
+                mmu.translate(m, pt, root, rt, A, base, Access::Read)
+                    .unwrap()
+            })
+        };
+        assert!(rtlb_ns <= tlb_ns);
+        assert!(tlb_ns < rwalk_ns && tlb_ns < walk_ns);
+        assert!(rwalk_ns < walk_ns);
+    }
+}

@@ -1,0 +1,1078 @@
+//! Simulated x86-64-style page tables with refcounted, shareable nodes.
+//!
+//! Page-table nodes live in an arena ([`PageTables`]) and carry a
+//! reference count, so the paper's key mechanism — *"mapping becomes
+//! changing a single pointer in a page table to refer to existing page
+//! tables"* (§3.1/§4.1) — is implemented literally by [`PageTables::share`]:
+//! a single entry write that points one address space's interior node
+//! at a subtree owned by a file or by another address space.
+//!
+//! Levels follow x86-64: level 3 is the root (PML4), level 0 the leaf
+//! page table. Leaf entries may live at level 0 (4 KiB), level 1
+//! (2 MiB huge) or level 2 (1 GiB huge).
+//!
+//! The arena charges simulated costs for every entry write and node
+//! allocation, and bumps the corresponding [`PerfCounters`] fields, so
+//! experiments can report exactly how many per-page operations each
+//! design performed.
+//!
+//! [`PerfCounters`]: crate::perf::PerfCounters
+
+use core::fmt;
+
+use crate::addr::{FrameNo, PageSize, PhysAddr, VirtAddr, PAGE_SIZE, PT_ENTRIES};
+use crate::machine::Machine;
+
+/// Page-table entry permission / status bits.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct PteFlags(u8);
+
+impl PteFlags {
+    /// Entry allows writes.
+    pub const WRITE: PteFlags = PteFlags(1 << 0);
+    /// Entry allows instruction fetch.
+    pub const EXEC: PteFlags = PteFlags(1 << 1);
+    /// Entry is user-accessible.
+    pub const USER: PteFlags = PteFlags(1 << 2);
+    /// Hardware-set: the page was referenced.
+    pub const ACCESSED: PteFlags = PteFlags(1 << 3);
+    /// Hardware-set: the page was written.
+    pub const DIRTY: PteFlags = PteFlags(1 << 4);
+    /// Copy-on-write marker (software bit).
+    pub const COW: PteFlags = PteFlags(1 << 5);
+
+    /// Empty flag set (read-only kernel mapping).
+    pub const fn empty() -> PteFlags {
+        PteFlags(0)
+    }
+
+    /// Typical read-write user data mapping.
+    pub const fn user_rw() -> PteFlags {
+        PteFlags(Self::WRITE.0 | Self::USER.0)
+    }
+
+    /// Typical read-only user mapping.
+    pub const fn user_ro() -> PteFlags {
+        PteFlags(Self::USER.0)
+    }
+
+    /// Union of two flag sets.
+    #[inline]
+    pub const fn union(self, other: PteFlags) -> PteFlags {
+        PteFlags(self.0 | other.0)
+    }
+
+    /// Remove `other`'s bits.
+    #[inline]
+    pub const fn difference(self, other: PteFlags) -> PteFlags {
+        PteFlags(self.0 & !other.0)
+    }
+
+    /// True if all bits of `other` are set.
+    #[inline]
+    pub const fn contains(self, other: PteFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+}
+
+impl fmt::Debug for PteFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        for (bit, ch) in [
+            (Self::WRITE, 'W'),
+            (Self::EXEC, 'X'),
+            (Self::USER, 'U'),
+            (Self::ACCESSED, 'A'),
+            (Self::DIRTY, 'D'),
+            (Self::COW, 'C'),
+        ] {
+            s.push(if self.contains(bit) { ch } else { '-' });
+        }
+        write!(f, "PteFlags({s})")
+    }
+}
+
+/// Identifier of a page-table node in the arena.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct PtNodeId(u32);
+
+/// One page-table entry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Entry {
+    /// Not present.
+    #[default]
+    None,
+    /// Pointer to a lower-level node.
+    Table(PtNodeId),
+    /// Terminal mapping. The page size is implied by the node level.
+    Leaf {
+        /// First frame of the mapping.
+        frame: FrameNo,
+        /// Permission and status bits.
+        flags: PteFlags,
+    },
+}
+
+#[derive(Debug)]
+struct Node {
+    level: u8,
+    /// Number of parents (plus explicit retains) referencing this node.
+    refs: u32,
+    /// Number of non-`None` entries, for cheap emptiness checks.
+    live: u16,
+    entries: Box<[Entry]>,
+}
+
+impl Node {
+    fn new(level: u8) -> Node {
+        Node {
+            level,
+            refs: 1,
+            live: 0,
+            entries: vec![Entry::None; PT_ENTRIES].into_boxed_slice(),
+        }
+    }
+}
+
+/// Errors from mapping operations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MapError {
+    /// The target slot already holds a mapping.
+    AlreadyMapped,
+    /// The walk hit a leaf (huge page) above the requested level, or a
+    /// table where a leaf was requested.
+    Conflict,
+    /// Address or frame not aligned to the requested page size.
+    Misaligned,
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::AlreadyMapped => write!(f, "slot already mapped"),
+            MapError::Conflict => write!(f, "conflicting mapping granularity"),
+            MapError::Misaligned => write!(f, "misaligned address or frame"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+/// Result of a successful translation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Translation {
+    /// Translated physical address.
+    pub pa: PhysAddr,
+    /// Flags of the leaf entry.
+    pub flags: PteFlags,
+    /// Page size of the leaf entry.
+    pub size: PageSize,
+    /// Number of node references the walk touched (for cost charging).
+    pub levels_touched: u8,
+}
+
+/// Arena of refcounted page-table nodes shared by all address spaces.
+#[derive(Debug, Default)]
+pub struct PageTables {
+    nodes: Vec<Option<Node>>,
+    free_ids: Vec<u32>,
+}
+
+impl PageTables {
+    /// Empty arena.
+    pub fn new() -> PageTables {
+        PageTables::default()
+    }
+
+    /// Number of live nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_some()).count()
+    }
+
+    /// Bytes of page-table metadata currently allocated (each node is
+    /// one 4 KiB frame, as on real hardware).
+    pub fn metadata_bytes(&self) -> u64 {
+        self.node_count() as u64 * PAGE_SIZE
+    }
+
+    fn node(&self, id: PtNodeId) -> &Node {
+        self.nodes[id.0 as usize]
+            .as_ref()
+            .expect("stale PtNodeId: node was freed")
+    }
+
+    fn node_mut(&mut self, id: PtNodeId) -> &mut Node {
+        self.nodes[id.0 as usize]
+            .as_mut()
+            .expect("stale PtNodeId: node was freed")
+    }
+
+    /// Level of `id` (0 = leaf page table, 3 = root).
+    pub fn level(&self, id: PtNodeId) -> u8 {
+        self.node(id).level
+    }
+
+    /// Current reference count of `id`.
+    pub fn refs(&self, id: PtNodeId) -> u32 {
+        self.node(id).refs
+    }
+
+    /// Number of live entries in `id`.
+    pub fn live_entries(&self, id: PtNodeId) -> u16 {
+        self.node(id).live
+    }
+
+    /// Allocate a fresh node at `level`, charging one node allocation.
+    /// The caller holds the initial reference.
+    pub fn create_node(&mut self, m: &mut Machine, level: u8) -> PtNodeId {
+        assert!(level < crate::addr::PT_LEVELS, "bad page-table level");
+        m.charge(m.cost.pt_node_alloc);
+        m.perf.pt_nodes_alloced += 1;
+        let node = Node::new(level);
+        match self.free_ids.pop() {
+            Some(i) => {
+                self.nodes[i as usize] = Some(node);
+                PtNodeId(i)
+            }
+            None => {
+                self.nodes.push(Some(node));
+                PtNodeId((self.nodes.len() - 1) as u32)
+            }
+        }
+    }
+
+    /// Allocate a root (level-3) node for a new address space.
+    pub fn create_root(&mut self, m: &mut Machine) -> PtNodeId {
+        self.create_node(m, crate::addr::PT_LEVELS - 1)
+    }
+
+    /// Take an additional reference on `id`.
+    pub fn retain(&mut self, id: PtNodeId) {
+        self.node_mut(id).refs += 1;
+    }
+
+    /// Drop one reference on `id`; when the count reaches zero the node
+    /// and (recursively) its exclusively-owned children are freed.
+    ///
+    /// Leaf entries are *not* freed here: the frames they map are owned
+    /// by the allocator or file layer.
+    pub fn release(&mut self, m: &mut Machine, id: PtNodeId) {
+        let node = self.node_mut(id);
+        assert!(node.refs > 0, "release of node with zero refs");
+        node.refs -= 1;
+        if node.refs > 0 {
+            return;
+        }
+        // Free this node; release children afterwards to keep borrows
+        // simple (depth is bounded by PT_LEVELS).
+        let children: Vec<PtNodeId> = self
+            .node(id)
+            .entries
+            .iter()
+            .filter_map(|e| match e {
+                Entry::Table(c) => Some(*c),
+                _ => None,
+            })
+            .collect();
+        self.nodes[id.0 as usize] = None;
+        self.free_ids.push(id.0);
+        m.charge(m.cost.pt_node_free);
+        m.perf.pt_nodes_freed += 1;
+        for c in children {
+            self.release(m, c);
+        }
+    }
+
+    /// Read the raw entry at (`node`, `index`).
+    pub fn entry(&self, node: PtNodeId, index: usize) -> Entry {
+        self.node(node).entries[index]
+    }
+
+    fn set_entry(&mut self, m: &mut Machine, node: PtNodeId, index: usize, e: Entry) {
+        m.charge(m.cost.pte_write);
+        m.perf.pte_writes += 1;
+        let n = self.node_mut(node);
+        let old_live = !matches!(n.entries[index], Entry::None);
+        let new_live = !matches!(e, Entry::None);
+        match (old_live, new_live) {
+            (false, true) => n.live += 1,
+            (true, false) => n.live -= 1,
+            _ => {}
+        }
+        n.entries[index] = e;
+    }
+
+    /// Walk from `root` to the node at `target_level` for `va`,
+    /// creating intermediate nodes as needed. Returns an error if the
+    /// walk hits a huge-page leaf.
+    fn walk_create(
+        &mut self,
+        m: &mut Machine,
+        root: PtNodeId,
+        va: VirtAddr,
+        target_level: u8,
+    ) -> Result<PtNodeId, MapError> {
+        let mut cur = root;
+        let mut level = self.node(cur).level;
+        debug_assert_eq!(level, crate::addr::PT_LEVELS - 1);
+        while level > target_level {
+            let idx = va.pt_index(level);
+            match self.entry(cur, idx) {
+                Entry::Table(child) => {
+                    cur = child;
+                }
+                Entry::None => {
+                    let child = self.create_node(m, level - 1);
+                    self.set_entry(m, cur, idx, Entry::Table(child));
+                    cur = child;
+                }
+                Entry::Leaf { .. } => return Err(MapError::Conflict),
+            }
+            level -= 1;
+        }
+        Ok(cur)
+    }
+
+    /// Map one page of `size` at `va` to `frame`.
+    ///
+    /// Charges node allocations for any intermediate tables created and
+    /// one PTE write for the leaf.
+    pub fn map(
+        &mut self,
+        m: &mut Machine,
+        root: PtNodeId,
+        va: VirtAddr,
+        frame: FrameNo,
+        size: PageSize,
+        flags: PteFlags,
+    ) -> Result<(), MapError> {
+        if !va.is_aligned(size.bytes()) || !frame.base().is_aligned(size.bytes()) {
+            return Err(MapError::Misaligned);
+        }
+        let leaf_level = size.leaf_level();
+        let node = self.walk_create(m, root, va, leaf_level)?;
+        let idx = va.pt_index(leaf_level);
+        match self.entry(node, idx) {
+            Entry::None => {
+                self.set_entry(m, node, idx, Entry::Leaf { frame, flags });
+                Ok(())
+            }
+            _ => Err(MapError::AlreadyMapped),
+        }
+    }
+
+    /// Map a contiguous physical extent of `npages` base pages starting
+    /// at `frame` to virtual address `va`, greedily using 1 GiB and
+    /// 2 MiB mappings where alignment allows (when `use_huge`).
+    ///
+    /// Returns the number of leaf entries written — the measure of
+    /// per-page work that the paper's Figure 1a plots.
+    #[allow(clippy::too_many_arguments)]
+    pub fn map_extent(
+        &mut self,
+        m: &mut Machine,
+        root: PtNodeId,
+        va: VirtAddr,
+        frame: FrameNo,
+        npages: u64,
+        flags: PteFlags,
+        use_huge: bool,
+    ) -> Result<u64, MapError> {
+        if !va.is_aligned(PAGE_SIZE) {
+            return Err(MapError::Misaligned);
+        }
+        let mut entries = 0u64;
+        let mut va = va;
+        let mut frame = frame;
+        let mut left = npages;
+        while left > 0 {
+            let size = if use_huge {
+                Self::best_size(va, frame, left)
+            } else {
+                PageSize::Base
+            };
+            self.map(m, root, va, frame, size, flags)?;
+            let pages = size.bytes() / PAGE_SIZE;
+            va += size.bytes();
+            frame = frame + pages;
+            left -= pages;
+            entries += 1;
+        }
+        Ok(entries)
+    }
+
+    fn best_size(va: VirtAddr, frame: FrameNo, pages_left: u64) -> PageSize {
+        for size in [PageSize::Huge1G, PageSize::Huge2M] {
+            let pages = size.bytes() / PAGE_SIZE;
+            if pages_left >= pages
+                && va.is_aligned(size.bytes())
+                && frame.base().is_aligned(size.bytes())
+            {
+                return size;
+            }
+        }
+        PageSize::Base
+    }
+
+    /// Remove the mapping covering `va`. Returns the removed leaf and
+    /// its size. Intermediate nodes that become empty (and are not
+    /// shared) are freed on the way back up.
+    pub fn unmap(
+        &mut self,
+        m: &mut Machine,
+        root: PtNodeId,
+        va: VirtAddr,
+    ) -> Option<(FrameNo, PteFlags, PageSize)> {
+        // Record the walk path so empty nodes can be pruned.
+        let mut path: Vec<(PtNodeId, usize)> = Vec::with_capacity(4);
+        let mut cur = root;
+        let mut level = self.node(cur).level;
+        let (frame, flags, size) = loop {
+            let idx = va.pt_index(level);
+            match self.entry(cur, idx) {
+                Entry::None => return None,
+                Entry::Table(child) => {
+                    path.push((cur, idx));
+                    cur = child;
+                    level -= 1;
+                }
+                Entry::Leaf { frame, flags } => {
+                    let size = match level {
+                        0 => PageSize::Base,
+                        1 => PageSize::Huge2M,
+                        2 => PageSize::Huge1G,
+                        _ => unreachable!("leaf at root level"),
+                    };
+                    self.set_entry(m, cur, idx, Entry::None);
+                    break (frame, flags, size);
+                }
+            }
+        };
+        // Prune empty, unshared nodes bottom-up.
+        let mut child = cur;
+        for (parent, idx) in path.into_iter().rev() {
+            if child == root || self.node(child).live > 0 || self.node(child).refs > 1 {
+                break;
+            }
+            self.set_entry(m, parent, idx, Entry::None);
+            self.release(m, child);
+            child = parent;
+        }
+        Some((frame, flags, size))
+    }
+
+    /// Pure lookup without cost charging (for assertions and kernel
+    /// bookkeeping that would not touch the hardware walker).
+    pub fn lookup(&self, root: PtNodeId, va: VirtAddr) -> Option<Translation> {
+        let mut cur = root;
+        let mut level = self.node(cur).level;
+        let mut touched = 1u8;
+        loop {
+            match self.entry(cur, va.pt_index(level)) {
+                Entry::None => return None,
+                Entry::Table(child) => {
+                    cur = child;
+                    level -= 1;
+                    touched += 1;
+                }
+                Entry::Leaf { frame, flags } => {
+                    let size = match level {
+                        0 => PageSize::Base,
+                        1 => PageSize::Huge2M,
+                        2 => PageSize::Huge1G,
+                        _ => unreachable!("leaf at root level"),
+                    };
+                    let off = va.0 & (size.bytes() - 1);
+                    return Some(Translation {
+                        pa: PhysAddr(frame.base().0 + off),
+                        flags,
+                        size,
+                        levels_touched: touched,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Hardware page walk: like [`lookup`](Self::lookup) but charges
+    /// one memory reference per level touched and counts the walk.
+    pub fn walk(&self, m: &mut Machine, root: PtNodeId, va: VirtAddr) -> Option<Translation> {
+        let t = self.lookup(root, va);
+        let touched = t.map_or(crate::addr::PT_LEVELS, |t| t.levels_touched);
+        m.perf.page_walks += 1;
+        m.charge(m.cost.walk(touched));
+        t
+    }
+
+    /// Set the ACCESSED (and, for writes, DIRTY) bits on the leaf entry
+    /// covering `va`, as the hardware walker does on a TLB fill.
+    pub fn mark_accessed(&mut self, root: PtNodeId, va: VirtAddr, write: bool) {
+        let mut cur = root;
+        let mut level = self.node(cur).level;
+        loop {
+            let idx = va.pt_index(level);
+            match self.entry(cur, idx) {
+                Entry::None => return,
+                Entry::Table(child) => {
+                    cur = child;
+                    level -= 1;
+                }
+                Entry::Leaf { frame, flags } => {
+                    let mut f = flags.union(PteFlags::ACCESSED);
+                    if write {
+                        f = f.union(PteFlags::DIRTY);
+                    }
+                    // Hardware A/D updates do not charge kernel cost.
+                    self.node_mut(cur).entries[idx] = Entry::Leaf { frame, flags: f };
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Clear the ACCESSED bit on the leaf covering `va`, returning its
+    /// previous value (used by the clock reclaim algorithm).
+    pub fn test_and_clear_accessed(&mut self, root: PtNodeId, va: VirtAddr) -> Option<bool> {
+        let mut cur = root;
+        let mut level = self.node(cur).level;
+        loop {
+            let idx = va.pt_index(level);
+            match self.entry(cur, idx) {
+                Entry::None => return None,
+                Entry::Table(child) => {
+                    cur = child;
+                    level -= 1;
+                }
+                Entry::Leaf { frame, flags } => {
+                    let was = flags.contains(PteFlags::ACCESSED);
+                    self.node_mut(cur).entries[idx] = Entry::Leaf {
+                        frame,
+                        flags: flags.difference(PteFlags::ACCESSED),
+                    };
+                    return Some(was);
+                }
+            }
+        }
+    }
+
+    /// Write a leaf entry directly into a standalone node — used to
+    /// *pre-create* page tables for a file before any process maps it
+    /// (§3.1: "pre-created page tables can be stored persistently, so
+    /// that even when mapping a file the first time, an existing page
+    /// table can be re-used").
+    ///
+    /// # Panics
+    /// Panics if the node's level cannot hold a leaf or the index is
+    /// out of range.
+    pub fn set_leaf(
+        &mut self,
+        m: &mut Machine,
+        node: PtNodeId,
+        index: usize,
+        frame: FrameNo,
+        flags: PteFlags,
+    ) {
+        assert!(index < PT_ENTRIES, "entry index out of range");
+        let level = self.node(node).level;
+        assert!(level <= 2, "leaves live at levels 0–2");
+        self.set_entry(m, node, index, Entry::Leaf { frame, flags });
+    }
+
+    /// Interior node of `root`'s tree covering `va` at `level`, if one
+    /// exists. This is the handle used to share subtrees.
+    pub fn subtree(&self, root: PtNodeId, va: VirtAddr, level: u8) -> Option<PtNodeId> {
+        let mut cur = root;
+        let mut cur_level = self.node(cur).level;
+        while cur_level > level {
+            match self.entry(cur, va.pt_index(cur_level)) {
+                Entry::Table(child) => {
+                    cur = child;
+                    cur_level -= 1;
+                }
+                _ => return None,
+            }
+        }
+        (cur_level == level).then_some(cur)
+    }
+
+    /// Virtual span in bytes covered by one node at `level`.
+    pub fn node_span(level: u8) -> u64 {
+        PAGE_SIZE << (9 * (level as u32 + 1))
+    }
+
+    /// Attach an existing subtree `node` into `root`'s tree so that it
+    /// covers `va` — the paper's O(1) "pointer swing" shared mapping.
+    ///
+    /// `va` must be aligned to the subtree's span (2 MiB for a level-0
+    /// node, 1 GiB for level-1, …) and the slot must be empty. The
+    /// subtree gains a reference. Only the intermediate nodes above the
+    /// attach point are created; the cost is independent of how many
+    /// pages the subtree maps.
+    pub fn share(
+        &mut self,
+        m: &mut Machine,
+        root: PtNodeId,
+        va: VirtAddr,
+        node: PtNodeId,
+    ) -> Result<(), MapError> {
+        let node_level = self.node(node).level;
+        assert!(
+            node_level < crate::addr::PT_LEVELS - 1,
+            "cannot share a root node"
+        );
+        if !va.is_aligned(Self::node_span(node_level)) {
+            return Err(MapError::Misaligned);
+        }
+        let parent = self.walk_create(m, root, va, node_level + 1)?;
+        let idx = va.pt_index(node_level + 1);
+        match self.entry(parent, idx) {
+            Entry::None => {
+                self.retain(node);
+                self.set_entry(m, parent, idx, Entry::Table(node));
+                m.perf.pt_shares += 1;
+                Ok(())
+            }
+            _ => Err(MapError::AlreadyMapped),
+        }
+    }
+
+    /// Detach a subtree previously attached with [`share`](Self::share)
+    /// at `va`. Returns the detached node id. The subtree loses one
+    /// reference (and is freed if that was the last).
+    pub fn unshare(
+        &mut self,
+        m: &mut Machine,
+        root: PtNodeId,
+        va: VirtAddr,
+        level: u8,
+    ) -> Option<PtNodeId> {
+        let parent = self.subtree(root, va, level + 1)?;
+        let idx = va.pt_index(level + 1);
+        match self.entry(parent, idx) {
+            Entry::Table(child) => {
+                self.set_entry(m, parent, idx, Entry::None);
+                self.release(m, child);
+                Some(child)
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{HUGE_1G, HUGE_2M};
+
+    fn setup() -> (Machine, PageTables, PtNodeId) {
+        let mut m = Machine::dram_only(64 << 20);
+        let mut pt = PageTables::new();
+        let root = pt.create_root(&mut m);
+        (m, pt, root)
+    }
+
+    #[test]
+    fn map_translate_roundtrip() {
+        let (mut m, mut pt, root) = setup();
+        let va = VirtAddr(0x4000_1000);
+        pt.map(
+            &mut m,
+            root,
+            va,
+            FrameNo(42),
+            PageSize::Base,
+            PteFlags::user_rw(),
+        )
+        .unwrap();
+        let t = pt.lookup(root, va + 0x123).unwrap();
+        assert_eq!(t.pa, PhysAddr(42 * PAGE_SIZE + 0x123));
+        assert_eq!(t.size, PageSize::Base);
+        assert!(t.flags.contains(PteFlags::WRITE));
+        assert!(pt.lookup(root, VirtAddr(0x9999_0000)).is_none());
+    }
+
+    #[test]
+    fn map_charges_per_entry() {
+        let (mut m, mut pt, root) = setup();
+        let before = m.perf.pte_writes;
+        // First map creates 3 intermediate links + 1 leaf = 4 writes.
+        pt.map(
+            &mut m,
+            root,
+            VirtAddr(0),
+            FrameNo(1),
+            PageSize::Base,
+            PteFlags::user_rw(),
+        )
+        .unwrap();
+        assert_eq!(m.perf.pte_writes - before, 4);
+        assert_eq!(m.perf.pt_nodes_alloced, 1 + 3); // root + 3 levels
+                                                    // Second map in the same leaf node: 1 write.
+        let before = m.perf.pte_writes;
+        pt.map(
+            &mut m,
+            root,
+            VirtAddr(PAGE_SIZE),
+            FrameNo(2),
+            PageSize::Base,
+            PteFlags::user_rw(),
+        )
+        .unwrap();
+        assert_eq!(m.perf.pte_writes - before, 1);
+    }
+
+    #[test]
+    fn double_map_rejected() {
+        let (mut m, mut pt, root) = setup();
+        let va = VirtAddr(0x1000);
+        pt.map(
+            &mut m,
+            root,
+            va,
+            FrameNo(1),
+            PageSize::Base,
+            PteFlags::user_rw(),
+        )
+        .unwrap();
+        assert_eq!(
+            pt.map(
+                &mut m,
+                root,
+                va,
+                FrameNo(2),
+                PageSize::Base,
+                PteFlags::user_rw()
+            ),
+            Err(MapError::AlreadyMapped)
+        );
+    }
+
+    #[test]
+    fn misaligned_rejected() {
+        let (mut m, mut pt, root) = setup();
+        assert_eq!(
+            pt.map(
+                &mut m,
+                root,
+                VirtAddr(0x1000),
+                FrameNo(512),
+                PageSize::Huge2M,
+                PteFlags::user_rw()
+            ),
+            Err(MapError::Misaligned)
+        );
+        assert_eq!(
+            pt.map(
+                &mut m,
+                root,
+                VirtAddr(HUGE_2M),
+                FrameNo(3),
+                PageSize::Huge2M,
+                PteFlags::user_rw()
+            ),
+            Err(MapError::Misaligned)
+        );
+    }
+
+    #[test]
+    fn huge_pages_translate() {
+        let (mut m, mut pt, root) = setup();
+        pt.map(
+            &mut m,
+            root,
+            VirtAddr(HUGE_2M),
+            FrameNo(512),
+            PageSize::Huge2M,
+            PteFlags::user_rw(),
+        )
+        .unwrap();
+        let t = pt.lookup(root, VirtAddr(HUGE_2M + 0x12_3456)).unwrap();
+        assert_eq!(t.size, PageSize::Huge2M);
+        assert_eq!(t.pa, PhysAddr(512 * PAGE_SIZE + 0x12_3456));
+        // Conflicting base-page map inside the huge mapping fails.
+        assert_eq!(
+            pt.map(
+                &mut m,
+                root,
+                VirtAddr(HUGE_2M + PAGE_SIZE),
+                FrameNo(9),
+                PageSize::Base,
+                PteFlags::user_rw()
+            ),
+            Err(MapError::Conflict)
+        );
+    }
+
+    #[test]
+    fn huge_1g_translate() {
+        let (mut m, mut pt, root) = setup();
+        let frame = FrameNo(HUGE_1G / PAGE_SIZE);
+        pt.map(
+            &mut m,
+            root,
+            VirtAddr(HUGE_1G),
+            frame,
+            PageSize::Huge1G,
+            PteFlags::user_ro(),
+        )
+        .unwrap();
+        let t = pt.lookup(root, VirtAddr(HUGE_1G + 0x3fff_ffff)).unwrap();
+        assert_eq!(t.size, PageSize::Huge1G);
+        assert_eq!(t.pa, PhysAddr(HUGE_1G + 0x3fff_ffff));
+    }
+
+    #[test]
+    fn map_extent_uses_huge_pages() {
+        let (mut m, mut pt, root) = setup();
+        // 4 MiB extent, 2 MiB-aligned on both sides: 2 huge entries.
+        let entries = pt
+            .map_extent(
+                &mut m,
+                root,
+                VirtAddr(HUGE_2M),
+                FrameNo(512),
+                1024,
+                PteFlags::user_rw(),
+                true,
+            )
+            .unwrap();
+        assert_eq!(entries, 2);
+        // Without huge pages the same extent takes 1024 entries.
+        let entries = pt
+            .map_extent(
+                &mut m,
+                root,
+                VirtAddr(16 * HUGE_2M),
+                FrameNo(512),
+                1024,
+                PteFlags::user_rw(),
+                false,
+            )
+            .unwrap();
+        assert_eq!(entries, 1024);
+    }
+
+    #[test]
+    fn map_extent_unaligned_falls_back() {
+        let (mut m, mut pt, root) = setup();
+        // Misaligned start forces base pages until a 2 MiB boundary.
+        let entries = pt
+            .map_extent(
+                &mut m,
+                root,
+                VirtAddr(HUGE_2M - 2 * PAGE_SIZE),
+                FrameNo(510),
+                512 + 2,
+                PteFlags::user_rw(),
+                true,
+            )
+            .unwrap();
+        // 2 base pages + 1 huge page.
+        assert_eq!(entries, 3);
+    }
+
+    #[test]
+    fn unmap_prunes_empty_nodes() {
+        let (mut m, mut pt, root) = setup();
+        pt.map(
+            &mut m,
+            root,
+            VirtAddr(0x1000),
+            FrameNo(1),
+            PageSize::Base,
+            PteFlags::user_rw(),
+        )
+        .unwrap();
+        assert_eq!(pt.node_count(), 4);
+        let (f, _, size) = pt.unmap(&mut m, root, VirtAddr(0x1000)).unwrap();
+        assert_eq!(f, FrameNo(1));
+        assert_eq!(size, PageSize::Base);
+        assert_eq!(pt.node_count(), 1, "interior nodes pruned, root kept");
+        assert!(pt.unmap(&mut m, root, VirtAddr(0x1000)).is_none());
+    }
+
+    #[test]
+    fn share_is_one_pointer_swing() {
+        let (mut m, mut pt, root_a) = setup();
+        let root_b = pt.create_root(&mut m);
+        let va = VirtAddr(4 * HUGE_2M);
+        // Process A maps 512 pages.
+        for i in 0..512u64 {
+            pt.map(
+                &mut m,
+                root_a,
+                va + i * PAGE_SIZE,
+                FrameNo(1000 + i),
+                PageSize::Base,
+                PteFlags::user_rw(),
+            )
+            .unwrap();
+        }
+        let leaf = pt.subtree(root_a, va, 0).unwrap();
+        // Process B attaches the whole 2 MiB subtree.
+        let writes_before = m.perf.pte_writes;
+        pt.share(&mut m, root_b, va, leaf).unwrap();
+        let writes = m.perf.pte_writes - writes_before;
+        assert!(writes <= 4, "share wrote {writes} entries, want O(1)");
+        assert_eq!(m.perf.pt_shares, 1);
+        // B sees A's mappings.
+        let t = pt.lookup(root_b, va + 5 * PAGE_SIZE).unwrap();
+        assert_eq!(t.pa, PhysAddr((1000 + 5) * PAGE_SIZE));
+        assert_eq!(pt.refs(leaf), 2);
+    }
+
+    #[test]
+    fn share_misaligned_rejected() {
+        let (mut m, mut pt, root_a) = setup();
+        let root_b = pt.create_root(&mut m);
+        pt.map(
+            &mut m,
+            root_a,
+            VirtAddr(HUGE_2M),
+            FrameNo(7),
+            PageSize::Base,
+            PteFlags::user_rw(),
+        )
+        .unwrap();
+        let leaf = pt.subtree(root_a, VirtAddr(HUGE_2M), 0).unwrap();
+        assert_eq!(
+            pt.share(&mut m, root_b, VirtAddr(HUGE_2M + PAGE_SIZE), leaf),
+            Err(MapError::Misaligned)
+        );
+    }
+
+    #[test]
+    fn unshare_releases_reference() {
+        let (mut m, mut pt, root_a) = setup();
+        let root_b = pt.create_root(&mut m);
+        let va = VirtAddr(HUGE_2M);
+        pt.map(
+            &mut m,
+            root_a,
+            va,
+            FrameNo(7),
+            PageSize::Base,
+            PteFlags::user_rw(),
+        )
+        .unwrap();
+        let leaf = pt.subtree(root_a, va, 0).unwrap();
+        pt.share(&mut m, root_b, va, leaf).unwrap();
+        assert_eq!(pt.refs(leaf), 2);
+        let got = pt.unshare(&mut m, root_b, va, 0).unwrap();
+        assert_eq!(got, leaf);
+        assert_eq!(pt.refs(leaf), 1);
+        assert!(pt.lookup(root_b, va).is_none());
+        // A's view is untouched.
+        assert!(pt.lookup(root_a, va).is_some());
+    }
+
+    #[test]
+    fn release_frees_recursively() {
+        let (mut m, mut pt, root) = setup();
+        for i in 0..4u64 {
+            pt.map(
+                &mut m,
+                root,
+                VirtAddr(i * HUGE_1G),
+                FrameNo(i),
+                PageSize::Base,
+                PteFlags::user_rw(),
+            )
+            .unwrap();
+        }
+        assert!(pt.node_count() > 4);
+        pt.release(&mut m, root);
+        assert_eq!(pt.node_count(), 0);
+        assert_eq!(m.perf.pt_nodes_freed, m.perf.pt_nodes_alloced);
+    }
+
+    #[test]
+    fn shared_subtree_survives_owner_release() {
+        let (mut m, mut pt, root_a) = setup();
+        let root_b = pt.create_root(&mut m);
+        let va = VirtAddr(HUGE_2M);
+        pt.map(
+            &mut m,
+            root_a,
+            va,
+            FrameNo(7),
+            PageSize::Base,
+            PteFlags::user_rw(),
+        )
+        .unwrap();
+        let leaf = pt.subtree(root_a, va, 0).unwrap();
+        pt.share(&mut m, root_b, va, leaf).unwrap();
+        pt.release(&mut m, root_a);
+        // B still translates through the shared leaf node.
+        assert_eq!(pt.lookup(root_b, va).unwrap().pa, PhysAddr(7 * PAGE_SIZE));
+        pt.release(&mut m, root_b);
+        assert_eq!(pt.node_count(), 0);
+    }
+
+    #[test]
+    fn accessed_dirty_bits() {
+        let (mut m, mut pt, root) = setup();
+        let va = VirtAddr(0x7000);
+        pt.map(
+            &mut m,
+            root,
+            va,
+            FrameNo(3),
+            PageSize::Base,
+            PteFlags::user_rw(),
+        )
+        .unwrap();
+        assert_eq!(pt.test_and_clear_accessed(root, va), Some(false));
+        pt.mark_accessed(root, va, false);
+        assert_eq!(pt.test_and_clear_accessed(root, va), Some(true));
+        assert_eq!(pt.test_and_clear_accessed(root, va), Some(false));
+        pt.mark_accessed(root, va, true);
+        assert!(pt.lookup(root, va).unwrap().flags.contains(PteFlags::DIRTY));
+        assert_eq!(
+            pt.test_and_clear_accessed(root, VirtAddr(0x0dea_d000)),
+            None
+        );
+    }
+
+    #[test]
+    fn walk_charges_per_level() {
+        let (mut m, mut pt, root) = setup();
+        let va = VirtAddr(0x5000);
+        pt.map(
+            &mut m,
+            root,
+            va,
+            FrameNo(3),
+            PageSize::Base,
+            PteFlags::user_rw(),
+        )
+        .unwrap();
+        let (t, ns) = m.timed(|m| pt.walk(m, root, va));
+        assert!(t.is_some());
+        assert_eq!(ns, m.cost.walk(4));
+        assert_eq!(m.perf.page_walks, 1);
+    }
+
+    #[test]
+    fn node_span_values() {
+        assert_eq!(PageTables::node_span(0), HUGE_2M);
+        assert_eq!(PageTables::node_span(1), HUGE_1G);
+        assert_eq!(PageTables::node_span(2), 512 * HUGE_1G);
+    }
+
+    #[test]
+    fn metadata_accounting() {
+        let (mut m, mut pt, root) = setup();
+        assert_eq!(pt.metadata_bytes(), PAGE_SIZE);
+        pt.map(
+            &mut m,
+            root,
+            VirtAddr(0),
+            FrameNo(1),
+            PageSize::Base,
+            PteFlags::user_rw(),
+        )
+        .unwrap();
+        assert_eq!(pt.metadata_bytes(), 4 * PAGE_SIZE);
+    }
+}

@@ -1,0 +1,245 @@
+//! Performance counters for the simulated machine.
+//!
+//! Every figure in the paper decomposes into *operation counts ×
+//! per-operation costs*. The counts live here so that experiment
+//! harnesses can report both the simulated time and the raw event
+//! counts (e.g., the companion report's "number of page faults while
+//! accessing pages" figure).
+
+use core::fmt;
+use core::ops::Sub;
+
+/// Monotonic event counters. All fields are cumulative since machine
+/// creation; use [`PerfCounters::snapshot`] and subtraction to get
+/// per-experiment deltas.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PerfCounters {
+    /// Minor page faults (no device I/O).
+    pub minor_faults: u64,
+    /// Major page faults (swap-in or backing-store I/O).
+    pub major_faults: u64,
+    /// Protection faults delivered to the program (SIGSEGV-class).
+    pub prot_faults: u64,
+    /// TLB lookups that hit.
+    pub tlb_hits: u64,
+    /// TLB lookups that missed and required a walk.
+    pub tlb_misses: u64,
+    /// Range-TLB lookups that hit.
+    pub rtlb_hits: u64,
+    /// Range-TLB lookups that missed and walked the range table.
+    pub rtlb_misses: u64,
+    /// Hardware page-table walks performed.
+    pub page_walks: u64,
+    /// Page-table entries written by the kernel.
+    pub pte_writes: u64,
+    /// Page-table nodes allocated.
+    pub pt_nodes_alloced: u64,
+    /// Page-table nodes freed.
+    pub pt_nodes_freed: u64,
+    /// Page-table subtrees attached by pointer-swing sharing.
+    pub pt_shares: u64,
+    /// Physical frames handed out by allocators.
+    pub frames_alloced: u64,
+    /// Physical frames returned to allocators.
+    pub frames_freed: u64,
+    /// Allocation *calls* (an extent of any length counts once).
+    pub alloc_calls: u64,
+    /// Bytes zeroed on the foreground (allocation/erase critical path).
+    pub bytes_zeroed_fg: u64,
+    /// Bytes zeroed in the background (off the critical path).
+    pub bytes_zeroed_bg: u64,
+    /// System calls executed.
+    pub syscalls: u64,
+    /// TLB shootdowns issued (local flush + remote IPIs).
+    pub tlb_shootdowns: u64,
+    /// Pages examined by reclaim scans (clock hand movements).
+    pub reclaim_scanned: u64,
+    /// Pages written to swap.
+    pub pages_swapped_out: u64,
+    /// Pages read back from swap.
+    pub pages_swapped_in: u64,
+    /// Whole files reclaimed (file-grain discard).
+    pub files_discarded: u64,
+    /// Per-page metadata updates (`struct page` touches).
+    pub page_meta_updates: u64,
+    /// Range-table entries installed.
+    pub range_installs: u64,
+    /// Range-table entries removed.
+    pub range_removes: u64,
+    /// Metadata journal records appended.
+    pub journal_records: u64,
+    /// Simulated loads issued by programs.
+    pub loads: u64,
+    /// Simulated stores issued by programs.
+    pub stores: u64,
+}
+
+impl PerfCounters {
+    /// Copy of the current counter values.
+    #[inline]
+    pub fn snapshot(&self) -> PerfCounters {
+        *self
+    }
+
+    /// Total page faults of all kinds.
+    #[inline]
+    pub fn total_faults(&self) -> u64 {
+        self.minor_faults + self.major_faults + self.prot_faults
+    }
+
+    /// TLB hit rate in [0, 1]; `None` when no lookups happened.
+    pub fn tlb_hit_rate(&self) -> Option<f64> {
+        let total = self.tlb_hits + self.tlb_misses;
+        (total > 0).then(|| self.tlb_hits as f64 / total as f64)
+    }
+}
+
+impl Sub for PerfCounters {
+    type Output = PerfCounters;
+
+    /// Element-wise saturating difference: `end - start` yields the
+    /// events that happened between two snapshots.
+    fn sub(self, rhs: PerfCounters) -> PerfCounters {
+        macro_rules! diff {
+            ($($f:ident),* $(,)?) => {
+                PerfCounters { $($f: self.$f.saturating_sub(rhs.$f)),* }
+            };
+        }
+        diff!(
+            minor_faults,
+            major_faults,
+            prot_faults,
+            tlb_hits,
+            tlb_misses,
+            rtlb_hits,
+            rtlb_misses,
+            page_walks,
+            pte_writes,
+            pt_nodes_alloced,
+            pt_nodes_freed,
+            pt_shares,
+            frames_alloced,
+            frames_freed,
+            alloc_calls,
+            bytes_zeroed_fg,
+            bytes_zeroed_bg,
+            syscalls,
+            tlb_shootdowns,
+            reclaim_scanned,
+            pages_swapped_out,
+            pages_swapped_in,
+            files_discarded,
+            page_meta_updates,
+            range_installs,
+            range_removes,
+            journal_records,
+            loads,
+            stores,
+        )
+    }
+}
+
+impl fmt::Display for PerfCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "faults: {} minor, {} major, {} prot",
+            self.minor_faults, self.major_faults, self.prot_faults
+        )?;
+        writeln!(
+            f,
+            "tlb: {} hits, {} misses; rtlb: {} hits, {} misses; walks: {}",
+            self.tlb_hits, self.tlb_misses, self.rtlb_hits, self.rtlb_misses, self.page_walks
+        )?;
+        writeln!(
+            f,
+            "pt: {} pte writes, {} nodes alloced, {} freed, {} shares",
+            self.pte_writes, self.pt_nodes_alloced, self.pt_nodes_freed, self.pt_shares
+        )?;
+        writeln!(
+            f,
+            "frames: {} alloced, {} freed over {} calls; zeroed fg {} B, bg {} B",
+            self.frames_alloced,
+            self.frames_freed,
+            self.alloc_calls,
+            self.bytes_zeroed_fg,
+            self.bytes_zeroed_bg
+        )?;
+        writeln!(
+            f,
+            "syscalls: {}; shootdowns: {}; reclaim scanned {} pages, swapped {}/{} out/in, {} files discarded",
+            self.syscalls,
+            self.tlb_shootdowns,
+            self.reclaim_scanned,
+            self.pages_swapped_out,
+            self.pages_swapped_in,
+            self.files_discarded
+        )?;
+        write!(
+            f,
+            "ranges: {} installed, {} removed; meta updates: {}; journal: {}; mem ops: {} loads, {} stores",
+            self.range_installs,
+            self.range_removes,
+            self.page_meta_updates,
+            self.journal_records,
+            self.loads,
+            self.stores
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_subtracts_elementwise() {
+        let a = PerfCounters {
+            minor_faults: 10,
+            tlb_misses: 7,
+            pte_writes: 100,
+            ..PerfCounters::default()
+        };
+        let mut b = a;
+        b.minor_faults = 25;
+        b.tlb_misses = 7;
+        b.pte_writes = 160;
+        let d = b - a;
+        assert_eq!(d.minor_faults, 15);
+        assert_eq!(d.tlb_misses, 0);
+        assert_eq!(d.pte_writes, 60);
+    }
+
+    #[test]
+    fn subtraction_saturates() {
+        let a = PerfCounters {
+            loads: 5,
+            ..PerfCounters::default()
+        };
+        let b = PerfCounters::default();
+        assert_eq!((b - a).loads, 0);
+    }
+
+    #[test]
+    fn hit_rate() {
+        let mut c = PerfCounters::default();
+        assert_eq!(c.tlb_hit_rate(), None);
+        c.tlb_hits = 3;
+        c.tlb_misses = 1;
+        assert_eq!(c.tlb_hit_rate(), Some(0.75));
+    }
+
+    #[test]
+    fn totals_and_display() {
+        let c = PerfCounters {
+            minor_faults: 2,
+            major_faults: 3,
+            prot_faults: 4,
+            ..PerfCounters::default()
+        };
+        assert_eq!(c.total_faults(), 9);
+        let s = format!("{c}");
+        assert!(s.contains("2 minor"));
+        assert!(s.contains("3 major"));
+    }
+}

@@ -1,0 +1,295 @@
+//! Simulated physical memory.
+//!
+//! Models a machine with a DRAM tier at low physical addresses and a
+//! (much larger) persistent NVM tier above it, as the paper's target
+//! platforms are provisioned. Backing bytes are stored sparsely so a
+//! multi-terabyte physical address space can be simulated on a laptop:
+//! a frame consumes host memory only once it is written.
+//!
+//! Persistence semantics: on a simulated power failure
+//! ([`PhysicalMemory::crash`]), DRAM contents are lost; NVM contents
+//! survive. This is the substrate for the paper's §"Persistence
+//! management" experiments.
+
+use std::collections::HashMap;
+
+use crate::addr::{FrameNo, PhysAddr, PAGE_SIZE};
+
+/// Memory technology backing a physical frame.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum MemTier {
+    /// Volatile DRAM.
+    Dram,
+    /// Persistent byte-addressable memory (3D XPoint class).
+    Nvm,
+}
+
+/// The machine's physical memory: a flat frame array split into a DRAM
+/// tier and an NVM tier, with sparse copy-on-write-style backing.
+#[derive(Debug)]
+pub struct PhysicalMemory {
+    dram_frames: u64,
+    total_frames: u64,
+    /// Sparse backing store: frames absent from the map read as zero.
+    data: HashMap<u64, Box<[u8]>>,
+}
+
+impl PhysicalMemory {
+    /// Create a physical memory with `dram_bytes` of DRAM followed by
+    /// `nvm_bytes` of NVM. Sizes are rounded up to whole frames.
+    ///
+    /// # Panics
+    /// Panics if the total size is zero.
+    pub fn new(dram_bytes: u64, nvm_bytes: u64) -> Self {
+        let dram_frames = dram_bytes.div_ceil(PAGE_SIZE);
+        let nvm_frames = nvm_bytes.div_ceil(PAGE_SIZE);
+        let total_frames = dram_frames + nvm_frames;
+        assert!(total_frames > 0, "physical memory must be non-empty");
+        PhysicalMemory {
+            dram_frames,
+            total_frames,
+            data: HashMap::new(),
+        }
+    }
+
+    /// Total number of physical frames.
+    #[inline]
+    pub fn total_frames(&self) -> u64 {
+        self.total_frames
+    }
+
+    /// Number of DRAM frames (frame numbers `0..dram_frames`).
+    #[inline]
+    pub fn dram_frames(&self) -> u64 {
+        self.dram_frames
+    }
+
+    /// Number of NVM frames (frame numbers `dram_frames..total`).
+    #[inline]
+    pub fn nvm_frames(&self) -> u64 {
+        self.total_frames - self.dram_frames
+    }
+
+    /// First NVM frame number.
+    #[inline]
+    pub fn nvm_base(&self) -> FrameNo {
+        FrameNo(self.dram_frames)
+    }
+
+    /// Tier of the given frame.
+    ///
+    /// # Panics
+    /// Panics if the frame is out of range.
+    #[inline]
+    pub fn tier(&self, frame: FrameNo) -> MemTier {
+        assert!(frame.0 < self.total_frames, "frame {frame:?} out of range");
+        if frame.0 < self.dram_frames {
+            MemTier::Dram
+        } else {
+            MemTier::Nvm
+        }
+    }
+
+    /// True if `frame` is a valid frame number.
+    #[inline]
+    pub fn contains(&self, frame: FrameNo) -> bool {
+        frame.0 < self.total_frames
+    }
+
+    /// Number of frames with host backing allocated (diagnostics).
+    pub fn backed_frames(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Read `buf.len()` bytes starting at `pa`. Unwritten memory reads
+    /// as zero. The read may cross frame boundaries.
+    ///
+    /// # Panics
+    /// Panics if the range extends past the end of physical memory.
+    pub fn read(&self, pa: PhysAddr, buf: &mut [u8]) {
+        self.check_range(pa, buf.len() as u64);
+        let mut addr = pa.0;
+        let mut done = 0usize;
+        while done < buf.len() {
+            let frame = addr >> crate::addr::PAGE_SHIFT;
+            let off = (addr & (PAGE_SIZE - 1)) as usize;
+            let take = usize::min(buf.len() - done, (PAGE_SIZE as usize) - off);
+            match self.data.get(&frame) {
+                Some(bytes) => buf[done..done + take].copy_from_slice(&bytes[off..off + take]),
+                None => buf[done..done + take].fill(0),
+            }
+            done += take;
+            addr += take as u64;
+        }
+    }
+
+    /// Write `buf` starting at `pa`, allocating host backing as needed.
+    ///
+    /// # Panics
+    /// Panics if the range extends past the end of physical memory.
+    pub fn write(&mut self, pa: PhysAddr, buf: &[u8]) {
+        self.check_range(pa, buf.len() as u64);
+        let mut addr = pa.0;
+        let mut done = 0usize;
+        while done < buf.len() {
+            let frame = addr >> crate::addr::PAGE_SHIFT;
+            let off = (addr & (PAGE_SIZE - 1)) as usize;
+            let take = usize::min(buf.len() - done, (PAGE_SIZE as usize) - off);
+            let bytes = self
+                .data
+                .entry(frame)
+                .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice());
+            bytes[off..off + take].copy_from_slice(&buf[done..done + take]);
+            done += take;
+            addr += take as u64;
+        }
+    }
+
+    /// Read a single `u64` at `pa` (little-endian), a convenience for
+    /// word-granularity workloads.
+    pub fn read_u64(&self, pa: PhysAddr) -> u64 {
+        let mut b = [0u8; 8];
+        self.read(pa, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Write a single `u64` at `pa` (little-endian).
+    pub fn write_u64(&mut self, pa: PhysAddr, v: u64) {
+        self.write(pa, &v.to_le_bytes());
+    }
+
+    /// Zero `frames` whole frames starting at `start`. Implemented by
+    /// dropping backing (sparse zero), so it is cheap on the host; the
+    /// *simulated* cost is charged by the caller's zeroing policy.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn zero_frames(&mut self, start: FrameNo, frames: u64) {
+        let end = start.0.checked_add(frames).expect("frame range overflow");
+        assert!(end <= self.total_frames, "zero_frames out of range");
+        for f in start.0..end {
+            self.data.remove(&f);
+        }
+    }
+
+    /// True if every byte of the frame is zero (diagnostic for erase
+    /// policies and persistence tests).
+    pub fn frame_is_zero(&self, frame: FrameNo) -> bool {
+        assert!(self.contains(frame), "frame out of range");
+        match self.data.get(&frame.0) {
+            None => true,
+            Some(bytes) => bytes.iter().all(|&b| b == 0),
+        }
+    }
+
+    /// Simulate a power failure: DRAM contents are lost, NVM survives.
+    pub fn crash(&mut self) {
+        let dram = self.dram_frames;
+        self.data.retain(|&frame, _| frame >= dram);
+    }
+
+    fn check_range(&self, pa: PhysAddr, len: u64) {
+        let end = pa.0.checked_add(len).expect("physical range overflow");
+        assert!(
+            end <= self.total_frames * PAGE_SIZE,
+            "physical access {pa:?}+{len} beyond end of memory"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> PhysicalMemory {
+        // 1 MiB DRAM + 4 MiB NVM.
+        PhysicalMemory::new(1 << 20, 4 << 20)
+    }
+
+    #[test]
+    fn geometry() {
+        let m = mem();
+        assert_eq!(m.dram_frames(), 256);
+        assert_eq!(m.nvm_frames(), 1024);
+        assert_eq!(m.total_frames(), 1280);
+        assert_eq!(m.nvm_base(), FrameNo(256));
+        assert_eq!(m.tier(FrameNo(0)), MemTier::Dram);
+        assert_eq!(m.tier(FrameNo(255)), MemTier::Dram);
+        assert_eq!(m.tier(FrameNo(256)), MemTier::Nvm);
+        assert!(m.contains(FrameNo(1279)));
+        assert!(!m.contains(FrameNo(1280)));
+    }
+
+    #[test]
+    fn unwritten_reads_zero() {
+        let m = mem();
+        let mut buf = [0xffu8; 32];
+        m.read(PhysAddr(12345), &mut buf);
+        assert_eq!(buf, [0u8; 32]);
+        assert_eq!(m.backed_frames(), 0);
+    }
+
+    #[test]
+    fn write_read_roundtrip_cross_frame() {
+        let mut m = mem();
+        // Write spanning a frame boundary.
+        let pa = PhysAddr(PAGE_SIZE - 5);
+        let data: Vec<u8> = (0..13u8).collect();
+        m.write(pa, &data);
+        let mut out = vec![0u8; 13];
+        m.read(pa, &mut out);
+        assert_eq!(out, data);
+        assert_eq!(m.backed_frames(), 2);
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        let mut m = mem();
+        m.write_u64(PhysAddr(64), 0xdead_beef_cafe_f00d);
+        assert_eq!(m.read_u64(PhysAddr(64)), 0xdead_beef_cafe_f00d);
+        assert_eq!(m.read_u64(PhysAddr(128)), 0);
+    }
+
+    #[test]
+    fn zeroing_clears_and_releases() {
+        let mut m = mem();
+        m.write(PhysAddr(0), &[1, 2, 3]);
+        assert!(!m.frame_is_zero(FrameNo(0)));
+        m.zero_frames(FrameNo(0), 1);
+        assert!(m.frame_is_zero(FrameNo(0)));
+        assert_eq!(m.backed_frames(), 0);
+    }
+
+    #[test]
+    fn crash_loses_dram_keeps_nvm() {
+        let mut m = mem();
+        m.write(PhysAddr(0), b"volatile");
+        let nvm_pa = m.nvm_base().base();
+        m.write(nvm_pa, b"persistent");
+        m.crash();
+        let mut buf = [0u8; 10];
+        m.read(PhysAddr(0), &mut buf[..8]);
+        assert_eq!(&buf[..8], &[0u8; 8], "DRAM must be lost");
+        m.read(nvm_pa, &mut buf);
+        assert_eq!(&buf, b"persistent");
+    }
+
+    #[test]
+    fn terabyte_scale_is_sparse() {
+        // 16 GiB DRAM + 2 TiB NVM must not allocate host memory.
+        let mut m = PhysicalMemory::new(16 << 30, 2 << 40);
+        assert_eq!(m.total_frames(), (16u64 << 30) / 4096 + (2u64 << 40) / 4096);
+        let last = PhysAddr((m.total_frames() - 1) * PAGE_SIZE);
+        m.write_u64(last, 7);
+        assert_eq!(m.read_u64(last), 7);
+        assert_eq!(m.backed_frames(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond end of memory")]
+    fn oob_read_panics() {
+        let m = mem();
+        let mut b = [0u8; 1];
+        m.read(PhysAddr(m.total_frames() * PAGE_SIZE), &mut b);
+    }
+}

@@ -1,0 +1,305 @@
+//! Set-associative translation lookaside buffer.
+//!
+//! Models a unified, ASID-tagged TLB. Capacity pressure is what makes
+//! the paper's in-text observation reproducible: *"it was faster to
+//! make a `read()` system call to read 16KB than to access data already
+//! mapped into a process if it would cause TLB misses"* (§3.2/§4.3).
+
+use crate::addr::{FrameNo, PageNo, PageSize, VirtAddr};
+use crate::pagetable::PteFlags;
+
+/// Address-space identifier tagging TLB entries.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Asid(pub u16);
+
+#[derive(Clone, Copy, Debug)]
+struct TlbEntry {
+    asid: Asid,
+    /// Virtual page of the mapping base (for huge pages, the first
+    /// base page of the huge region).
+    vpn: PageNo,
+    frame: FrameNo,
+    size: PageSize,
+    flags: PteFlags,
+    /// LRU timestamp.
+    stamp: u64,
+}
+
+/// A set-associative TLB.
+#[derive(Debug)]
+pub struct Tlb {
+    sets: Vec<Vec<TlbEntry>>,
+    assoc: usize,
+    tick: u64,
+}
+
+/// Default number of TLB entries (64 sets × 8 ways = 512, in the range
+/// of a Skylake-class second-level TLB combined with the first level).
+pub const DEFAULT_SETS: usize = 64;
+/// Default associativity.
+pub const DEFAULT_ASSOC: usize = 8;
+
+impl Default for Tlb {
+    fn default() -> Self {
+        Tlb::new(DEFAULT_SETS, DEFAULT_ASSOC)
+    }
+}
+
+impl Tlb {
+    /// Create a TLB with `sets` sets of `assoc` ways.
+    ///
+    /// # Panics
+    /// Panics unless `sets` is a nonzero power of two and `assoc > 0`.
+    pub fn new(sets: usize, assoc: usize) -> Tlb {
+        assert!(
+            sets.is_power_of_two() && sets > 0,
+            "sets must be a power of two"
+        );
+        assert!(assoc > 0, "associativity must be nonzero");
+        Tlb {
+            sets: vec![Vec::with_capacity(assoc); sets],
+            assoc,
+            tick: 0,
+        }
+    }
+
+    /// Total capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.assoc
+    }
+
+    /// Number of currently valid entries.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    #[inline]
+    fn set_index(&self, vpn: PageNo) -> usize {
+        (vpn.0 as usize) & (self.sets.len() - 1)
+    }
+
+    /// Base virtual page of the mapping region containing `va` for a
+    /// given page size.
+    #[inline]
+    fn region_vpn(va: VirtAddr, size: PageSize) -> PageNo {
+        va.align_down(size.bytes()).page()
+    }
+
+    /// Look up `va` for `asid`. On a hit, returns the mapping and
+    /// refreshes its LRU stamp. The *caller* (the MMU) charges costs
+    /// and counts hits/misses.
+    pub fn lookup(&mut self, asid: Asid, va: VirtAddr) -> Option<(FrameNo, PageSize, PteFlags)> {
+        self.tick += 1;
+        // A unified TLB probes with each supported page size (real
+        // hardware splits structures; the effect is the same).
+        for size in [PageSize::Base, PageSize::Huge2M, PageSize::Huge1G] {
+            let vpn = Self::region_vpn(va, size);
+            let set = self.set_index(vpn);
+            let tick = self.tick;
+            if let Some(e) = self.sets[set]
+                .iter_mut()
+                .find(|e| e.asid == asid && e.vpn == vpn && e.size == size)
+            {
+                e.stamp = tick;
+                return Some((e.frame, e.size, e.flags));
+            }
+        }
+        None
+    }
+
+    /// Insert a translation, evicting the LRU way of the set if full.
+    pub fn insert(
+        &mut self,
+        asid: Asid,
+        va: VirtAddr,
+        frame: FrameNo,
+        size: PageSize,
+        flags: PteFlags,
+    ) {
+        self.tick += 1;
+        let vpn = Self::region_vpn(va, size);
+        let set = self.set_index(vpn);
+        let entry = TlbEntry {
+            asid,
+            vpn,
+            frame,
+            size,
+            flags,
+            stamp: self.tick,
+        };
+        let ways = &mut self.sets[set];
+        if let Some(e) = ways
+            .iter_mut()
+            .find(|e| e.asid == asid && e.vpn == vpn && e.size == size)
+        {
+            *e = entry;
+            return;
+        }
+        if ways.len() < self.assoc {
+            ways.push(entry);
+            return;
+        }
+        let lru = ways
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.stamp)
+            .map(|(i, _)| i)
+            .expect("nonempty set");
+        ways[lru] = entry;
+    }
+
+    /// Invalidate the entry covering `va` in `asid` (INVLPG).
+    pub fn invalidate_page(&mut self, asid: Asid, va: VirtAddr) {
+        for size in [PageSize::Base, PageSize::Huge2M, PageSize::Huge1G] {
+            let vpn = Self::region_vpn(va, size);
+            let set = self.set_index(vpn);
+            self.sets[set].retain(|e| !(e.asid == asid && e.vpn == vpn && e.size == size));
+        }
+    }
+
+    /// Invalidate every entry belonging to `asid`.
+    pub fn flush_asid(&mut self, asid: Asid) {
+        for set in &mut self.sets {
+            set.retain(|e| e.asid != asid);
+        }
+    }
+
+    /// Invalidate everything.
+    pub fn flush_all(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{HUGE_2M, PAGE_SIZE};
+
+    const A: Asid = Asid(1);
+    const B: Asid = Asid(2);
+
+    #[test]
+    fn miss_then_hit() {
+        let mut tlb = Tlb::default();
+        let va = VirtAddr(0x1000);
+        assert!(tlb.lookup(A, va).is_none());
+        tlb.insert(A, va, FrameNo(9), PageSize::Base, PteFlags::user_rw());
+        let (f, s, _) = tlb.lookup(A, va).unwrap();
+        assert_eq!(f, FrameNo(9));
+        assert_eq!(s, PageSize::Base);
+        // Different offset in the same page still hits.
+        assert!(tlb.lookup(A, va + 123).is_some());
+        // Different page misses.
+        assert!(tlb.lookup(A, va + PAGE_SIZE).is_none());
+    }
+
+    #[test]
+    fn asids_are_isolated() {
+        let mut tlb = Tlb::default();
+        let va = VirtAddr(0x1000);
+        tlb.insert(A, va, FrameNo(9), PageSize::Base, PteFlags::user_rw());
+        assert!(tlb.lookup(B, va).is_none());
+        tlb.flush_asid(A);
+        assert!(tlb.lookup(A, va).is_none());
+    }
+
+    #[test]
+    fn huge_entry_covers_whole_region() {
+        let mut tlb = Tlb::default();
+        let base = VirtAddr(HUGE_2M);
+        tlb.insert(
+            A,
+            base + 0x1234,
+            FrameNo(512),
+            PageSize::Huge2M,
+            PteFlags::user_ro(),
+        );
+        // Any address in the 2 MiB region hits the single entry.
+        assert!(tlb.lookup(A, base).is_some());
+        assert!(tlb.lookup(A, base + (HUGE_2M - 1)).is_some());
+        assert!(tlb.lookup(A, base + HUGE_2M).is_none());
+        assert_eq!(tlb.occupancy(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        // 1 set, 2 ways: third distinct page evicts the least recent.
+        let mut tlb = Tlb::new(1, 2);
+        let va = |i: u64| VirtAddr(i * PAGE_SIZE);
+        tlb.insert(A, va(1), FrameNo(1), PageSize::Base, PteFlags::user_rw());
+        tlb.insert(A, va(2), FrameNo(2), PageSize::Base, PteFlags::user_rw());
+        // Touch page 1 so page 2 is LRU.
+        assert!(tlb.lookup(A, va(1)).is_some());
+        tlb.insert(A, va(3), FrameNo(3), PageSize::Base, PteFlags::user_rw());
+        assert!(tlb.lookup(A, va(1)).is_some());
+        assert!(tlb.lookup(A, va(2)).is_none(), "LRU way evicted");
+        assert!(tlb.lookup(A, va(3)).is_some());
+    }
+
+    #[test]
+    fn capacity_thrashing_misses() {
+        // Working set larger than the TLB must keep missing.
+        let mut tlb = Tlb::new(4, 2); // 8 entries
+        let pages = 64u64;
+        for i in 0..pages {
+            tlb.insert(
+                A,
+                VirtAddr(i * PAGE_SIZE),
+                FrameNo(i),
+                PageSize::Base,
+                PteFlags::user_rw(),
+            );
+        }
+        let hits = (0..pages)
+            .filter(|i| tlb.lookup(A, VirtAddr(i * PAGE_SIZE)).is_some())
+            .count();
+        assert!(hits <= 8, "only the resident tail can hit, got {hits}");
+    }
+
+    #[test]
+    fn invalidate_single_page() {
+        let mut tlb = Tlb::default();
+        let va = VirtAddr(0x3000);
+        tlb.insert(A, va, FrameNo(5), PageSize::Base, PteFlags::user_rw());
+        tlb.insert(
+            A,
+            va + PAGE_SIZE,
+            FrameNo(6),
+            PageSize::Base,
+            PteFlags::user_rw(),
+        );
+        tlb.invalidate_page(A, va);
+        assert!(tlb.lookup(A, va).is_none());
+        assert!(tlb.lookup(A, va + PAGE_SIZE).is_some());
+    }
+
+    #[test]
+    fn reinsert_updates_in_place() {
+        let mut tlb = Tlb::default();
+        let va = VirtAddr(0x1000);
+        tlb.insert(A, va, FrameNo(1), PageSize::Base, PteFlags::user_ro());
+        tlb.insert(A, va, FrameNo(1), PageSize::Base, PteFlags::user_rw());
+        assert_eq!(tlb.occupancy(), 1);
+        let (_, _, flags) = tlb.lookup(A, va).unwrap();
+        assert!(flags.contains(PteFlags::WRITE));
+    }
+
+    #[test]
+    fn flush_all_empties() {
+        let mut tlb = Tlb::default();
+        for i in 0..32u64 {
+            tlb.insert(
+                A,
+                VirtAddr(i * PAGE_SIZE),
+                FrameNo(i),
+                PageSize::Base,
+                PteFlags::user_rw(),
+            );
+        }
+        assert!(tlb.occupancy() > 0);
+        tlb.flush_all();
+        assert_eq!(tlb.occupancy(), 0);
+    }
+}

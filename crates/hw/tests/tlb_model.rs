@@ -1,0 +1,119 @@
+//! Model-based property tests for the TLB and range TLB: a cache may
+//! *miss* whenever it likes, but it must never return a translation
+//! that was not inserted (and not since invalidated) — soundness over
+//! arbitrary insert/lookup/invalidate/flush interleavings.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use o1_hw::{
+    Asid, FrameNo, PageSize, PhysAddr, PteFlags, RangeEntry, RangeTlb, Tlb, VirtAddr, PAGE_SIZE,
+};
+
+#[derive(Clone, Debug)]
+enum TlbOp {
+    Insert { asid: u16, page: u64, frame: u64 },
+    Lookup { asid: u16, page: u64 },
+    InvalidatePage { asid: u16, page: u64 },
+    FlushAsid { asid: u16 },
+    FlushAll,
+}
+
+fn tlb_op() -> impl Strategy<Value = TlbOp> {
+    prop_oneof![
+        3 => (0u16..3, 0u64..128, 0u64..4096).prop_map(|(asid, page, frame)| TlbOp::Insert {
+            asid,
+            page,
+            frame
+        }),
+        4 => (0u16..3, 0u64..128).prop_map(|(asid, page)| TlbOp::Lookup { asid, page }),
+        1 => (0u16..3, 0u64..128).prop_map(|(asid, page)| TlbOp::InvalidatePage { asid, page }),
+        1 => (0u16..3).prop_map(|asid| TlbOp::FlushAsid { asid }),
+        1 => Just(TlbOp::FlushAll),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    #[test]
+    fn tlb_is_sound(ops in proptest::collection::vec(tlb_op(), 1..200), sets in 1usize..5, assoc in 1usize..5) {
+        let mut tlb = Tlb::new(1 << sets, assoc);
+        // Ground truth: last translation inserted per (asid, page).
+        let mut truth: HashMap<(u16, u64), u64> = HashMap::new();
+        for op in ops {
+            match op {
+                TlbOp::Insert { asid, page, frame } => {
+                    tlb.insert(
+                        Asid(asid),
+                        VirtAddr(page * PAGE_SIZE),
+                        FrameNo(frame),
+                        PageSize::Base,
+                        PteFlags::user_rw(),
+                    );
+                    truth.insert((asid, page), frame);
+                }
+                TlbOp::Lookup { asid, page } => {
+                    if let Some((frame, size, _)) = tlb.lookup(Asid(asid), VirtAddr(page * PAGE_SIZE)) {
+                        prop_assert_eq!(size, PageSize::Base);
+                        let want = truth.get(&(asid, page));
+                        prop_assert_eq!(
+                            Some(&frame.0),
+                            want,
+                            "TLB returned a translation never inserted: asid {} page {}",
+                            asid,
+                            page
+                        );
+                    }
+                }
+                TlbOp::InvalidatePage { asid, page } => {
+                    tlb.invalidate_page(Asid(asid), VirtAddr(page * PAGE_SIZE));
+                    truth.remove(&(asid, page));
+                }
+                TlbOp::FlushAsid { asid } => {
+                    tlb.flush_asid(Asid(asid));
+                    truth.retain(|&(a, _), _| a != asid);
+                }
+                TlbOp::FlushAll => {
+                    tlb.flush_all();
+                    truth.clear();
+                }
+            }
+            prop_assert!(tlb.occupancy() <= tlb.capacity());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    /// The range TLB never translates an address outside an inserted
+    /// range, and hits always agree with the inserted mapping.
+    #[test]
+    fn rtlb_is_sound(
+        ranges in proptest::collection::vec((0u64..32, 1u64..8, 0u64..1000), 1..20),
+        probes in proptest::collection::vec(0u64..(40 * PAGE_SIZE), 1..50),
+        capacity in 1usize..8,
+    ) {
+        let mut rtlb = RangeTlb::new(capacity);
+        // Non-overlapping ground-truth ranges on a page grid.
+        let mut truth: Vec<RangeEntry> = Vec::new();
+        for (page, len, pa_page) in ranges {
+            let base = VirtAddr(page * PAGE_SIZE);
+            let bytes = len * PAGE_SIZE;
+            if truth.iter().any(|e| base.0 < e.limit.0 && e.base.0 < base.0 + bytes) {
+                continue;
+            }
+            let e = RangeEntry::new(base, bytes, PhysAddr(pa_page * PAGE_SIZE), PteFlags::user_rw());
+            rtlb.insert(Asid(1), e);
+            truth.push(e);
+        }
+        for va in probes {
+            if let Some(hit) = rtlb.lookup(Asid(1), VirtAddr(va)) {
+                let expected = truth.iter().find(|e| e.covers(VirtAddr(va)));
+                prop_assert!(expected.is_some(), "hit outside any inserted range");
+                let e = expected.unwrap();
+                prop_assert_eq!(hit.translate(VirtAddr(va)), e.translate(VirtAddr(va)));
+            }
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! Per-file extent trees.
+//!
+//! "Modern file systems, when possible, translate addresses in long
+//! extents (e.g., Ext4, NTFS) rather than individual blocks" (§3.1).
+//! An [`ExtentTree`] maps file page offsets to physical extents; a
+//! whole terabyte file in one extent costs a single tree entry, which
+//! is what makes whole-file operations O(1).
+
+use std::collections::BTreeMap;
+
+use o1_hw::{FrameNo, PhysAddr, PAGE_SIZE};
+use o1_palloc::PhysExtent;
+
+/// A mapping from one file page offset to a physical extent.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FileExtent {
+    /// First file page this extent covers.
+    pub file_page: u64,
+    /// The physical frames backing it.
+    pub phys: PhysExtent,
+}
+
+impl FileExtent {
+    /// One past the last file page covered.
+    #[inline]
+    pub fn end_page(&self) -> u64 {
+        self.file_page + self.phys.frames
+    }
+}
+
+/// Extent map of a single file: file page offset → physical extent.
+#[derive(Clone, Debug, Default)]
+pub struct ExtentTree {
+    /// Keyed by first file page; extents never overlap in file space.
+    map: BTreeMap<u64, PhysExtent>,
+}
+
+impl ExtentTree {
+    /// Empty tree.
+    pub fn new() -> ExtentTree {
+        ExtentTree::default()
+    }
+
+    /// Number of extents (the paper's O(1) mapping cost is per extent).
+    pub fn extent_count(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total pages mapped.
+    pub fn total_pages(&self) -> u64 {
+        self.map.values().map(|e| e.frames).sum()
+    }
+
+    /// True if no extents are present.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// One past the highest mapped file page (0 when empty).
+    pub fn end_page(&self) -> u64 {
+        self.map
+            .iter()
+            .next_back()
+            .map_or(0, |(&p, e)| p + e.frames)
+    }
+
+    /// Insert an extent at `file_page`, coalescing with a physically
+    /// and logically adjacent predecessor when possible.
+    ///
+    /// # Panics
+    /// Panics if the new extent overlaps an existing one in file space.
+    pub fn insert(&mut self, file_page: u64, phys: PhysExtent) {
+        assert!(phys.frames > 0, "empty extent");
+        if let Some((&p, e)) = self.map.range(..=file_page).next_back() {
+            assert!(
+                p + e.frames <= file_page,
+                "extent at page {file_page} overlaps predecessor at {p}"
+            );
+        }
+        if let Some((&n, _)) = self.map.range(file_page..).next() {
+            assert!(
+                file_page + phys.frames <= n,
+                "extent at page {file_page} overlaps successor at {n}"
+            );
+        }
+        // Coalesce with the predecessor when contiguous in both file
+        // and physical space.
+        if let Some((&p, &e)) = self.map.range(..file_page).next_back() {
+            if p + e.frames == file_page && e.end() == phys.start {
+                self.map.remove(&p);
+                self.map
+                    .insert(p, PhysExtent::new(e.start, e.frames + phys.frames));
+                self.try_coalesce_with_next(p);
+                return;
+            }
+        }
+        self.map.insert(file_page, phys);
+        self.try_coalesce_with_next(file_page);
+    }
+
+    fn try_coalesce_with_next(&mut self, file_page: u64) {
+        let e = self.map[&file_page];
+        if let Some((&n, &ne)) = self.map.range(file_page + 1..).next() {
+            if file_page + e.frames == n && e.end() == ne.start {
+                self.map.remove(&n);
+                self.map
+                    .insert(file_page, PhysExtent::new(e.start, e.frames + ne.frames));
+            }
+        }
+    }
+
+    /// Frame backing the given file page, if mapped.
+    pub fn frame_of(&self, file_page: u64) -> Option<FrameNo> {
+        self.map
+            .range(..=file_page)
+            .next_back()
+            .filter(|(&p, e)| file_page < p + e.frames)
+            .map(|(&p, e)| FrameNo(e.start.0 + (file_page - p)))
+    }
+
+    /// Physical address of a byte offset into the file, if mapped.
+    pub fn translate(&self, byte_off: u64) -> Option<PhysAddr> {
+        let page = byte_off / PAGE_SIZE;
+        self.frame_of(page)
+            .map(|f| PhysAddr(f.base().0 + byte_off % PAGE_SIZE))
+    }
+
+    /// Iterate extents in file order.
+    pub fn iter(&self) -> impl Iterator<Item = FileExtent> + '_ {
+        self.map
+            .iter()
+            .map(|(&file_page, &phys)| FileExtent { file_page, phys })
+    }
+
+    /// Remove all extents at or after `from_page`, splitting one that
+    /// straddles the boundary. Returns the physical extents freed.
+    pub fn truncate(&mut self, from_page: u64) -> Vec<PhysExtent> {
+        let mut freed = Vec::new();
+        // Split a straddling extent.
+        if let Some((&p, &e)) = self.map.range(..from_page).next_back() {
+            if p + e.frames > from_page {
+                let keep = from_page - p;
+                self.map.insert(p, PhysExtent::new(e.start, keep));
+                freed.push(PhysExtent::new(e.start + keep, e.frames - keep));
+            }
+        }
+        let doomed: Vec<u64> = self.map.range(from_page..).map(|(&p, _)| p).collect();
+        for p in doomed {
+            freed.push(self.map.remove(&p).expect("key present"));
+        }
+        freed
+    }
+
+    /// Remove and return every extent (used when deleting the file).
+    pub fn take_all(&mut self) -> Vec<PhysExtent> {
+        let out = self.map.values().copied().collect();
+        self.map.clear();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ext(start: u64, frames: u64) -> PhysExtent {
+        PhysExtent::new(FrameNo(start), frames)
+    }
+
+    #[test]
+    fn single_extent_lookup() {
+        let mut t = ExtentTree::new();
+        t.insert(0, ext(100, 10));
+        assert_eq!(t.frame_of(0), Some(FrameNo(100)));
+        assert_eq!(t.frame_of(9), Some(FrameNo(109)));
+        assert_eq!(t.frame_of(10), None);
+        assert_eq!(t.extent_count(), 1);
+        assert_eq!(t.total_pages(), 10);
+        assert_eq!(t.end_page(), 10);
+    }
+
+    #[test]
+    fn translate_byte_offsets() {
+        let mut t = ExtentTree::new();
+        t.insert(2, ext(50, 4));
+        assert_eq!(t.translate(0), None);
+        assert_eq!(
+            t.translate(2 * PAGE_SIZE + 123),
+            Some(PhysAddr(50 * PAGE_SIZE + 123))
+        );
+        assert_eq!(
+            t.translate(5 * PAGE_SIZE + PAGE_SIZE - 1),
+            Some(PhysAddr(53 * PAGE_SIZE + PAGE_SIZE - 1))
+        );
+        assert_eq!(t.translate(6 * PAGE_SIZE), None);
+    }
+
+    #[test]
+    fn sparse_files_have_holes() {
+        let mut t = ExtentTree::new();
+        t.insert(0, ext(10, 2));
+        t.insert(100, ext(20, 2));
+        assert_eq!(t.frame_of(50), None);
+        assert_eq!(t.end_page(), 102);
+        assert_eq!(t.total_pages(), 4);
+    }
+
+    #[test]
+    fn coalesces_adjacent_extents() {
+        let mut t = ExtentTree::new();
+        t.insert(0, ext(100, 4));
+        t.insert(4, ext(104, 4)); // contiguous in both spaces
+        assert_eq!(t.extent_count(), 1);
+        t.insert(8, ext(300, 4)); // logically adjacent, physically not
+        assert_eq!(t.extent_count(), 2);
+        // Fill a hole that bridges two extents.
+        let mut t2 = ExtentTree::new();
+        t2.insert(0, ext(100, 2));
+        t2.insert(4, ext(104, 2));
+        t2.insert(2, ext(102, 2));
+        assert_eq!(t2.extent_count(), 1);
+        assert_eq!(t2.total_pages(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn overlap_panics() {
+        let mut t = ExtentTree::new();
+        t.insert(0, ext(100, 4));
+        t.insert(3, ext(200, 2));
+    }
+
+    #[test]
+    fn truncate_splits_straddler() {
+        let mut t = ExtentTree::new();
+        t.insert(0, ext(100, 10));
+        let freed = t.truncate(4);
+        assert_eq!(freed, vec![ext(104, 6)]);
+        assert_eq!(t.total_pages(), 4);
+        assert_eq!(t.frame_of(3), Some(FrameNo(103)));
+        assert_eq!(t.frame_of(4), None);
+    }
+
+    #[test]
+    fn truncate_drops_later_extents() {
+        let mut t = ExtentTree::new();
+        t.insert(0, ext(10, 2));
+        t.insert(5, ext(20, 2));
+        t.insert(9, ext(30, 2));
+        let freed = t.truncate(5);
+        assert_eq!(freed.len(), 2);
+        assert_eq!(t.extent_count(), 1);
+        let freed = t.truncate(0);
+        assert_eq!(freed, vec![ext(10, 2)]);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn take_all_empties() {
+        let mut t = ExtentTree::new();
+        t.insert(0, ext(10, 2));
+        t.insert(8, ext(40, 4));
+        let all = t.take_all();
+        assert_eq!(all.len(), 2);
+        assert!(t.is_empty());
+        assert_eq!(t.end_page(), 0);
+    }
+
+    proptest! {
+        /// ExtentTree agrees with a page→frame reference model under
+        /// random non-overlapping inserts and truncates.
+        #[test]
+        fn matches_reference(
+            inserts in proptest::collection::vec((0u64..64, 1u64..8, 0u64..1000), 1..40),
+            trunc in 0u64..80,
+        ) {
+            let mut t = ExtentTree::new();
+            let mut model: BTreeMap<u64, u64> = BTreeMap::new(); // page -> frame
+            let mut next_phys = 0u64;
+            for (page, len, _salt) in inserts {
+                let overlaps = (page..page + len).any(|p| model.contains_key(&p));
+                if overlaps {
+                    continue;
+                }
+                t.insert(page, ext(next_phys, len));
+                for i in 0..len {
+                    model.insert(page + i, next_phys + i);
+                }
+                next_phys += len + 1; // +1 prevents accidental phys adjacency
+            }
+            for p in 0..80u64 {
+                prop_assert_eq!(t.frame_of(p), model.get(&p).map(|&f| FrameNo(f)));
+            }
+            prop_assert_eq!(t.total_pages(), model.len() as u64);
+            let freed = t.truncate(trunc);
+            let freed_pages: u64 = freed.iter().map(|e| e.frames).sum();
+            let model_freed = model.split_off(&trunc);
+            prop_assert_eq!(freed_pages, model_freed.len() as u64);
+            for p in 0..80u64 {
+                prop_assert_eq!(t.frame_of(p), model.get(&p).map(|&f| FrameNo(f)));
+            }
+        }
+    }
+}

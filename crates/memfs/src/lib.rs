@@ -1,0 +1,27 @@
+//! # o1-memfs — in-memory file systems for *Towards O(1) Memory*
+//!
+//! Two file systems with deliberately different cost structures:
+//!
+//! * [`tmpfs::Tmpfs`] — page-granular, like Linux tmpfs: one allocator
+//!   call and one radix update *per page*. This is the baseline that
+//!   Figures 1/6 measure.
+//! * [`pmfs::Pmfs`] — extent-based over persistent memory, modelled on
+//!   PMFS [EuroSys '14]: per-*extent* allocation, a block bitmap, a
+//!   metadata redo journal ([`journal`]), crash recovery, volatile /
+//!   persistent / discardable file classes, and LRU file-granular
+//!   reclamation. This is the substrate of file-only memory.
+//!
+//! [`extent_tree::ExtentTree`] provides the per-file page→extent map
+//! both the Pmfs and the fom kernel's mapping paths use.
+
+pub mod extent_tree;
+pub mod journal;
+pub mod pmfs;
+pub mod tmpfs;
+pub mod types;
+
+pub use extent_tree::{ExtentTree, FileExtent};
+pub use journal::{Journal, Record};
+pub use pmfs::{Inode, Pmfs, RecoveryStats, HUGE_ALIGN_FRAMES};
+pub use tmpfs::{Tmpfs, TmpfsFile};
+pub use types::{FileClass, FileId, FsError};

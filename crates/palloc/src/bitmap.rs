@@ -1,0 +1,299 @@
+//! Bitmap frame allocator — the file-system-style allocator.
+//!
+//! The paper observes that file systems represent unused blocks with
+//! "a single bit in a bitmap, as compared to the complex per-page
+//! metadata maintained by memory management" (§3.1/§4.1). This is that
+//! allocator: one bit per frame, next-fit search for runs, used by the
+//! PMFS model for its block allocation. Its metadata footprint is what
+//! the T-META experiment compares against `struct page`.
+
+use o1_hw::{FrameNo, Machine};
+
+use crate::extent::{AllocError, FrameSource, PhysExtent};
+
+/// One-bit-per-frame allocator with next-fit run search.
+#[derive(Debug, Clone)]
+pub struct BitmapAllocator {
+    /// Bit set ⇒ frame allocated.
+    words: Vec<u64>,
+    base: u64,
+    frames: u64,
+    free: u64,
+    /// Next-fit cursor (frame index relative to base).
+    cursor: u64,
+}
+
+impl BitmapAllocator {
+    /// Manage `span`, initially all free.
+    pub fn new(span: PhysExtent) -> BitmapAllocator {
+        assert!(span.frames > 0, "empty span");
+        BitmapAllocator {
+            words: vec![0; span.frames.div_ceil(64) as usize],
+            base: span.start.0,
+            frames: span.frames,
+            free: span.frames,
+            cursor: 0,
+        }
+    }
+
+    /// Bytes of allocator metadata — one bit per frame. The paper's
+    /// point: this is ~512x smaller than a 64-byte `struct page`.
+    pub fn metadata_bytes(&self) -> u64 {
+        (self.words.len() * 8) as u64
+    }
+
+    #[inline]
+    fn bit(&self, idx: u64) -> bool {
+        self.words[(idx / 64) as usize] >> (idx % 64) & 1 == 1
+    }
+
+    #[inline]
+    fn set_bit(&mut self, idx: u64, v: bool) {
+        let w = &mut self.words[(idx / 64) as usize];
+        if v {
+            *w |= 1 << (idx % 64);
+        } else {
+            *w &= !(1 << (idx % 64));
+        }
+    }
+
+    /// True if the frame is currently allocated.
+    pub fn is_allocated(&self, frame: FrameNo) -> bool {
+        assert!(
+            frame.0 >= self.base && frame.0 < self.base + self.frames,
+            "frame out of span"
+        );
+        self.bit(frame.0 - self.base)
+    }
+
+    /// Allocate a *specific* extent (journal replay / recovery path).
+    /// Fails if any frame in it is already allocated.
+    pub fn alloc_at(&mut self, m: &mut Machine, ext: PhysExtent) -> Result<PhysExtent, AllocError> {
+        assert!(
+            ext.start.0 >= self.base && ext.end().0 <= self.base + self.frames,
+            "extent {ext:?} outside span"
+        );
+        let start = ext.start.0 - self.base;
+        for i in 0..ext.frames {
+            if self.bit(start + i) {
+                return Err(AllocError::OutOfMemory {
+                    requested: ext.frames,
+                });
+            }
+        }
+        for i in 0..ext.frames {
+            self.set_bit(start + i, true);
+        }
+        self.free -= ext.frames;
+        m.charge(m.cost.extent_alloc);
+        m.perf.alloc_calls += 1;
+        m.perf.frames_alloced += ext.frames;
+        Ok(ext)
+    }
+
+    /// Find a free run of `len` frames starting at or after `from`
+    /// (relative index), with the given alignment of the *absolute*
+    /// frame number. Returns the relative start index.
+    fn find_run(&self, from: u64, len: u64, align: u64) -> Option<u64> {
+        let mut idx = from;
+        'outer: while idx + len <= self.frames {
+            // Align the absolute frame number.
+            let abs = (self.base + idx).next_multiple_of(align);
+            idx = abs - self.base;
+            if idx + len > self.frames {
+                return None;
+            }
+            for i in 0..len {
+                if self.bit(idx + i) {
+                    idx = idx + i + 1;
+                    continue 'outer;
+                }
+            }
+            return Some(idx);
+        }
+        None
+    }
+}
+
+impl FrameSource for BitmapAllocator {
+    fn alloc(&mut self, m: &mut Machine, frames: u64) -> Result<PhysExtent, AllocError> {
+        self.alloc_aligned(m, frames, 1)
+    }
+
+    fn alloc_aligned(
+        &mut self,
+        m: &mut Machine,
+        frames: u64,
+        align_frames: u64,
+    ) -> Result<PhysExtent, AllocError> {
+        assert!(frames > 0, "zero-length allocation");
+        assert!(
+            align_frames.is_power_of_two(),
+            "alignment must be a power of two"
+        );
+        if frames > self.free {
+            return Err(AllocError::OutOfMemory { requested: frames });
+        }
+        // Next-fit from the cursor, wrapping once.
+        let found = self
+            .find_run(self.cursor, frames, align_frames)
+            .or_else(|| self.find_run(0, frames, align_frames));
+        let Some(start) = found else {
+            return Err(AllocError::OutOfMemory { requested: frames });
+        };
+        for i in 0..frames {
+            self.set_bit(start + i, true);
+        }
+        self.cursor = start + frames;
+        self.free -= frames;
+        m.charge(m.cost.extent_alloc);
+        m.perf.alloc_calls += 1;
+        m.perf.frames_alloced += frames;
+        Ok(PhysExtent::new(FrameNo(self.base + start), frames))
+    }
+
+    fn free(&mut self, m: &mut Machine, ext: PhysExtent) {
+        assert!(
+            ext.start.0 >= self.base && ext.end().0 <= self.base + self.frames,
+            "extent {ext:?} outside span"
+        );
+        let start = ext.start.0 - self.base;
+        for i in 0..ext.frames {
+            assert!(
+                self.bit(start + i),
+                "double free at frame {}",
+                ext.start.0 + i
+            );
+            self.set_bit(start + i, false);
+        }
+        self.free += ext.frames;
+        m.charge(m.cost.extent_free);
+        m.perf.frames_freed += ext.frames;
+    }
+
+    fn free_frames(&self) -> u64 {
+        self.free
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    fn machine() -> Machine {
+        Machine::dram_only(1 << 30)
+    }
+
+    fn bm(frames: u64) -> BitmapAllocator {
+        BitmapAllocator::new(PhysExtent::new(FrameNo(0), frames))
+    }
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let mut m = machine();
+        let mut a = bm(256);
+        let e = a.alloc(&mut m, 10).unwrap();
+        assert_eq!(e.frames, 10);
+        assert!(a.is_allocated(e.start));
+        assert_eq!(a.free_frames(), 246);
+        a.free(&mut m, e);
+        assert_eq!(a.free_frames(), 256);
+        assert!(!a.is_allocated(e.start));
+    }
+
+    #[test]
+    fn next_fit_advances_then_wraps() {
+        let mut m = machine();
+        let mut a = bm(100);
+        let e1 = a.alloc(&mut m, 40).unwrap();
+        let e2 = a.alloc(&mut m, 40).unwrap();
+        assert_eq!(e2.start.0, 40);
+        a.free(&mut m, e1);
+        // 20 free at the end + 40 at the start: a 30-frame request
+        // wraps to the start.
+        let e3 = a.alloc(&mut m, 30).unwrap();
+        assert_eq!(e3.start.0, 0);
+    }
+
+    #[test]
+    fn aligned_allocation() {
+        let mut m = machine();
+        let mut a = BitmapAllocator::new(PhysExtent::new(FrameNo(100), 1000));
+        let _skew = a.alloc(&mut m, 5).unwrap();
+        let e = a.alloc_aligned(&mut m, 64, 128).unwrap();
+        assert_eq!(e.start.0 % 128, 0);
+    }
+
+    #[test]
+    fn metadata_is_one_bit_per_frame() {
+        let a = bm(1 << 18); // 1 GiB worth of frames
+        assert_eq!(a.metadata_bytes(), (1 << 18) / 8);
+    }
+
+    #[test]
+    fn fragmentation_oom() {
+        let mut m = machine();
+        let mut a = bm(64);
+        // Allocate all, free every other frame: 32 free, no run of 2.
+        let all: Vec<_> = (0..64).map(|_| a.alloc(&mut m, 1).unwrap()).collect();
+        for (i, e) in all.iter().enumerate() {
+            if i % 2 == 0 {
+                a.free(&mut m, *e);
+            }
+        }
+        assert_eq!(a.free_frames(), 32);
+        assert!(a.alloc(&mut m, 2).is_err());
+        assert!(a.alloc(&mut m, 1).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut m = machine();
+        let mut a = bm(16);
+        let e = a.alloc(&mut m, 4).unwrap();
+        a.free(&mut m, e);
+        a.free(&mut m, e);
+    }
+
+    #[test]
+    fn cost_independent_of_size() {
+        let mut m = machine();
+        let mut a = bm(1 << 20);
+        let (_, small) = m.timed(|m| a.alloc(m, 1).unwrap());
+        let (_, large) = m.timed(|m| a.alloc(m, 1 << 16).unwrap());
+        assert_eq!(small, large, "simulated cost is size-independent");
+    }
+
+    proptest! {
+        /// Bitmap allocator agrees with a reference set model.
+        #[test]
+        fn matches_reference_model(ops in proptest::collection::vec((1u64..32, any::<bool>(), 0usize..8), 1..150)) {
+            let total = 1024u64;
+            let mut m = machine();
+            let mut a = bm(total);
+            let mut live: Vec<PhysExtent> = Vec::new();
+            let mut model: HashSet<u64> = HashSet::new();
+            for (size, do_free, pick) in ops {
+                if do_free && !live.is_empty() {
+                    let e = live.swap_remove(pick % live.len());
+                    a.free(&mut m, e);
+                    for f in e.start.0..e.end().0 {
+                        model.remove(&f);
+                    }
+                } else if let Ok(e) = a.alloc(&mut m, size) {
+                    for f in e.start.0..e.end().0 {
+                        prop_assert!(model.insert(f), "frame {f} double-allocated");
+                    }
+                    live.push(e);
+                }
+                prop_assert_eq!(a.free_frames(), total - model.len() as u64);
+            }
+            for f in 0..total {
+                prop_assert_eq!(a.is_allocated(FrameNo(f)), model.contains(&f));
+            }
+        }
+    }
+}

@@ -1,0 +1,439 @@
+//! Physical extents and the extent allocator.
+//!
+//! The paper's O(1) allocation story rests on handing out *contiguous
+//! extents* whose management cost is independent of their length
+//! (§3.1: "file systems can efficiently allocate large contiguous
+//! extents, which reduces the per-page cost of allocation"). The
+//! [`ExtentAllocator`] here keeps free space in two B-tree indexes
+//! (by start, for coalescing; by length, for best-fit) so every
+//! allocate/free is O(log #free-runs) regardless of the extent size —
+//! and charges exactly one constant simulated cost.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use o1_hw::{FrameNo, Machine, PhysAddr, PAGE_SIZE};
+
+/// A contiguous run of physical frames.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, PartialOrd, Ord)]
+pub struct PhysExtent {
+    /// First frame.
+    pub start: FrameNo,
+    /// Number of frames (always > 0 for allocator-produced extents).
+    pub frames: u64,
+}
+
+impl PhysExtent {
+    /// Build an extent.
+    pub fn new(start: FrameNo, frames: u64) -> PhysExtent {
+        PhysExtent { start, frames }
+    }
+
+    /// Base physical address.
+    #[inline]
+    pub fn base(&self) -> PhysAddr {
+        self.start.base()
+    }
+
+    /// Length in bytes.
+    #[inline]
+    pub fn bytes(&self) -> u64 {
+        self.frames * PAGE_SIZE
+    }
+
+    /// One past the last frame.
+    #[inline]
+    pub fn end(&self) -> FrameNo {
+        FrameNo(self.start.0 + self.frames)
+    }
+
+    /// True if `frame` lies inside this extent.
+    #[inline]
+    pub fn contains(&self, frame: FrameNo) -> bool {
+        self.start.0 <= frame.0 && frame.0 < self.end().0
+    }
+
+    /// True if the two extents share any frame.
+    #[inline]
+    pub fn overlaps(&self, other: &PhysExtent) -> bool {
+        self.start.0 < other.end().0 && other.start.0 < self.end().0
+    }
+}
+
+/// Allocation failure.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AllocError {
+    /// Not enough (contiguous) free memory for the request.
+    OutOfMemory {
+        /// Frames requested.
+        requested: u64,
+    },
+}
+
+impl core::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AllocError::OutOfMemory { requested } => {
+                write!(f, "out of physical memory (requested {requested} frames)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// Common interface over the physical allocators so kernels can be
+/// parameterised by allocation policy.
+pub trait FrameSource {
+    /// Allocate a contiguous extent of `frames` frames.
+    fn alloc(&mut self, m: &mut Machine, frames: u64) -> Result<PhysExtent, AllocError>;
+
+    /// Allocate a contiguous extent whose base frame is a multiple of
+    /// `align_frames` (power of two) — needed for huge-page-aligned
+    /// file extents and shared page tables.
+    fn alloc_aligned(
+        &mut self,
+        m: &mut Machine,
+        frames: u64,
+        align_frames: u64,
+    ) -> Result<PhysExtent, AllocError>;
+
+    /// Return an extent to the allocator.
+    fn free(&mut self, m: &mut Machine, ext: PhysExtent);
+
+    /// Frames currently free.
+    fn free_frames(&self) -> u64;
+}
+
+/// Best-fit extent allocator with full coalescing.
+///
+/// # Examples
+/// ```
+/// use o1_hw::{FrameNo, Machine};
+/// use o1_palloc::{ExtentAllocator, FrameSource, PhysExtent};
+///
+/// let mut m = Machine::dram_only(1 << 30);
+/// let mut a = ExtentAllocator::new(PhysExtent::new(FrameNo(0), 1 << 18));
+/// // The simulated cost is identical for 1 page and for 1 GiB:
+/// let (small, ns_small) = m.timed(|m| a.alloc(m, 1).unwrap());
+/// let (large, ns_large) = m.timed(|m| a.alloc(m, 1 << 17).unwrap());
+/// assert_eq!(ns_small, ns_large);
+/// a.free(&mut m, small);
+/// a.free(&mut m, large);
+/// ```
+#[derive(Debug)]
+pub struct ExtentAllocator {
+    /// Free runs keyed by start frame → length.
+    by_start: BTreeMap<u64, u64>,
+    /// Free runs keyed by (length, start) for best-fit.
+    by_len: BTreeSet<(u64, u64)>,
+    free: u64,
+    span: PhysExtent,
+}
+
+impl ExtentAllocator {
+    /// Manage the frames of `span` (initially all free).
+    pub fn new(span: PhysExtent) -> ExtentAllocator {
+        assert!(span.frames > 0, "empty span");
+        let mut a = ExtentAllocator {
+            by_start: BTreeMap::new(),
+            by_len: BTreeSet::new(),
+            free: span.frames,
+            span,
+        };
+        a.insert_run(span.start.0, span.frames);
+        a
+    }
+
+    /// The full frame range this allocator manages.
+    pub fn span(&self) -> PhysExtent {
+        self.span
+    }
+
+    /// Number of distinct free runs (fragmentation metric).
+    pub fn free_runs(&self) -> usize {
+        self.by_start.len()
+    }
+
+    /// Largest single free run, in frames.
+    pub fn largest_run(&self) -> u64 {
+        self.by_len.iter().next_back().map_or(0, |&(len, _)| len)
+    }
+
+    fn insert_run(&mut self, start: u64, len: u64) {
+        debug_assert!(len > 0);
+        self.by_start.insert(start, len);
+        self.by_len.insert((len, start));
+    }
+
+    fn remove_run(&mut self, start: u64, len: u64) {
+        let removed = self.by_start.remove(&start);
+        debug_assert_eq!(removed, Some(len));
+        let was = self.by_len.remove(&(len, start));
+        debug_assert!(was);
+    }
+
+    /// Carve `frames` out of the run at (`start`, `len`) beginning at
+    /// `carve_start` (which must lie within the run).
+    fn carve(&mut self, start: u64, len: u64, carve_start: u64, frames: u64) -> PhysExtent {
+        debug_assert!(start <= carve_start && carve_start + frames <= start + len);
+        self.remove_run(start, len);
+        if carve_start > start {
+            self.insert_run(start, carve_start - start);
+        }
+        let tail_start = carve_start + frames;
+        let tail_len = (start + len) - tail_start;
+        if tail_len > 0 {
+            self.insert_run(tail_start, tail_len);
+        }
+        self.free -= frames;
+        PhysExtent::new(FrameNo(carve_start), frames)
+    }
+}
+
+impl FrameSource for ExtentAllocator {
+    fn alloc(&mut self, m: &mut Machine, frames: u64) -> Result<PhysExtent, AllocError> {
+        self.alloc_aligned(m, frames, 1)
+    }
+
+    fn alloc_aligned(
+        &mut self,
+        m: &mut Machine,
+        frames: u64,
+        align_frames: u64,
+    ) -> Result<PhysExtent, AllocError> {
+        assert!(frames > 0, "zero-length allocation");
+        assert!(
+            align_frames.is_power_of_two(),
+            "alignment must be a power of two"
+        );
+        // Best-fit: smallest run that can satisfy the request after
+        // alignment padding.
+        let pick = self.by_len.range((frames, 0)..).find_map(|&(len, start)| {
+            let aligned = start.next_multiple_of(align_frames);
+            (aligned + frames <= start + len).then_some((start, len, aligned))
+        });
+        match pick {
+            Some((start, len, aligned)) => {
+                m.charge(m.cost.extent_alloc);
+                m.perf.alloc_calls += 1;
+                m.perf.frames_alloced += frames;
+                Ok(self.carve(start, len, aligned, frames))
+            }
+            None => Err(AllocError::OutOfMemory { requested: frames }),
+        }
+    }
+
+    fn free(&mut self, m: &mut Machine, ext: PhysExtent) {
+        assert!(ext.frames > 0, "freeing empty extent");
+        assert!(
+            self.span.start.0 <= ext.start.0 && ext.end().0 <= self.span.end().0,
+            "extent {ext:?} outside allocator span {:?}",
+            self.span
+        );
+        m.charge(m.cost.extent_free);
+        m.perf.frames_freed += ext.frames;
+        let mut start = ext.start.0;
+        let mut len = ext.frames;
+        // Coalesce with predecessor.
+        if let Some((&p_start, &p_len)) = self.by_start.range(..start).next_back() {
+            assert!(p_start + p_len <= start, "double free of {ext:?}");
+            if p_start + p_len == start {
+                self.remove_run(p_start, p_len);
+                start = p_start;
+                len += p_len;
+            }
+        }
+        // Coalesce with successor.
+        if let Some((&n_start, &n_len)) = self.by_start.range(start + len..).next() {
+            if n_start == start + len {
+                self.remove_run(n_start, n_len);
+                len += n_len;
+            }
+        }
+        // Overlap with successor would indicate double free.
+        if let Some((&n_start, _)) = self.by_start.range(start..).next() {
+            assert!(n_start >= start + len, "double free of {ext:?}");
+        }
+        self.insert_run(start, len);
+        self.free += ext.frames;
+    }
+
+    fn free_frames(&self) -> u64 {
+        self.free
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn machine() -> Machine {
+        Machine::dram_only(1 << 30)
+    }
+
+    fn alloc_of(frames: u64) -> ExtentAllocator {
+        ExtentAllocator::new(PhysExtent::new(FrameNo(0), frames))
+    }
+
+    #[test]
+    fn extent_geometry() {
+        let e = PhysExtent::new(FrameNo(10), 5);
+        assert_eq!(e.base(), PhysAddr(10 * PAGE_SIZE));
+        assert_eq!(e.bytes(), 5 * PAGE_SIZE);
+        assert_eq!(e.end(), FrameNo(15));
+        assert!(e.contains(FrameNo(10)));
+        assert!(e.contains(FrameNo(14)));
+        assert!(!e.contains(FrameNo(15)));
+        assert!(e.overlaps(&PhysExtent::new(FrameNo(14), 1)));
+        assert!(!e.overlaps(&PhysExtent::new(FrameNo(15), 1)));
+    }
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let mut m = machine();
+        let mut a = alloc_of(1024);
+        let e = a.alloc(&mut m, 100).unwrap();
+        assert_eq!(e.frames, 100);
+        assert_eq!(a.free_frames(), 924);
+        a.free(&mut m, e);
+        assert_eq!(a.free_frames(), 1024);
+        assert_eq!(a.free_runs(), 1, "fully coalesced");
+    }
+
+    #[test]
+    fn cost_independent_of_size() {
+        let mut m = machine();
+        let mut a = alloc_of(1 << 20);
+        let (_, small) = m.timed(|m| a.alloc(m, 1).unwrap());
+        let (_, large) = m.timed(|m| a.alloc(m, 1 << 18).unwrap());
+        assert_eq!(small, large, "O(1): cost must not grow with extent size");
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_run() {
+        let mut m = machine();
+        let mut a = alloc_of(1000);
+        // Create runs of 100 (at 0) and 800 (at 200) by allocating all
+        // then freeing two chunks.
+        let all = a.alloc(&mut m, 1000).unwrap();
+        assert_eq!(all.start, FrameNo(0));
+        a.free(&mut m, PhysExtent::new(FrameNo(0), 100));
+        a.free(&mut m, PhysExtent::new(FrameNo(200), 800));
+        // A 50-frame request should come from the 100-run.
+        let e = a.alloc(&mut m, 50).unwrap();
+        assert!(e.start.0 < 100, "best fit picked {e:?}");
+    }
+
+    #[test]
+    fn aligned_allocation() {
+        let mut m = machine();
+        let mut a = alloc_of(4096);
+        let _pad = a.alloc(&mut m, 3).unwrap(); // misalign the free space
+        let e = a.alloc_aligned(&mut m, 512, 512).unwrap();
+        assert_eq!(e.start.0 % 512, 0);
+        assert_eq!(e.frames, 512);
+        // The padding hole is reusable.
+        let hole = a.alloc(&mut m, 509).unwrap();
+        assert_eq!(hole.start, FrameNo(3));
+    }
+
+    #[test]
+    fn oom_reports_request() {
+        let mut m = machine();
+        let mut a = alloc_of(10);
+        assert_eq!(
+            a.alloc(&mut m, 11),
+            Err(AllocError::OutOfMemory { requested: 11 })
+        );
+        // Fragmentation OOM: 10 free but no contiguous 6.
+        let e1 = a.alloc(&mut m, 5).unwrap();
+        let _e2 = a.alloc(&mut m, 5).unwrap();
+        a.free(&mut m, e1);
+        assert!(a.alloc(&mut m, 6).is_err());
+        assert_eq!(a.free_frames(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut m = machine();
+        let mut a = alloc_of(100);
+        let e = a.alloc(&mut m, 10).unwrap();
+        a.free(&mut m, e);
+        a.free(&mut m, e);
+    }
+
+    #[test]
+    fn coalescing_merges_neighbours() {
+        let mut m = machine();
+        let mut a = alloc_of(300);
+        let e1 = a.alloc(&mut m, 100).unwrap();
+        let e2 = a.alloc(&mut m, 100).unwrap();
+        let e3 = a.alloc(&mut m, 100).unwrap();
+        a.free(&mut m, e1);
+        a.free(&mut m, e3);
+        assert_eq!(a.free_runs(), 2);
+        a.free(&mut m, e2);
+        assert_eq!(a.free_runs(), 1);
+        assert_eq!(a.largest_run(), 300);
+    }
+
+    #[test]
+    fn perf_counters_track_frames() {
+        let mut m = machine();
+        let mut a = alloc_of(100);
+        let e = a.alloc(&mut m, 42).unwrap();
+        assert_eq!(m.perf.frames_alloced, 42);
+        assert_eq!(m.perf.alloc_calls, 1);
+        a.free(&mut m, e);
+        assert_eq!(m.perf.frames_freed, 42);
+    }
+
+    proptest! {
+        /// Random alloc/free interleavings conserve space, never hand
+        /// out overlapping extents, and always coalesce back to one run.
+        #[test]
+        fn space_conservation(ops in proptest::collection::vec((1u64..64, any::<bool>()), 1..200)) {
+            let total = 4096u64;
+            let mut m = machine();
+            let mut a = alloc_of(total);
+            let mut live: Vec<PhysExtent> = Vec::new();
+            for (size, free_one) in ops {
+                if free_one && !live.is_empty() {
+                    let e = live.swap_remove(size as usize % live.len());
+                    a.free(&mut m, e);
+                } else if let Ok(e) = a.alloc(&mut m, size) {
+                    for other in &live {
+                        prop_assert!(!e.overlaps(other), "overlap: {e:?} vs {other:?}");
+                    }
+                    live.push(e);
+                }
+                let live_frames: u64 = live.iter().map(|e| e.frames).sum();
+                prop_assert_eq!(a.free_frames() + live_frames, total);
+            }
+            for e in live.drain(..) {
+                a.free(&mut m, e);
+            }
+            prop_assert_eq!(a.free_frames(), total);
+            prop_assert_eq!(a.free_runs(), 1);
+        }
+
+        /// Aligned allocations are aligned and in-bounds.
+        #[test]
+        fn alignment_respected(
+            sizes in proptest::collection::vec(1u64..128, 1..40),
+            align_pow in 0u32..7,
+        ) {
+            let mut m = machine();
+            let mut a = alloc_of(1 << 16);
+            let align = 1u64 << align_pow;
+            for s in sizes {
+                if let Ok(e) = a.alloc_aligned(&mut m, s, align) {
+                    prop_assert_eq!(e.start.0 % align, 0);
+                    prop_assert!(e.end().0 <= 1 << 16);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! The common kernel interface both memory designs implement.
+//!
+//! Workload drivers in `o1-workloads` are written against [`MemSys`],
+//! so every experiment runs identically against the baseline kernel
+//! and the file-only-memory kernel and differs only in what the two
+//! designs charge.
+
+use o1_hw::{Machine, VirtAddr};
+
+use crate::types::{Pid, VmError};
+
+/// A memory-management system under test.
+pub trait MemSys {
+    /// Human-readable name for experiment output.
+    fn sys_name(&self) -> &'static str;
+
+    /// The simulated machine (clock + counters).
+    fn machine(&self) -> &Machine;
+
+    /// Mutable machine access.
+    fn machine_mut(&mut self) -> &mut Machine;
+
+    /// Create an empty process.
+    fn create_process(&mut self) -> Pid;
+
+    /// Tear down a process and all its memory.
+    fn destroy_process(&mut self, pid: Pid) -> Result<(), VmError>;
+
+    /// Allocate `bytes` of zeroed, writable memory for `pid` —
+    /// anonymous mmap on the baseline, a volatile file on file-only
+    /// memory. `populate` requests eager mapping.
+    fn alloc(&mut self, pid: Pid, bytes: u64, populate: bool) -> Result<VirtAddr, VmError>;
+
+    /// Release memory previously obtained from [`alloc`](Self::alloc).
+    fn release(&mut self, pid: Pid, va: VirtAddr, bytes: u64) -> Result<(), VmError>;
+
+    /// 8-byte load at `va`.
+    fn load(&mut self, pid: Pid, va: VirtAddr) -> Result<u64, VmError>;
+
+    /// 8-byte store at `va`.
+    fn store(&mut self, pid: Pid, va: VirtAddr, value: u64) -> Result<(), VmError>;
+}
+
+impl MemSys for crate::kernel::BaselineKernel {
+    fn sys_name(&self) -> &'static str {
+        "baseline"
+    }
+
+    fn machine(&self) -> &Machine {
+        self.machine()
+    }
+
+    fn machine_mut(&mut self) -> &mut Machine {
+        self.machine_mut()
+    }
+
+    fn create_process(&mut self) -> Pid {
+        self.create_process()
+    }
+
+    fn destroy_process(&mut self, pid: Pid) -> Result<(), VmError> {
+        self.destroy_process(pid)
+    }
+
+    fn alloc(&mut self, pid: Pid, bytes: u64, populate: bool) -> Result<VirtAddr, VmError> {
+        let flags = if populate {
+            crate::types::MapFlags::private_populate()
+        } else {
+            crate::types::MapFlags::private()
+        };
+        self.mmap(
+            pid,
+            bytes,
+            crate::types::Prot::ReadWrite,
+            crate::types::Backing::Anon,
+            flags,
+        )
+    }
+
+    fn release(&mut self, pid: Pid, va: VirtAddr, bytes: u64) -> Result<(), VmError> {
+        self.munmap(pid, va, bytes)
+    }
+
+    fn load(&mut self, pid: Pid, va: VirtAddr) -> Result<u64, VmError> {
+        self.load(pid, va)
+    }
+
+    fn store(&mut self, pid: Pid, va: VirtAddr, value: u64) -> Result<(), VmError> {
+        self.store(pid, va, value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::BaselineKernel;
+    use o1_hw::PAGE_SIZE;
+
+    fn run_generic(sys: &mut dyn MemSys) {
+        let pid = sys.create_process();
+        let va = sys.alloc(pid, 8 * PAGE_SIZE, false).unwrap();
+        sys.store(pid, va, 1234).unwrap();
+        assert_eq!(sys.load(pid, va).unwrap(), 1234);
+        sys.release(pid, va, 8 * PAGE_SIZE).unwrap();
+        assert_eq!(sys.load(pid, va), Err(VmError::BadAddress));
+        sys.destroy_process(pid).unwrap();
+    }
+
+    #[test]
+    fn baseline_implements_memsys() {
+        let mut k = BaselineKernel::with_dram(16 << 20);
+        assert_eq!(k.sys_name(), "baseline");
+        run_generic(&mut k);
+        assert!(k.machine().now().0 > 0);
+    }
+}

@@ -1,0 +1,27 @@
+//! # o1-vm — the baseline Linux-like virtual memory system
+//!
+//! The *status quo* design that *Towards O(1) Memory* argues against,
+//! implemented in full so every comparison in the paper is runnable:
+//!
+//! * [`vma`] — VMA trees with region merging;
+//! * [`kernel`] — `mmap`/`munmap`/`mprotect`/`madvise`, demand paging
+//!   vs `MAP_POPULATE`, COW (fork and private file mappings), page
+//!   pinning, per-page teardown;
+//! * [`page_meta`] — the `struct page` model (25 flags, 64 B/frame);
+//! * [`reclaim`] — clock and 2Q scanning plus a swap device;
+//! * [`api`] — the [`api::MemSys`] trait shared with the file-only
+//!   memory kernel so workloads drive both identically.
+
+pub mod api;
+pub mod kernel;
+pub mod page_meta;
+pub mod reclaim;
+pub mod types;
+pub mod vma;
+
+pub use api::MemSys;
+pub use kernel::{BaselineConfig, BaselineKernel, ThpMode, MMAP_BASE};
+pub use page_meta::{PageFlag, PageMeta, PageMetaTable, PAGE_FLAG_COUNT, STRUCT_PAGE_BYTES};
+pub use reclaim::{LruLists, ReclaimPolicy, ScanDecision, SwapDevice, SwapSlot};
+pub use types::{Backing, MapFlags, Pid, Prot, VmError};
+pub use vma::{Vma, VmaMap};

@@ -1,0 +1,300 @@
+//! Page reclaim machinery: swap device and LRU approximation lists.
+//!
+//! The paper's point (§3.1): with ample persistent memory "there is no
+//! need to track the clean/dirty/referenced status of most memory,
+//! which avoids the need for page reclamation algorithms (e.g., clock,
+//! 2-queue)". To *measure* what is avoided, the baseline implements
+//! both: a clock list and a simplified 2Q (active/inactive). The
+//! A-RECLAIM ablation charges every page the scan examines.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use o1_hw::{FrameNo, Machine, PAGE_SIZE};
+
+/// A slot on the swap device.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SwapSlot(pub u64);
+
+/// Simulated swap device: stores page images, charges I/O costs.
+#[derive(Debug, Default)]
+pub struct SwapDevice {
+    slots: HashMap<u64, Box<[u8]>>,
+    next: u64,
+    free: Vec<u64>,
+}
+
+impl SwapDevice {
+    /// Empty device.
+    pub fn new() -> SwapDevice {
+        SwapDevice::default()
+    }
+
+    /// Pages currently stored.
+    pub fn used_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Write one page image out, charging swap-out I/O.
+    pub fn swap_out(&mut self, m: &mut Machine, data: Box<[u8]>) -> SwapSlot {
+        assert_eq!(data.len() as u64, PAGE_SIZE, "swap stores whole pages");
+        m.charge(m.cost.swap_out_page);
+        m.perf.pages_swapped_out += 1;
+        let slot = self.free.pop().unwrap_or_else(|| {
+            let s = self.next;
+            self.next += 1;
+            s
+        });
+        self.slots.insert(slot, data);
+        SwapSlot(slot)
+    }
+
+    /// Read a page image back, charging swap-in I/O. The slot is
+    /// freed.
+    ///
+    /// # Panics
+    /// Panics on an unknown slot (kernel bug).
+    pub fn swap_in(&mut self, m: &mut Machine, slot: SwapSlot) -> Box<[u8]> {
+        m.charge(m.cost.swap_in_page);
+        m.perf.pages_swapped_in += 1;
+        let data = self
+            .slots
+            .remove(&slot.0)
+            .unwrap_or_else(|| panic!("swap-in of empty slot {slot:?}"));
+        self.free.push(slot.0);
+        data
+    }
+
+    /// Discard a slot without reading it (process exit).
+    pub fn discard(&mut self, slot: SwapSlot) {
+        if self.slots.remove(&slot.0).is_some() {
+            self.free.push(slot.0);
+        }
+    }
+}
+
+/// Which LRU approximation the kernel runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReclaimPolicy {
+    /// Single clock list with a second-chance hand.
+    Clock,
+    /// Active/inactive lists (simplified 2Q).
+    TwoQueue,
+}
+
+/// What the kernel should do with a scanned candidate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ScanDecision {
+    /// Referenced since last scan: give a second chance.
+    Rotate,
+    /// Unreferenced: evict now.
+    Evict,
+}
+
+/// LRU bookkeeping over frames. Membership is tracked with a set so
+/// removal is O(1) amortised (dead entries are skipped lazily).
+#[derive(Debug)]
+pub struct LruLists {
+    policy: ReclaimPolicy,
+    /// Clock list, or the *inactive* list under 2Q.
+    inactive: VecDeque<FrameNo>,
+    /// Active list (2Q only).
+    active: VecDeque<FrameNo>,
+    member_inactive: HashSet<FrameNo>,
+    member_active: HashSet<FrameNo>,
+}
+
+impl LruLists {
+    /// Empty lists for the given policy.
+    pub fn new(policy: ReclaimPolicy) -> LruLists {
+        LruLists {
+            policy,
+            inactive: VecDeque::new(),
+            active: VecDeque::new(),
+            member_inactive: HashSet::new(),
+            member_active: HashSet::new(),
+        }
+    }
+
+    /// Policy in effect.
+    pub fn policy(&self) -> ReclaimPolicy {
+        self.policy
+    }
+
+    /// Frames currently tracked.
+    pub fn len(&self) -> usize {
+        self.member_inactive.len() + self.member_active.len()
+    }
+
+    /// True if nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A newly-mapped frame enters the (in)active list tail.
+    pub fn insert(&mut self, frame: FrameNo) {
+        if self.member_inactive.contains(&frame) || self.member_active.contains(&frame) {
+            return;
+        }
+        self.inactive.push_back(frame);
+        self.member_inactive.insert(frame);
+    }
+
+    /// Remove a frame (freed or evicted). Lazy: the queue entry is
+    /// skipped when it surfaces.
+    pub fn remove(&mut self, frame: FrameNo) {
+        self.member_inactive.remove(&frame);
+        self.member_active.remove(&frame);
+    }
+
+    /// Next candidate frame to examine, or `None` if all lists are
+    /// empty. The caller decides (based on referenced bits) and feeds
+    /// the verdict back via [`LruLists::verdict`].
+    pub fn next_candidate(&mut self) -> Option<FrameNo> {
+        // 2Q scans the inactive list first, refilling from active.
+        loop {
+            if let Some(f) = self.inactive.pop_front() {
+                if self.member_inactive.remove(&f) {
+                    return Some(f);
+                }
+                continue; // dead entry
+            }
+            match self.policy {
+                ReclaimPolicy::Clock => return None,
+                ReclaimPolicy::TwoQueue => {
+                    // Demote the whole active list head-to-tail once.
+                    let f = self.active.pop_front()?;
+                    if self.member_active.remove(&f) {
+                        self.inactive.push_back(f);
+                        self.member_inactive.insert(f);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Report the decision for a candidate from
+    /// [`LruLists::next_candidate`]. `Rotate` re-queues it (clock) or
+    /// promotes it to the active list (2Q); `Evict` drops it.
+    pub fn verdict(&mut self, frame: FrameNo, d: ScanDecision) {
+        match d {
+            ScanDecision::Evict => {}
+            ScanDecision::Rotate => match self.policy {
+                ReclaimPolicy::Clock => {
+                    self.inactive.push_back(frame);
+                    self.member_inactive.insert(frame);
+                }
+                ReclaimPolicy::TwoQueue => {
+                    self.active.push_back(frame);
+                    self.member_active.insert(frame);
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swap_roundtrip() {
+        let mut m = Machine::dram_only(1 << 20);
+        let mut s = SwapDevice::new();
+        let data = vec![7u8; PAGE_SIZE as usize].into_boxed_slice();
+        let slot = s.swap_out(&mut m, data);
+        assert_eq!(s.used_slots(), 1);
+        let back = s.swap_in(&mut m, slot);
+        assert!(back.iter().all(|&b| b == 7));
+        assert_eq!(s.used_slots(), 0);
+        assert_eq!(m.perf.pages_swapped_out, 1);
+        assert_eq!(m.perf.pages_swapped_in, 1);
+        // Slot numbers are recycled.
+        let slot2 = s.swap_out(&mut m, vec![1u8; PAGE_SIZE as usize].into_boxed_slice());
+        assert_eq!(slot2, slot);
+    }
+
+    #[test]
+    fn swap_io_has_device_costs() {
+        let mut m = Machine::dram_only(1 << 20);
+        let mut s = SwapDevice::new();
+        let (slot, out_ns) =
+            m.timed(|m| s.swap_out(m, vec![0u8; PAGE_SIZE as usize].into_boxed_slice()));
+        assert_eq!(out_ns, m.cost.swap_out_page);
+        let (_, in_ns) = m.timed(|m| s.swap_in(m, slot));
+        assert_eq!(in_ns, m.cost.swap_in_page);
+    }
+
+    #[test]
+    fn discard_frees_slot() {
+        let mut m = Machine::dram_only(1 << 20);
+        let mut s = SwapDevice::new();
+        let slot = s.swap_out(&mut m, vec![0u8; PAGE_SIZE as usize].into_boxed_slice());
+        s.discard(slot);
+        assert_eq!(s.used_slots(), 0);
+    }
+
+    #[test]
+    fn clock_rotation_gives_second_chance() {
+        let mut l = LruLists::new(ReclaimPolicy::Clock);
+        l.insert(FrameNo(1));
+        l.insert(FrameNo(2));
+        let c = l.next_candidate().unwrap();
+        assert_eq!(c, FrameNo(1));
+        l.verdict(c, ScanDecision::Rotate);
+        assert_eq!(l.next_candidate().unwrap(), FrameNo(2));
+        // Frame 1 comes back around after rotation.
+        l.verdict(FrameNo(2), ScanDecision::Evict);
+        assert_eq!(l.next_candidate().unwrap(), FrameNo(1));
+        l.verdict(FrameNo(1), ScanDecision::Evict);
+        assert!(l.next_candidate().is_none());
+    }
+
+    #[test]
+    fn removal_is_lazy_but_effective() {
+        let mut l = LruLists::new(ReclaimPolicy::Clock);
+        l.insert(FrameNo(1));
+        l.insert(FrameNo(2));
+        l.remove(FrameNo(1));
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.next_candidate().unwrap(), FrameNo(2));
+    }
+
+    #[test]
+    fn duplicate_insert_ignored() {
+        let mut l = LruLists::new(ReclaimPolicy::Clock);
+        l.insert(FrameNo(1));
+        l.insert(FrameNo(1));
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn two_queue_promotes_referenced() {
+        let mut l = LruLists::new(ReclaimPolicy::TwoQueue);
+        l.insert(FrameNo(1));
+        l.insert(FrameNo(2));
+        // Frame 1 referenced → promoted to active.
+        let c = l.next_candidate().unwrap();
+        l.verdict(c, ScanDecision::Rotate);
+        // Frame 2 unreferenced → evicted.
+        let c2 = l.next_candidate().unwrap();
+        assert_eq!(c2, FrameNo(2));
+        l.verdict(c2, ScanDecision::Evict);
+        // Inactive empty: the active list is demoted and rescanned.
+        assert_eq!(l.next_candidate().unwrap(), FrameNo(1));
+    }
+
+    #[test]
+    fn two_queue_drains_fully() {
+        let mut l = LruLists::new(ReclaimPolicy::TwoQueue);
+        for i in 0..10 {
+            l.insert(FrameNo(i));
+        }
+        let mut evicted = 0;
+        while let Some(c) = l.next_candidate() {
+            l.verdict(c, ScanDecision::Evict);
+            evicted += 1;
+        }
+        assert_eq!(evicted, 10);
+        assert!(l.is_empty());
+    }
+}

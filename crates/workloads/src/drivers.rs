@@ -1,0 +1,192 @@
+//! Workload drivers: run a scenario against any [`MemSys`] and report
+//! simulated time plus the perf-counter delta.
+
+use o1_hw::{PerfCounters, VirtAddr, PAGE_SIZE};
+use o1_vm::{MemSys, Pid, VmError};
+
+use crate::patterns::AccessPattern;
+
+/// Result of one driven scenario.
+#[derive(Clone, Copy, Debug)]
+pub struct Measurement {
+    /// Simulated nanoseconds consumed.
+    pub ns: u64,
+    /// Counter deltas over the scenario.
+    pub perf: PerfCounters,
+}
+
+impl Measurement {
+    /// Nanoseconds per event, for per-access/per-page reporting.
+    pub fn ns_per(&self, events: u64) -> f64 {
+        if events == 0 {
+            0.0
+        } else {
+            self.ns as f64 / events as f64
+        }
+    }
+}
+
+/// Run `f` against the system, measuring simulated time and counters.
+pub fn measure<S: MemSys + ?Sized>(
+    sys: &mut S,
+    f: impl FnOnce(&mut S) -> Result<(), VmError>,
+) -> Result<Measurement, VmError> {
+    let t0 = sys.machine().now();
+    let p0 = sys.machine().perf.snapshot();
+    f(sys)?;
+    let ns = sys.machine().now().since(t0);
+    let perf = sys.machine().perf.snapshot() - p0;
+    Ok(Measurement { ns, perf })
+}
+
+/// Allocate a region of `pages` pages (populate per flag) and measure
+/// just the allocation — Figure 1a / Figure 2's allocation half.
+pub fn drive_alloc<S: MemSys + ?Sized>(
+    sys: &mut S,
+    pid: Pid,
+    pages: u64,
+    populate: bool,
+) -> Result<(VirtAddr, Measurement), VmError> {
+    let mut va = VirtAddr(0);
+    let m = measure(sys, |s| {
+        va = s.alloc(pid, pages * PAGE_SIZE, populate)?;
+        Ok(())
+    })?;
+    Ok((va, m))
+}
+
+/// Read one u64 from each page per `pattern` — Figure 1b's loop and
+/// the sparse-access motivation.
+pub fn drive_access<S: MemSys + ?Sized>(
+    sys: &mut S,
+    pid: Pid,
+    va: VirtAddr,
+    pages: u64,
+    pattern: &AccessPattern,
+    seed: u64,
+    write: bool,
+) -> Result<Measurement, VmError> {
+    let seq = pattern.generate(pages, seed);
+    measure(sys, |s| {
+        for (i, page) in seq.iter().enumerate() {
+            let addr = va + page * PAGE_SIZE;
+            if write {
+                s.store(pid, addr, i as u64)?;
+            } else {
+                s.load(pid, addr)?;
+            }
+        }
+        Ok(())
+    })
+}
+
+/// Allocation/free churn: `rounds` of allocating `live_regions`
+/// regions of `pages` pages, touching one word per page, then freeing
+/// them all. Exercises allocator reuse and erase policies.
+pub fn drive_churn<S: MemSys + ?Sized>(
+    sys: &mut S,
+    pid: Pid,
+    rounds: u32,
+    live_regions: u32,
+    pages: u64,
+) -> Result<Measurement, VmError> {
+    measure(sys, |s| {
+        for _ in 0..rounds {
+            let mut regions = Vec::new();
+            for _ in 0..live_regions {
+                let va = s.alloc(pid, pages * PAGE_SIZE, false)?;
+                for p in 0..pages {
+                    s.store(pid, va + p * PAGE_SIZE, p)?;
+                }
+                regions.push(va);
+            }
+            for va in regions {
+                s.release(pid, va, pages * PAGE_SIZE)?;
+            }
+        }
+        Ok(())
+    })
+}
+
+/// Process-launch storm: create `n` processes each with a working set
+/// of `pages` pages fully touched, then destroy them.
+pub fn drive_launch_storm<S: MemSys + ?Sized>(
+    sys: &mut S,
+    n: u32,
+    pages: u64,
+) -> Result<Measurement, VmError> {
+    measure(sys, |s| {
+        let mut procs = Vec::new();
+        for _ in 0..n {
+            let pid = s.create_process();
+            let va = s.alloc(pid, pages * PAGE_SIZE, true)?;
+            for p in (0..pages).step_by(8) {
+                s.store(pid, va + p * PAGE_SIZE, p)?;
+            }
+            procs.push(pid);
+        }
+        for pid in procs {
+            s.destroy_process(pid)?;
+        }
+        Ok(())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use o1_core::{FomKernel, MapMech};
+    use o1_vm::BaselineKernel;
+
+    #[test]
+    fn measure_reports_time_and_counters() {
+        let mut k = BaselineKernel::with_dram(32 << 20);
+        let pid = MemSys::create_process(&mut k);
+        let (va, alloc_m) = drive_alloc(&mut k, pid, 16, false).unwrap();
+        assert!(alloc_m.ns > 0);
+        let m = drive_access(&mut k, pid, va, 16, &AccessPattern::OnePerPage, 0, false).unwrap();
+        assert_eq!(m.perf.minor_faults, 16);
+        assert!(m.ns_per(16) > 1000.0, "faults dominate");
+    }
+
+    #[test]
+    fn same_driver_runs_both_kernels() {
+        let mut base = BaselineKernel::with_dram(64 << 20);
+        let mut fom = FomKernel::with_mech(MapMech::Ranges);
+        for sys in [&mut base as &mut dyn MemSys, &mut fom as &mut dyn MemSys] {
+            let pid = sys.create_process();
+            let (va, _) = drive_alloc(sys, pid, 64, true).unwrap();
+            let m = drive_access(
+                sys,
+                pid,
+                va,
+                64,
+                &AccessPattern::Sweep { sweeps: 2 },
+                0,
+                true,
+            )
+            .unwrap();
+            assert_eq!(m.perf.minor_faults + m.perf.major_faults, 0);
+            sys.destroy_process(pid).unwrap();
+        }
+    }
+
+    #[test]
+    fn churn_conserves_memory() {
+        let mut fom = FomKernel::with_mech(MapMech::SharedPt);
+        let free0 = fom.free_frames();
+        let pid = MemSys::create_process(&mut fom);
+        drive_churn(&mut fom, pid, 3, 4, 32).unwrap();
+        assert_eq!(fom.free_frames(), free0);
+    }
+
+    #[test]
+    fn launch_storm_runs_on_both() {
+        let mut base = BaselineKernel::with_dram(64 << 20);
+        let m1 = drive_launch_storm(&mut base, 4, 32).unwrap();
+        let mut fom = FomKernel::with_mech(MapMech::SharedPt);
+        let m2 = drive_launch_storm(&mut fom, 4, 32).unwrap();
+        assert!(m1.ns > 0 && m2.ns > 0);
+        assert!(m2.ns < m1.ns, "fom launches faster: {} vs {}", m2.ns, m1.ns);
+    }
+}

@@ -1,0 +1,190 @@
+//! Access-pattern generators.
+//!
+//! Each pattern yields a deterministic (seeded) sequence of *page
+//! indexes* into a region. The paper's central micro-benchmark —
+//! "access one byte of each page of a file" — is [`AccessPattern::OnePerPage`];
+//! the motivation section's "sparse access to large data sets" is
+//! [`AccessPattern::Zipf`] or [`AccessPattern::RandomUniform`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::Zipf;
+
+/// A page-granular access pattern over a region of `pages` pages.
+#[derive(Clone, Debug)]
+pub enum AccessPattern {
+    /// Touch each page once, in order (Figure 1b's loop).
+    OnePerPage,
+    /// Sequential sweep repeated `sweeps` times.
+    Sweep {
+        /// Number of passes over the region.
+        sweeps: u32,
+    },
+    /// `count` uniform-random page touches.
+    RandomUniform {
+        /// Number of accesses.
+        count: u64,
+    },
+    /// `count` Zipf-skewed touches (hot/cold working set).
+    Zipf {
+        /// Number of accesses.
+        count: u64,
+        /// Skew in (0, 1).
+        theta: f64,
+    },
+    /// Strided touches: every `stride`-th page, wrapping, `count`
+    /// times (TLB-hostile when the stride defeats locality).
+    Strided {
+        /// Pages skipped between accesses.
+        stride: u64,
+        /// Number of accesses.
+        count: u64,
+    },
+    /// Hot/cold split: with probability `hot_pct`% the touch lands in
+    /// the first `hot_fraction_pct`% of pages (caching workloads).
+    HotCold {
+        /// Number of accesses.
+        count: u64,
+        /// Percent of accesses that go to the hot set.
+        hot_pct: u32,
+        /// Percent of the region that is hot.
+        hot_fraction_pct: u32,
+    },
+}
+
+impl AccessPattern {
+    /// Materialise the page-index sequence for a region of `pages`
+    /// pages, deterministically from `seed`.
+    pub fn generate(&self, pages: u64, seed: u64) -> Vec<u64> {
+        assert!(pages > 0, "empty region");
+        match *self {
+            AccessPattern::OnePerPage => (0..pages).collect(),
+            AccessPattern::Sweep { sweeps } => {
+                (0..u64::from(sweeps)).flat_map(|_| 0..pages).collect()
+            }
+            AccessPattern::RandomUniform { count } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                (0..count).map(|_| rng.random_range(0..pages)).collect()
+            }
+            AccessPattern::Zipf { count, theta } => {
+                let z = Zipf::new(pages, theta);
+                let mut rng = StdRng::seed_from_u64(seed);
+                (0..count).map(|_| z.sample(&mut rng)).collect()
+            }
+            AccessPattern::Strided { stride, count } => {
+                assert!(stride > 0, "zero stride");
+                (0..count).map(|i| (i * stride) % pages).collect()
+            }
+            AccessPattern::HotCold {
+                count,
+                hot_pct,
+                hot_fraction_pct,
+            } => {
+                assert!(hot_pct <= 100 && (1..=100).contains(&hot_fraction_pct));
+                let hot_pages = (pages * u64::from(hot_fraction_pct) / 100).max(1);
+                let mut rng = StdRng::seed_from_u64(seed);
+                (0..count)
+                    .map(|_| {
+                        if rng.random_range(0..100u32) < hot_pct {
+                            rng.random_range(0..hot_pages)
+                        } else {
+                            rng.random_range(0..pages)
+                        }
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Number of accesses this pattern performs on a region of
+    /// `pages` pages.
+    pub fn access_count(&self, pages: u64) -> u64 {
+        match *self {
+            AccessPattern::OnePerPage => pages,
+            AccessPattern::Sweep { sweeps } => pages * u64::from(sweeps),
+            AccessPattern::RandomUniform { count }
+            | AccessPattern::Zipf { count, .. }
+            | AccessPattern::Strided { count, .. }
+            | AccessPattern::HotCold { count, .. } => count,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn one_per_page_touches_everything_once() {
+        let seq = AccessPattern::OnePerPage.generate(64, 0);
+        assert_eq!(seq.len(), 64);
+        let unique: HashSet<u64> = seq.iter().copied().collect();
+        assert_eq!(unique.len(), 64);
+    }
+
+    #[test]
+    fn sweep_repeats() {
+        let seq = AccessPattern::Sweep { sweeps: 3 }.generate(10, 0);
+        assert_eq!(seq.len(), 30);
+        assert_eq!(&seq[0..10], &seq[10..20]);
+    }
+
+    #[test]
+    fn random_is_seeded_and_in_range() {
+        let p = AccessPattern::RandomUniform { count: 1000 };
+        let a = p.generate(100, 9);
+        let b = p.generate(100, 9);
+        assert_eq!(a, b, "same seed, same sequence");
+        assert!(a.iter().all(|&i| i < 100));
+        let c = p.generate(100, 10);
+        assert_ne!(a, c, "different seed, different sequence");
+    }
+
+    #[test]
+    fn strided_wraps() {
+        let seq = AccessPattern::Strided {
+            stride: 7,
+            count: 5,
+        }
+        .generate(10, 0);
+        assert_eq!(seq, vec![0, 7, 4, 1, 8]);
+    }
+
+    #[test]
+    fn zipf_in_range_and_skewed() {
+        let p = AccessPattern::Zipf {
+            count: 5000,
+            theta: 0.95,
+        };
+        let seq = p.generate(1000, 3);
+        assert!(seq.iter().all(|&i| i < 1000));
+        let head = seq.iter().filter(|&&i| i < 10).count();
+        assert!(head > 1000, "θ=0.95 concentrates: {head}/5000 in top 1%");
+    }
+
+    #[test]
+    fn hot_cold_concentrates() {
+        let p = AccessPattern::HotCold {
+            count: 10_000,
+            hot_pct: 90,
+            hot_fraction_pct: 10,
+        };
+        let seq = p.generate(1000, 11);
+        let hot_hits = seq.iter().filter(|&&i| i < 100).count();
+        assert!(hot_hits > 8_000, "90% to the hot 10%: got {hot_hits}");
+        assert!(seq.iter().any(|&i| i >= 100), "cold set still touched");
+        assert!(seq.iter().all(|&i| i < 1000));
+    }
+
+    #[test]
+    fn access_counts_match() {
+        assert_eq!(AccessPattern::OnePerPage.access_count(42), 42);
+        assert_eq!(AccessPattern::Sweep { sweeps: 2 }.access_count(10), 20);
+        assert_eq!(
+            AccessPattern::RandomUniform { count: 7 }.access_count(10),
+            7
+        );
+    }
+}

@@ -1,0 +1,188 @@
+//! Allocation traces: synthetic server-like workloads and a replayer.
+//!
+//! The paper's micro-benchmarks isolate single operations; a trace
+//! replays a realistic interleaving — skewed allocation sizes, a
+//! steady-state live set, and touches concentrated on young objects —
+//! against any [`MemSys`], producing the macro-level comparison
+//! (`fig_churn`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use o1_hw::{VirtAddr, PAGE_SIZE};
+use o1_vm::{MemSys, Pid, VmError};
+
+use crate::drivers::{measure, Measurement};
+
+/// One trace event. `id` is a logical object slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceOp {
+    /// Allocate `bytes` into slot `id` (slot must be empty).
+    Alloc {
+        /// Slot.
+        id: u32,
+        /// Size in bytes.
+        bytes: u64,
+    },
+    /// Free slot `id` (no-op if empty).
+    Free {
+        /// Slot.
+        id: u32,
+    },
+    /// Touch page `page` of slot `id` (no-op if empty/out of range).
+    Touch {
+        /// Slot.
+        id: u32,
+        /// Page index within the object.
+        page: u64,
+        /// Store (true) or load.
+        write: bool,
+    },
+}
+
+/// A replayable trace.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    /// The events, in order.
+    pub ops: Vec<TraceOp>,
+    /// Number of object slots used.
+    pub slots: u32,
+}
+
+impl Trace {
+    /// Synthetic server churn: `n_ops` events over `slots` object
+    /// slots with power-of-two sizes from 4 KiB to `max_pages` pages
+    /// (skewed small, like malloc traces), 60% touches / 25% allocs /
+    /// 15% frees. Deterministic in `seed`.
+    pub fn server_churn(seed: u64, n_ops: usize, slots: u32, max_pages: u64) -> Trace {
+        assert!(slots > 0 && max_pages.is_power_of_two());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let max_log = max_pages.trailing_zeros();
+        let ops = (0..n_ops)
+            .map(|_| {
+                let id = rng.random_range(0..slots);
+                match rng.random_range(0..100u32) {
+                    0..=24 => {
+                        // Skewed sizes: small objects dominate.
+                        let log =
+                            u32::min(rng.random_range(0..=max_log), rng.random_range(0..=max_log));
+                        TraceOp::Alloc {
+                            id,
+                            bytes: (1u64 << log) * PAGE_SIZE,
+                        }
+                    }
+                    25..=39 => TraceOp::Free { id },
+                    _ => TraceOp::Touch {
+                        id,
+                        page: rng.random_range(0..max_pages),
+                        write: rng.random(),
+                    },
+                }
+            })
+            .collect();
+        Trace { ops, slots }
+    }
+
+    /// Total events.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if the trace has no events.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Replay against a kernel. Returns the measurement plus the
+    /// number of *effective* operations (skipped no-ops excluded).
+    pub fn replay<S: MemSys + ?Sized>(
+        &self,
+        sys: &mut S,
+        pid: Pid,
+    ) -> Result<(Measurement, u64), VmError> {
+        let mut live: Vec<Option<(VirtAddr, u64)>> = vec![None; self.slots as usize];
+        let mut effective = 0u64;
+        let m = measure(sys, |s| {
+            for &op in &self.ops {
+                match op {
+                    TraceOp::Alloc { id, bytes } => {
+                        let slot = &mut live[id as usize];
+                        if slot.is_none() {
+                            *slot = Some((s.alloc(pid, bytes, false)?, bytes / PAGE_SIZE));
+                            effective += 1;
+                        }
+                    }
+                    TraceOp::Free { id } => {
+                        if let Some((va, pages)) = live[id as usize].take() {
+                            s.release(pid, va, pages * PAGE_SIZE)?;
+                            effective += 1;
+                        }
+                    }
+                    TraceOp::Touch { id, page, write } => {
+                        if let Some((va, pages)) = live[id as usize] {
+                            if page < pages {
+                                let addr = va + page * PAGE_SIZE;
+                                if write {
+                                    s.store(pid, addr, page)?;
+                                } else {
+                                    s.load(pid, addr)?;
+                                }
+                                effective += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            // Drain the live set so replays are leak-free.
+            for slot in live.iter_mut() {
+                if let Some((va, pages)) = slot.take() {
+                    s.release(pid, va, pages * PAGE_SIZE)?;
+                }
+            }
+            Ok(())
+        })?;
+        Ok((m, effective))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use o1_core::{FomKernel, MapMech};
+    use o1_vm::BaselineKernel;
+
+    #[test]
+    fn trace_is_deterministic() {
+        let a = Trace::server_churn(5, 200, 16, 64);
+        let b = Trace::server_churn(5, 200, 16, 64);
+        assert_eq!(a.ops, b.ops);
+        assert_eq!(a.len(), 200);
+        let c = Trace::server_churn(6, 200, 16, 64);
+        assert_ne!(a.ops, c.ops);
+    }
+
+    #[test]
+    fn trace_has_all_op_kinds() {
+        let t = Trace::server_churn(1, 1000, 16, 64);
+        assert!(t.ops.iter().any(|o| matches!(o, TraceOp::Alloc { .. })));
+        assert!(t.ops.iter().any(|o| matches!(o, TraceOp::Free { .. })));
+        assert!(t.ops.iter().any(|o| matches!(o, TraceOp::Touch { .. })));
+    }
+
+    #[test]
+    fn replay_runs_on_both_kernels_without_leaks() {
+        let t = Trace::server_churn(42, 600, 12, 32);
+        let mut base = BaselineKernel::with_dram(256 << 20);
+        let pid = MemSys::create_process(&mut base);
+        let (mb, eff_b) = t.replay(&mut base, pid).unwrap();
+        assert!(mb.ns > 0 && eff_b > 0);
+
+        let mut fom = FomKernel::with_mech(MapMech::Ranges);
+        let free0 = fom.free_frames();
+        let pid = MemSys::create_process(&mut fom);
+        let (mf, eff_f) = t.replay(&mut fom, pid).unwrap();
+        assert_eq!(eff_b, eff_f, "same effective ops on both kernels");
+        assert_eq!(fom.free_frames(), free0, "replay is leak-free");
+        assert!(mf.ns < mb.ns, "fom wins the churn trace");
+    }
+}
