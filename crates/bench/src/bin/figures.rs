@@ -1,159 +1,305 @@
 //! Regenerate every figure of *Towards O(1) Memory* from the
-//! simulator and print paper-style tables.
+//! simulator, in parallel, and print paper-style tables.
 //!
 //! Usage:
 //! ```text
-//! figures                 # all figures, text tables
-//! figures --fig fig1a     # one figure
-//! figures --json out.json # also dump machine-readable series
-//! figures --csv  out_dir  # one CSV per figure
-//! figures --list          # list figure ids
+//! figures                    # all figures, text tables, all cores
+//! figures --threads 4        # bounded worker pool
+//! figures --repeat 3         # time each figure 3 times
+//! figures --fig fig1a        # one figure
+//! figures --json out.json    # also dump machine-readable series
+//! figures --csv out_dir      # one CSV per figure
+//! figures --profile          # 1-thread vs N-thread timing comparison
+//! figures --list             # list figure ids
 //! ```
+//!
+//! Every run self-profiles host wall-clock per figure and writes
+//! `BENCH_figures.json` (override with `--bench-out`, suppress with
+//! `--no-bench`) so the repo accumulates a perf trajectory across
+//! PRs. Simulated results are independent of `--threads`/`--repeat`:
+//! the emitted tables, CSV, and JSON are byte-identical for any value.
 
 use std::io::Write as _;
 
-use o1_bench::experiments;
-use o1_bench::Figure;
+use o1_bench::runner::{figure_fn, run_figures, RunReport, RunnerOptions, ALL_IDS};
+use o1_bench::{figures_to_json_pretty, json, Figure};
 
-fn figure_by_id(id: &str) -> Option<Figure> {
-    let f = match id {
-        "1a" | "fig1a" | "6a" => experiments::fig1a(),
-        "1b" | "fig1b" | "6b" => experiments::fig1b(),
-        "2" | "fig2" | "7" => experiments::fig2(),
-        "3" | "fig3" | "8" => experiments::fig3(),
-        "4" | "fig4_map" | "fig4" | "9" => experiments::fig4_map(),
-        "4access" | "fig4_access" => experiments::fig4_access(),
-        "faults" | "fig_faults" => experiments::fig_faults(),
-        "read16k" | "fig_read16k" => experiments::fig_read16k(),
-        "meta" | "fig_meta" => experiments::fig_meta(),
-        "zero" | "fig_zero" => experiments::fig_zero(),
-        "reclaim" | "fig_reclaim" => experiments::fig_reclaim(),
-        "palloc" | "fig_palloc" => experiments::fig_palloc(),
-        "persist" | "fig_persist" => experiments::fig_persist(),
-        "virt" | "fig_virt" => experiments::fig_virt(),
-        "thp" | "fig_thp" => experiments::fig_thp(),
-        "teardown" | "fig_teardown" => experiments::fig_teardown(),
-        "frag" | "fig_frag" => experiments::fig_frag(),
-        "churn" | "fig_churn" => experiments::fig_churn(),
-        "dma" | "fig_dma" => experiments::fig_dma(),
-        _ => return None,
-    };
-    Some(f)
+const USAGE: &str = "\
+usage: figures [options]
+  --list              list figure ids and exit
+  --fig <id>          run a single figure (id, alias, or paper number)
+  --threads <N>       worker threads (default: available cores)
+  --repeat <K>        regenerate each figure K times for timing (default 1)
+  --json <path>       write all series as pretty JSON
+  --csv <dir>         write one CSV per figure
+  --profile           run the suite at 1 thread and at --threads, assert
+                      byte-identical output, and record the speedup
+  --bench-out <path>  self-profiler output path (default BENCH_figures.json)
+  --no-bench          do not write the self-profiler file
+  --help              print this help
+
+Figure output is deterministic: --threads/--repeat change wall-clock
+only, never a simulated number.";
+
+struct Cli {
+    want: Option<String>,
+    threads: Option<usize>,
+    repeat: usize,
+    json_path: Option<String>,
+    csv_dir: Option<String>,
+    profile: bool,
+    bench_out: Option<String>,
+    write_bench: bool,
 }
 
-const ALL_IDS: [&str; 19] = [
-    "fig1a",
-    "fig1b",
-    "fig2",
-    "fig3",
-    "fig4_map",
-    "fig4_access",
-    "fig_faults",
-    "fig_read16k",
-    "fig_meta",
-    "fig_zero",
-    "fig_reclaim",
-    "fig_palloc",
-    "fig_persist",
-    "fig_virt",
-    "fig_thp",
-    "fig_teardown",
-    "fig_frag",
-    "fig_churn",
-    "fig_dma",
-];
-
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut want: Option<String> = None;
-    let mut json_path: Option<String> = None;
-    let mut csv_dir: Option<String> = None;
+fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
+    let mut cli = Cli {
+        want: None,
+        threads: None,
+        repeat: 1,
+        json_path: None,
+        csv_dir: None,
+        profile: false,
+        bench_out: None,
+        write_bench: true,
+    };
     let mut i = 0;
+    let value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
     while i < args.len() {
         match args[i].as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(None);
+            }
             "--list" => {
                 for id in ALL_IDS {
                     println!("{id}");
                 }
-                return;
+                return Ok(None);
             }
-            "--fig" => {
-                i += 1;
-                want = Some(args.get(i).cloned().unwrap_or_default());
+            "--fig" => cli.want = Some(value(args, &mut i, "--fig")?),
+            "--threads" => {
+                let v = value(args, &mut i, "--threads")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--threads expects a positive integer, got '{v}'"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                cli.threads = Some(n);
             }
-            "--json" => {
-                i += 1;
-                json_path = Some(args.get(i).cloned().unwrap_or_default());
+            "--repeat" => {
+                let v = value(args, &mut i, "--repeat")?;
+                let k: usize = v
+                    .parse()
+                    .map_err(|_| format!("--repeat expects a positive integer, got '{v}'"))?;
+                if k == 0 {
+                    return Err("--repeat must be at least 1".into());
+                }
+                cli.repeat = k;
             }
-            "--csv" => {
-                i += 1;
-                csv_dir = Some(args.get(i).cloned().unwrap_or_default());
-            }
-            other => {
-                eprintln!("unknown argument: {other}");
-                eprintln!("usage: figures [--fig <id>] [--json <path>] [--csv <dir>] [--list]");
-                std::process::exit(2);
-            }
+            "--json" => cli.json_path = Some(value(args, &mut i, "--json")?),
+            "--csv" => cli.csv_dir = Some(value(args, &mut i, "--csv")?),
+            "--profile" => cli.profile = true,
+            "--bench-out" => cli.bench_out = Some(value(args, &mut i, "--bench-out")?),
+            "--no-bench" => cli.write_bench = false,
+            other => return Err(format!("unknown argument: {other}")),
         }
         i += 1;
     }
+    Ok(Some(cli))
+}
 
-    let figures: Vec<Figure> = match want {
-        Some(id) => match figure_by_id(&id) {
-            Some(f) => vec![f],
+fn ms(ns: u64) -> f64 {
+    // Three decimals keeps the profile file stable and readable.
+    (ns as f64 / 1e6 * 1000.0).round() / 1000.0
+}
+
+fn report_json(out: &mut String, r: &RunReport, level: usize) {
+    json::push_indent(out, level);
+    out.push_str("{");
+    json::push_indent(out, level + 1);
+    out.push_str(&format!("\"threads\": {},", r.threads));
+    json::push_indent(out, level + 1);
+    out.push_str("\"total_wall_ms\": ");
+    json::push_f64(out, ms(r.total_wall_ns));
+    out.push(',');
+    json::push_indent(out, level + 1);
+    out.push_str("\"figures\": [");
+    for (i, run) in r.runs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::push_indent(out, level + 2);
+        out.push_str("{\"id\": ");
+        json::push_str_escaped(out, run.id);
+        out.push_str(", \"wall_ms\": [");
+        for (j, &ns) in run.wall_ns.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            json::push_f64(out, ms(ns));
+        }
+        out.push_str("]}");
+    }
+    json::push_indent(out, level + 1);
+    out.push(']');
+    json::push_indent(out, level);
+    out.push('}');
+}
+
+fn write_bench_file(path: &str, repeat: usize, runs: &[&RunReport], identical: Option<bool>) {
+    let mut out = String::from("{");
+    json::push_indent(&mut out, 1);
+    out.push_str("\"schema\": \"o1mem/bench-figures/v1\",");
+    json::push_indent(&mut out, 1);
+    out.push_str(&format!("\"repeat\": {repeat},"));
+    json::push_indent(&mut out, 1);
+    out.push_str("\"runs\": [");
+    for (i, r) in runs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        report_json(&mut out, r, 2);
+    }
+    json::push_indent(&mut out, 1);
+    out.push(']');
+    if let (Some(identical), [a, b]) = (identical, runs) {
+        out.pop();
+        out.push_str("],");
+        json::push_indent(&mut out, 1);
+        out.push_str("\"speedup\": {");
+        json::push_indent(&mut out, 2);
+        out.push_str(&format!(
+            "\"threads_base\": {}, \"threads_parallel\": {},",
+            a.threads, b.threads
+        ));
+        json::push_indent(&mut out, 2);
+        let ratio = a.total_wall_ns as f64 / b.total_wall_ns.max(1) as f64;
+        out.push_str("\"ratio\": ");
+        json::push_f64(&mut out, (ratio * 1000.0).round() / 1000.0);
+        out.push(',');
+        json::push_indent(&mut out, 2);
+        out.push_str(&format!("\"figures_byte_identical\": {identical}"));
+        json::push_indent(&mut out, 1);
+        out.push('}');
+    }
+    out.push_str("\n}\n");
+    std::fs::write(path, out).expect("write bench profile");
+    eprintln!("wrote self-profile to {path}");
+}
+
+fn write_csvs(dir: &str, figures: &[Figure]) {
+    std::fs::create_dir_all(dir).expect("create csv dir");
+    for f in figures {
+        let path = format!("{dir}/{}.csv", f.id);
+        let mut out = String::new();
+        out.push_str(&f.x_label.replace(',', ";"));
+        for s in &f.series {
+            out.push(',');
+            out.push_str(&s.label.replace(',', ";"));
+        }
+        out.push('\n');
+        let mut xs: Vec<u64> = f
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+            .collect();
+        xs.sort_unstable();
+        xs.dedup();
+        for x in xs {
+            out.push_str(&x.to_string());
+            for s in &f.series {
+                out.push(',');
+                if let Some(y) = s.y_at(x) {
+                    out.push_str(&format!("{y}"));
+                }
+            }
+            out.push('\n');
+        }
+        std::fs::write(&path, out).expect("write csv");
+    }
+    eprintln!("wrote CSVs to {dir}/");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(Some(cli)) => cli,
+        Ok(None) => return,
+        Err(msg) => {
+            eprintln!("{msg}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    let fns: Vec<(&'static str, fn() -> Figure)> = match &cli.want {
+        Some(id) => match figure_fn(id) {
+            Some(entry) => vec![entry],
             None => {
                 eprintln!("unknown figure id '{id}'; try --list");
                 std::process::exit(2);
             }
         },
-        None => ALL_IDS
-            .iter()
-            .map(|id| figure_by_id(id).expect("known id"))
-            .collect(),
+        None => ALL_IDS.iter().map(|id| figure_fn(id).expect("known id")).collect(),
     };
+
+    let threads = cli.threads.unwrap_or_else(|| {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    });
+    let opts = RunnerOptions {
+        threads,
+        repeat: cli.repeat,
+    };
+
+    let (reports, identical): (Vec<RunReport>, Option<bool>) = if cli.profile {
+        let seq = run_figures(&fns, &RunnerOptions { threads: 1, ..opts.clone() });
+        let par = run_figures(&fns, &opts);
+        let same = figures_to_json_pretty(&seq.figures()) == figures_to_json_pretty(&par.figures());
+        eprintln!(
+            "profile: {} figures, 1 thread = {:.1} ms, {} threads = {:.1} ms, speedup {:.2}x, byte-identical: {same}",
+            fns.len(),
+            ms(seq.total_wall_ns),
+            par.threads,
+            ms(par.total_wall_ns),
+            seq.total_wall_ns as f64 / par.total_wall_ns.max(1) as f64,
+        );
+        if !same {
+            eprintln!("error: parallel run diverged from sequential run");
+            std::process::exit(1);
+        }
+        (vec![seq, par], Some(same))
+    } else {
+        (vec![run_figures(&fns, &opts)], None)
+    };
+
+    let last = reports.last().expect("at least one run");
+    let figures = last.figures();
 
     println!("# Towards O(1) Memory — regenerated figures (simulated ns, deterministic)\n");
     for f in &figures {
         println!("{}", f.to_table());
     }
 
-    if let Some(dir) = csv_dir {
-        std::fs::create_dir_all(&dir).expect("create csv dir");
-        for f in &figures {
-            let path = format!("{dir}/{}.csv", f.id);
-            let mut out = String::new();
-            out.push_str(&f.x_label.replace(',', ";"));
-            for s in &f.series {
-                out.push(',');
-                out.push_str(&s.label.replace(',', ";"));
-            }
-            out.push('\n');
-            let mut xs: Vec<u64> = f
-                .series
-                .iter()
-                .flat_map(|s| s.points.iter().map(|&(x, _)| x))
-                .collect();
-            xs.sort_unstable();
-            xs.dedup();
-            for x in xs {
-                out.push_str(&x.to_string());
-                for s in &f.series {
-                    out.push(',');
-                    if let Some(y) = s.y_at(x) {
-                        out.push_str(&format!("{y}"));
-                    }
-                }
-                out.push('\n');
-            }
-            std::fs::write(&path, out).expect("write csv");
-        }
-        eprintln!("wrote CSVs to {dir}/");
+    if let Some(dir) = &cli.csv_dir {
+        write_csvs(dir, &figures);
     }
 
-    if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&figures).expect("serializable");
-        let mut file = std::fs::File::create(&path).expect("create json output");
+    if let Some(path) = &cli.json_path {
+        let json = figures_to_json_pretty(&figures);
+        let mut file = std::fs::File::create(path).expect("create json output");
         file.write_all(json.as_bytes()).expect("write json output");
         eprintln!("wrote {path}");
+    }
+
+    if cli.write_bench {
+        let path = cli.bench_out.as_deref().unwrap_or("BENCH_figures.json");
+        let refs: Vec<&RunReport> = reports.iter().collect();
+        write_bench_file(path, cli.repeat, &refs, identical);
     }
 }

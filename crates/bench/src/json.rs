@@ -1,0 +1,63 @@
+//! Minimal deterministic JSON emission for figure data.
+//!
+//! The offline build environment has no serde, and figure output must
+//! be *byte-stable* across runs and thread counts (the determinism
+//! regression test compares whole files), so this module hand-rolls
+//! the tiny subset of JSON the harness needs. Numbers are formatted
+//! with `{:?}`, which round-trips `f64` exactly and always keeps a
+//! decimal point, matching what serde_json used to emit.
+
+/// Escape a string per RFC 8259 and append it, quoted.
+pub fn push_str_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append an `f64` as a JSON number (finite values only).
+pub fn push_f64(out: &mut String, v: f64) {
+    debug_assert!(v.is_finite(), "figure data must be finite, got {v}");
+    out.push_str(&format!("{v:?}"));
+}
+
+/// Indent helper for the pretty printer: `level` two-space steps.
+pub fn push_indent(out: &mut String, level: usize) {
+    out.push('\n');
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        let mut s = String::new();
+        push_str_escaped(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn floats_keep_decimal_point() {
+        let mut s = String::new();
+        push_f64(&mut s, 8000.0);
+        assert_eq!(s, "8000.0");
+        s.clear();
+        push_f64(&mut s, 2.5);
+        assert_eq!(s, "2.5");
+    }
+}

@@ -7,7 +7,10 @@
 //! measure the host-side cost of the same operations.
 
 pub mod experiments;
+pub mod json;
+pub mod runner;
 pub mod series;
 
 pub use experiments::all_figures;
-pub use series::{Figure, Series};
+pub use runner::{run_figures, RunnerOptions};
+pub use series::{figures_to_json_pretty, Figure, Series};

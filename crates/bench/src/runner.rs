@@ -1,0 +1,225 @@
+//! Parallel figure runner.
+//!
+//! Every figure function builds its own kernels and machines, shares
+//! no state, and is deterministic in its inputs — so the suite is
+//! embarrassingly parallel. This module runs figures over a scoped
+//! thread pool (`std::thread::scope`, no external crates) with a
+//! work-stealing index, collects results into per-figure slots so
+//! **output order never depends on completion order**, and records a
+//! host wall-clock profile per figure for `BENCH_figures.json`.
+//!
+//! Parallelism here is pure host-side mechanics: each experiment's
+//! simulated clock, perf counters, and series are computed exactly as
+//! in a sequential run, so emitted figures are byte-identical for any
+//! `--threads` value (enforced by `tests/figures_determinism.rs`).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::experiments;
+use crate::Figure;
+
+/// Canonical ids of every figure, in output order.
+pub const ALL_IDS: [&str; 19] = [
+    "fig1a",
+    "fig1b",
+    "fig2",
+    "fig3",
+    "fig4_map",
+    "fig4_access",
+    "fig_faults",
+    "fig_read16k",
+    "fig_meta",
+    "fig_zero",
+    "fig_reclaim",
+    "fig_palloc",
+    "fig_persist",
+    "fig_virt",
+    "fig_thp",
+    "fig_teardown",
+    "fig_frag",
+    "fig_churn",
+    "fig_dma",
+];
+
+/// Resolve a figure id (canonical name, paper number, or short alias)
+/// to `(canonical_id, generator)`.
+pub fn figure_fn(id: &str) -> Option<(&'static str, fn() -> Figure)> {
+    let entry: (&'static str, fn() -> Figure) = match id {
+        "1a" | "fig1a" | "6a" => ("fig1a", experiments::fig1a),
+        "1b" | "fig1b" | "6b" => ("fig1b", experiments::fig1b),
+        "2" | "fig2" | "7" => ("fig2", experiments::fig2),
+        "3" | "fig3" | "8" => ("fig3", experiments::fig3),
+        "4" | "fig4_map" | "fig4" | "9" => ("fig4_map", experiments::fig4_map),
+        "4access" | "fig4_access" => ("fig4_access", experiments::fig4_access),
+        "faults" | "fig_faults" => ("fig_faults", experiments::fig_faults),
+        "read16k" | "fig_read16k" => ("fig_read16k", experiments::fig_read16k),
+        "meta" | "fig_meta" => ("fig_meta", experiments::fig_meta),
+        "zero" | "fig_zero" => ("fig_zero", experiments::fig_zero),
+        "reclaim" | "fig_reclaim" => ("fig_reclaim", experiments::fig_reclaim),
+        "palloc" | "fig_palloc" => ("fig_palloc", experiments::fig_palloc),
+        "persist" | "fig_persist" => ("fig_persist", experiments::fig_persist),
+        "virt" | "fig_virt" => ("fig_virt", experiments::fig_virt),
+        "thp" | "fig_thp" => ("fig_thp", experiments::fig_thp),
+        "teardown" | "fig_teardown" => ("fig_teardown", experiments::fig_teardown),
+        "frag" | "fig_frag" => ("fig_frag", experiments::fig_frag),
+        "churn" | "fig_churn" => ("fig_churn", experiments::fig_churn),
+        "dma" | "fig_dma" => ("fig_dma", experiments::fig_dma),
+        _ => return None,
+    };
+    Some(entry)
+}
+
+/// How to run the suite.
+#[derive(Clone, Debug)]
+pub struct RunnerOptions {
+    /// Worker threads (1 = sequential; same code path either way).
+    pub threads: usize,
+    /// Times to regenerate each figure (timing samples; the emitted
+    /// figure always comes from the first repeat).
+    pub repeat: usize,
+}
+
+impl Default for RunnerOptions {
+    fn default() -> RunnerOptions {
+        RunnerOptions {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            repeat: 1,
+        }
+    }
+}
+
+/// One figure's result plus its host wall-clock samples.
+pub struct FigureRun {
+    /// Canonical figure id.
+    pub id: &'static str,
+    /// The generated figure (identical across repeats and threads).
+    pub figure: Figure,
+    /// Host nanoseconds per repeat, in repeat order.
+    pub wall_ns: Vec<u64>,
+}
+
+impl FigureRun {
+    /// Fastest repeat in host ns.
+    pub fn min_wall_ns(&self) -> u64 {
+        self.wall_ns.iter().copied().min().unwrap_or(0)
+    }
+}
+
+/// A full suite run: figures in request order plus the profile.
+pub struct RunReport {
+    /// Worker threads actually used.
+    pub threads: usize,
+    /// Repeats per figure.
+    pub repeat: usize,
+    /// Whole-suite host wall-clock (includes scheduling overhead).
+    pub total_wall_ns: u64,
+    /// Per-figure results, in the order the ids were requested.
+    pub runs: Vec<FigureRun>,
+}
+
+impl RunReport {
+    /// Figures only, in request order.
+    pub fn figures(&self) -> Vec<Figure> {
+        self.runs.iter().map(|r| r.figure.clone()).collect()
+    }
+}
+
+/// Run `fns` (id + generator pairs from [`figure_fn`]) across a
+/// scoped thread pool. Results land in per-figure slots indexed by
+/// request position, so the report order is deterministic no matter
+/// which worker finishes first.
+pub fn run_figures(fns: &[(&'static str, fn() -> Figure)], opts: &RunnerOptions) -> RunReport {
+    let repeat = opts.repeat.max(1);
+    let n_tasks = fns.len() * repeat;
+    let threads = opts.threads.max(1).min(n_tasks.max(1));
+
+    // One slot per figure: the figure from repeat 0 plus all timings.
+    type Slot = (Option<Figure>, Vec<(usize, u64)>);
+    let slots: Vec<Mutex<Slot>> = fns.iter().map(|_| Mutex::new((None, Vec::new()))).collect();
+    let next = AtomicUsize::new(0);
+
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let task = next.fetch_add(1, Ordering::Relaxed);
+                if task >= n_tasks {
+                    break;
+                }
+                // Interleave figures before repeats so early tasks
+                // cover the whole suite and load-balance well.
+                let (fi, rep) = (task % fns.len(), task / fns.len());
+                let started = Instant::now();
+                let figure = (fns[fi].1)();
+                let ns = started.elapsed().as_nanos() as u64;
+                let mut slot = slots[fi].lock().unwrap_or_else(|e| e.into_inner());
+                slot.1.push((rep, ns));
+                if rep == 0 {
+                    slot.0 = Some(figure);
+                }
+            });
+        }
+    });
+    let total_wall_ns = t0.elapsed().as_nanos() as u64;
+
+    let runs = fns
+        .iter()
+        .zip(slots)
+        .map(|(&(id, _), slot)| {
+            let (figure, mut timings) = slot.into_inner().unwrap_or_else(|e| e.into_inner());
+            timings.sort_unstable_by_key(|&(rep, _)| rep);
+            FigureRun {
+                id,
+                figure: figure.expect("every figure ran at least once"),
+                wall_ns: timings.into_iter().map(|(_, ns)| ns).collect(),
+            }
+        })
+        .collect();
+
+    RunReport {
+        threads,
+        repeat,
+        total_wall_ns,
+        runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_id_resolves_and_aliases_agree() {
+        for id in ALL_IDS {
+            let (canon, _) = figure_fn(id).expect("canonical id resolves");
+            assert_eq!(canon, id);
+        }
+        assert_eq!(figure_fn("1a").unwrap().0, "fig1a");
+        assert_eq!(figure_fn("9").unwrap().0, "fig4_map");
+        assert!(figure_fn("nope").is_none());
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_a_small_subset() {
+        let fns: Vec<_> = ["fig2", "fig_meta", "fig_zero"]
+            .iter()
+            .map(|id| figure_fn(id).unwrap())
+            .collect();
+        let seq = run_figures(&fns, &RunnerOptions { threads: 1, repeat: 1 });
+        let par = run_figures(&fns, &RunnerOptions { threads: 3, repeat: 2 });
+        assert_eq!(seq.threads, 1);
+        assert_eq!(par.threads, 3);
+        assert_eq!(par.runs[0].wall_ns.len(), 2, "repeats all timed");
+        let a = crate::figures_to_json_pretty(&seq.figures());
+        let b = crate::figures_to_json_pretty(&par.figures());
+        assert_eq!(a, b, "thread count never changes figure bytes");
+        for (i, r) in seq.runs.iter().enumerate() {
+            assert_eq!(r.id, fns[i].0, "request order preserved");
+            assert!(r.min_wall_ns() > 0);
+        }
+    }
+}

@@ -1,9 +1,9 @@
-//! Figure data containers and table printing.
+//! Figure data containers, table printing, and JSON emission.
 
-use serde::Serialize;
+use crate::json;
 
 /// One plotted series: label plus (x, y) points.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Series {
     /// Legend label.
     pub label: String,
@@ -40,10 +40,28 @@ impl Series {
             _ => None,
         }
     }
+
+    /// Append this series as compact JSON.
+    pub fn write_json(&self, out: &mut String) {
+        out.push_str("{\"label\":");
+        json::push_str_escaped(out, &self.label);
+        out.push_str(",\"points\":[");
+        for (i, &(x, y)) in self.points.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            out.push_str(&x.to_string());
+            out.push(',');
+            json::push_f64(out, y);
+            out.push(']');
+        }
+        out.push_str("]}");
+    }
 }
 
 /// A full figure: id, axis labels, and its series.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Figure {
     /// Experiment id (e.g. "fig1a").
     pub id: String,
@@ -79,6 +97,101 @@ impl Figure {
         self.series.iter().find(|s| s.label == label)
     }
 
+    /// Compact JSON for this figure (field order: id, title, x_label,
+    /// y_label, series — the order serde used to emit).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+
+    /// Append this figure as compact JSON.
+    pub fn write_json(&self, out: &mut String) {
+        out.push_str("{\"id\":");
+        json::push_str_escaped(out, &self.id);
+        out.push_str(",\"title\":");
+        json::push_str_escaped(out, &self.title);
+        out.push_str(",\"x_label\":");
+        json::push_str_escaped(out, &self.x_label);
+        out.push_str(",\"y_label\":");
+        json::push_str_escaped(out, &self.y_label);
+        out.push_str(",\"series\":[");
+        for (i, s) in self.series.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            s.write_json(out);
+        }
+        out.push_str("]}");
+    }
+}
+
+/// Pretty-print a slice of figures as a JSON array: one figure object
+/// per block, one `[x, y]` point per line. Deterministic byte-for-byte
+/// given equal inputs — the determinism regression test compares the
+/// emitted strings directly.
+pub fn figures_to_json_pretty(figures: &[Figure]) -> String {
+    let mut out = String::from("[");
+    for (fi, f) in figures.iter().enumerate() {
+        if fi > 0 {
+            out.push(',');
+        }
+        json::push_indent(&mut out, 1);
+        out.push('{');
+        for (key, val) in [
+            ("id", &f.id),
+            ("title", &f.title),
+            ("x_label", &f.x_label),
+            ("y_label", &f.y_label),
+        ] {
+            json::push_indent(&mut out, 2);
+            json::push_str_escaped(&mut out, key);
+            out.push_str(": ");
+            json::push_str_escaped(&mut out, val);
+            out.push(',');
+        }
+        json::push_indent(&mut out, 2);
+        out.push_str("\"series\": [");
+        for (si, s) in f.series.iter().enumerate() {
+            if si > 0 {
+                out.push(',');
+            }
+            json::push_indent(&mut out, 3);
+            out.push_str("{\"label\": ");
+            json::push_str_escaped(&mut out, &s.label);
+            out.push_str(", \"points\": [");
+            for (pi, &(x, y)) in s.points.iter().enumerate() {
+                if pi > 0 {
+                    out.push(',');
+                }
+                json::push_indent(&mut out, 4);
+                out.push('[');
+                out.push_str(&x.to_string());
+                out.push_str(", ");
+                json::push_f64(&mut out, y);
+                out.push(']');
+            }
+            if !s.points.is_empty() {
+                json::push_indent(&mut out, 3);
+            }
+            out.push_str("]}");
+        }
+        if !f.series.is_empty() {
+            json::push_indent(&mut out, 2);
+        }
+        out.push(']');
+        json::push_indent(&mut out, 1);
+        out.push('}');
+    }
+    if !figures.is_empty() {
+        out.push('\n');
+    }
+    out.push(']');
+    out.push('\n');
+    out
+}
+
+impl Figure {
     /// Render as an aligned text table (x column + one column per
     /// series), the format the `figures` binary prints.
     pub fn to_table(&self) -> String {
@@ -156,7 +269,24 @@ mod tests {
     #[test]
     fn figure_serializes_to_json() {
         let f = Figure::new("f", "t", "x", "y");
-        let j = serde_json::to_string(&f).unwrap();
+        let j = f.to_json();
         assert!(j.contains("\"id\":\"f\""));
+        assert_eq!(j, "{\"id\":\"f\",\"title\":\"t\",\"x_label\":\"x\",\"y_label\":\"y\",\"series\":[]}");
+    }
+
+    #[test]
+    fn pretty_json_is_deterministic_and_has_all_points() {
+        let mut f = Figure::new("fig", "title", "x", "ns");
+        let mut s = Series::new("base");
+        s.push(4, 8000.0);
+        s.push(8, 2.5);
+        f.series.push(s);
+        let a = figures_to_json_pretty(&[f.clone()]);
+        let b = figures_to_json_pretty(&[f]);
+        assert_eq!(a, b, "byte-identical across calls");
+        assert!(a.contains("[4, 8000.0]"));
+        assert!(a.contains("[8, 2.5]"));
+        assert!(a.ends_with("]\n"));
+        assert_eq!(figures_to_json_pretty(&[]), "[]\n");
     }
 }

@@ -1197,6 +1197,19 @@ impl MemSys for FomKernel {
     fn store(&mut self, pid: Pid, va: VirtAddr, value: u64) -> Result<(), VmError> {
         self.store(pid, va, value)
     }
+
+    fn access_batch(&mut self, pid: Pid, addrs: &[VirtAddr], write: bool) -> Result<(), VmError> {
+        // Same loop as the trait default, but against the inherent
+        // methods: one virtual call per batch, not per access.
+        for (i, &va) in addrs.iter().enumerate() {
+            if write {
+                self.store(pid, va, i as u64)?;
+            } else {
+                self.load(pid, va)?;
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

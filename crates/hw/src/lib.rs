@@ -23,6 +23,7 @@
 pub mod addr;
 pub mod cost;
 pub mod dma;
+pub mod fasthash;
 pub mod machine;
 pub mod mmu;
 pub mod pagetable;

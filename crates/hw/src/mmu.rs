@@ -14,9 +14,10 @@
 //! Every step charges its modelled cost and bumps the perf counters,
 //! so experiments can attribute time to translation machinery exactly.
 
-use crate::addr::{PhysAddr, VirtAddr};
+use crate::addr::{FrameNo, PageNo, PageSize, PhysAddr, VirtAddr};
+use crate::fasthash::FastMap;
 use crate::machine::Machine;
-use crate::pagetable::{PageTables, PtNodeId, PteFlags};
+use crate::pagetable::{Entry, PageTables, PtNodeId, PteFlags, Translation};
 use crate::range::{RangeTable, RangeTlb};
 use crate::tlb::{Asid, Tlb};
 
@@ -112,6 +113,18 @@ impl WalkMode {
     }
 }
 
+/// One remembered leaf slot in the software page-walk cache: where
+/// the leaf PTE for a page lives, and how many levels the hardware
+/// walk touched to find it. Frame and flags are re-read from the live
+/// PTE on every hit, so hardware A/D updates are always visible.
+#[derive(Clone, Copy, Debug)]
+struct WalkSlot {
+    node: PtNodeId,
+    index: u16,
+    levels_touched: u8,
+    size: PageSize,
+}
+
 /// The per-machine MMU state (we model one CPU's translation caches).
 #[derive(Debug)]
 pub struct Mmu {
@@ -123,6 +136,20 @@ pub struct Mmu {
     pub ranges_enabled: bool,
     /// Translation depth / virtualization mode.
     pub walk_mode: WalkMode,
+    /// Software page-walk cache: `(root, base page)` → leaf slot. A
+    /// pure host-side accelerator — hits charge exactly what the full
+    /// walk would ([`CostModel::walk`] of the cached level count plus
+    /// one [`PerfCounters::page_walks`]), so simulated time and
+    /// counters are unchanged. Valid only while the page tables'
+    /// structural [`PageTables::epoch`] matches `walk_epoch`; any
+    /// map/unmap/share/free empties it on the next walk. An `Mmu` must
+    /// always be driven with the same [`PageTables`] arena.
+    ///
+    /// [`CostModel::walk`]: crate::cost::CostModel::walk
+    /// [`PerfCounters::page_walks`]: crate::perf::PerfCounters
+    walk_cache: FastMap<(PtNodeId, PageNo), WalkSlot>,
+    /// Epoch the cache contents were built at.
+    walk_epoch: u64,
 }
 
 impl Default for Mmu {
@@ -132,6 +159,8 @@ impl Default for Mmu {
             rtlb: RangeTlb::default(),
             ranges_enabled: false,
             walk_mode: WalkMode::Native4,
+            walk_cache: FastMap::default(),
+            walk_epoch: 0,
         }
     }
 }
@@ -213,17 +242,11 @@ impl Mmu {
 
         // 4. Page-table walk (charges native refs; deeper/virtualized
         // modes charge the extra references on top).
-        match pt.walk(m, root, va) {
-            Some(t) => {
+        match self.cached_walk(m, pt, root, va) {
+            Some((t, frame)) => {
                 m.charge(m.cost.ptw_level_ref * self.walk_mode.extra_refs(t.levels_touched));
                 check_prot(t.flags, access)?;
                 m.charge(m.cost.tlb_fill);
-                let base = va.align_down(t.size.bytes());
-                let frame = pt
-                    .lookup(root, base)
-                    .expect("leaf vanished during walk")
-                    .pa
-                    .frame();
                 self.tlb.insert(asid, va, frame, t.size, t.flags);
                 pt.mark_accessed(root, va, access == Access::Write);
                 Ok(Translated {
@@ -236,6 +259,72 @@ impl Mmu {
                 Err(TranslateError::NotMapped)
             }
         }
+    }
+
+    /// Hardware page walk through the software page-walk cache.
+    ///
+    /// Returns the same [`Translation`] the raw [`PageTables::walk`]
+    /// would produce, plus the leaf's frame (what the TLB fill needs),
+    /// while charging the identical cost: one page-walk count and
+    /// `cost.walk(levels_touched)`. On a cache hit the host skips the
+    /// tree traversal and re-reads the live leaf PTE directly, so
+    /// A/D-bit updates done in place remain visible. Structural page-
+    /// table changes bump [`PageTables::epoch`], which empties the
+    /// cache here before it can serve a stale slot.
+    fn cached_walk(
+        &mut self,
+        m: &mut Machine,
+        pt: &PageTables,
+        root: PtNodeId,
+        va: VirtAddr,
+    ) -> Option<(Translation, FrameNo)> {
+        if self.walk_epoch != pt.epoch() {
+            self.walk_cache.clear();
+            self.walk_epoch = pt.epoch();
+        }
+        let key = (root, va.page());
+        let slot = match self.walk_cache.get(&key) {
+            Some(&slot) => slot,
+            None => match pt.leaf_slot(root, va) {
+                Some((node, index, touched)) => {
+                    let size = match pt.level(node) {
+                        0 => PageSize::Base,
+                        1 => PageSize::Huge2M,
+                        2 => PageSize::Huge1G,
+                        _ => unreachable!("leaf at root level"),
+                    };
+                    let slot = WalkSlot {
+                        node,
+                        index: index as u16,
+                        levels_touched: touched,
+                        size,
+                    };
+                    self.walk_cache.insert(key, slot);
+                    slot
+                }
+                None => {
+                    // Exactly what `PageTables::walk` charges for a
+                    // failed walk: one counted walk at full depth.
+                    m.perf.page_walks += 1;
+                    m.charge(m.cost.walk(crate::addr::PT_LEVELS));
+                    return None;
+                }
+            },
+        };
+        let (frame, flags) = match pt.entry(slot.node, slot.index as usize) {
+            Entry::Leaf { frame, flags } => (frame, flags),
+            _ => unreachable!("walk-cache slot went stale within an epoch"),
+        };
+        m.perf.page_walks += 1;
+        m.charge(m.cost.walk(slot.levels_touched));
+        let off = va.0 & (slot.size.bytes() - 1);
+        let t = Translation {
+            pa: PhysAddr(frame.base().0 + off),
+            flags,
+            size: slot.size,
+            levels_touched: slot.levels_touched,
+        };
+        Some((t, frame))
     }
 
     /// Invalidate one page translation locally (INVLPG), charging its

@@ -176,12 +176,25 @@ pub struct Translation {
 pub struct PageTables {
     nodes: Vec<Option<Node>>,
     free_ids: Vec<u32>,
+    /// Bumped on every structural change (entry writes, node
+    /// allocation/free). Flag-only updates ([`mark_accessed`],
+    /// [`test_and_clear_accessed`]) do not bump it. Software walk
+    /// caches key their validity on this counter.
+    ///
+    /// [`mark_accessed`]: Self::mark_accessed
+    /// [`test_and_clear_accessed`]: Self::test_and_clear_accessed
+    epoch: u64,
 }
 
 impl PageTables {
     /// Empty arena.
     pub fn new() -> PageTables {
         PageTables::default()
+    }
+
+    /// Current structural-mutation epoch (see the field docs).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Number of live nodes.
@@ -228,6 +241,7 @@ impl PageTables {
         assert!(level < crate::addr::PT_LEVELS, "bad page-table level");
         m.charge(m.cost.pt_node_alloc);
         m.perf.pt_nodes_alloced += 1;
+        self.epoch += 1;
         let node = Node::new(level);
         match self.free_ids.pop() {
             Some(i) => {
@@ -276,6 +290,7 @@ impl PageTables {
             .collect();
         self.nodes[id.0 as usize] = None;
         self.free_ids.push(id.0);
+        self.epoch += 1;
         m.charge(m.cost.pt_node_free);
         m.perf.pt_nodes_freed += 1;
         for c in children {
@@ -291,6 +306,7 @@ impl PageTables {
     fn set_entry(&mut self, m: &mut Machine, node: PtNodeId, index: usize, e: Entry) {
         m.charge(m.cost.pte_write);
         m.perf.pte_writes += 1;
+        self.epoch += 1;
         let n = self.node_mut(node);
         let old_live = !matches!(n.entries[index], Entry::None);
         let new_live = !matches!(e, Entry::None);
@@ -490,6 +506,29 @@ impl PageTables {
                         levels_touched: touched,
                     });
                 }
+            }
+        }
+    }
+
+    /// Locate the node and entry index of the leaf covering `va`, plus
+    /// the number of levels a hardware walk would touch to reach it.
+    /// Pure and uncharged, like [`lookup`](Self::lookup) — this is the
+    /// handle a software page-walk cache stores so later walks can
+    /// re-read the live PTE without traversing the tree.
+    pub fn leaf_slot(&self, root: PtNodeId, va: VirtAddr) -> Option<(PtNodeId, usize, u8)> {
+        let mut cur = root;
+        let mut level = self.node(cur).level;
+        let mut touched = 1u8;
+        loop {
+            let idx = va.pt_index(level);
+            match self.entry(cur, idx) {
+                Entry::None => return None,
+                Entry::Table(child) => {
+                    cur = child;
+                    level -= 1;
+                    touched += 1;
+                }
+                Entry::Leaf { .. } => return Some((cur, idx, touched)),
             }
         }
     }

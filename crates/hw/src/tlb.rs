@@ -6,6 +6,7 @@
 //! mapped into a process if it would cause TLB misses"* (§3.2/§4.3).
 
 use crate::addr::{FrameNo, PageNo, PageSize, VirtAddr};
+use crate::fasthash::FastMap;
 use crate::pagetable::PteFlags;
 
 /// Address-space identifier tagging TLB entries.
@@ -25,12 +26,44 @@ struct TlbEntry {
     stamp: u64,
 }
 
+/// Hash key uniquely identifying a TLB entry (insert dedups on it).
+type TlbKey = (Asid, PageNo, PageSize);
+
 /// A set-associative TLB.
+///
+/// The per-set `Vec` order is the model: LRU eviction replaces the
+/// *first* minimum-stamp way, so insertion order breaks ties exactly
+/// as it always has. Two host-side accelerators sit on top and never
+/// change an outcome:
+///
+/// * `index` maps every resident entry's key to its `(set, way)`
+///   position, replacing the inner linear probes of `lookup`/`insert`
+///   with one hash probe per page size;
+/// * `last` remembers each ASID's most recent base-page hit (a small
+///   direct-mapped array, no hashing) so the common access loop
+///   revalidates one slot in O(1). Only base pages qualify: they are
+///   probed first, so a valid cached base entry is always what the
+///   size-ordered probe would have returned.
+///
+/// Both are revalidated or rebuilt on every mutation, so hit/miss
+/// behaviour, stamps and eviction victims are identical to a plain
+/// linear-scan implementation (see `tests/tlb_model.rs`).
 #[derive(Debug)]
 pub struct Tlb {
     sets: Vec<Vec<TlbEntry>>,
     assoc: usize,
     tick: u64,
+    index: FastMap<TlbKey, (u32, u32)>,
+    last: [Option<(Asid, PageNo, u32, u32)>; LAST_SLOTS],
+}
+
+/// Slots in the per-ASID last-translation cache (direct-mapped by the
+/// low ASID bits; a collision just misses and repopulates).
+const LAST_SLOTS: usize = 8;
+
+#[inline]
+fn last_slot(asid: Asid) -> usize {
+    (asid.0 as usize) & (LAST_SLOTS - 1)
 }
 
 /// Default number of TLB entries (64 sets × 8 ways = 512, in the range
@@ -60,6 +93,8 @@ impl Tlb {
             sets: vec![Vec::with_capacity(assoc); sets],
             assoc,
             tick: 0,
+            index: FastMap::default(),
+            last: [None; LAST_SLOTS],
         }
     }
 
@@ -85,22 +120,50 @@ impl Tlb {
         va.align_down(size.bytes()).page()
     }
 
+    /// Rebuild `index` entries for one set after `Vec::retain`
+    /// compacted it and shifted way positions.
+    fn reindex_set(&mut self, set: usize) {
+        for (way, e) in self.sets[set].iter().enumerate() {
+            self.index
+                .insert((e.asid, e.vpn, e.size), (set as u32, way as u32));
+        }
+    }
+
     /// Look up `va` for `asid`. On a hit, returns the mapping and
     /// refreshes its LRU stamp. The *caller* (the MMU) charges costs
     /// and counts hits/misses.
     pub fn lookup(&mut self, asid: Asid, va: VirtAddr) -> Option<(FrameNo, PageSize, PteFlags)> {
         self.tick += 1;
+        let tick = self.tick;
+        let base_vpn = Self::region_vpn(va, PageSize::Base);
+        // Per-ASID last-translation cache: revalidate the remembered
+        // slot before any hash probe. A stale slot simply fails the
+        // key comparison and falls through.
+        if let Some((a, vpn, set, way)) = self.last[last_slot(asid)] {
+            if a == asid && vpn == base_vpn {
+                if let Some(e) = self.sets[set as usize].get_mut(way as usize) {
+                    if e.asid == asid && e.vpn == vpn && e.size == PageSize::Base {
+                        e.stamp = tick;
+                        return Some((e.frame, e.size, e.flags));
+                    }
+                }
+            }
+        }
         // A unified TLB probes with each supported page size (real
         // hardware splits structures; the effect is the same).
         for size in [PageSize::Base, PageSize::Huge2M, PageSize::Huge1G] {
-            let vpn = Self::region_vpn(va, size);
-            let set = self.set_index(vpn);
-            let tick = self.tick;
-            if let Some(e) = self.sets[set]
-                .iter_mut()
-                .find(|e| e.asid == asid && e.vpn == vpn && e.size == size)
-            {
+            let vpn = if size == PageSize::Base {
+                base_vpn
+            } else {
+                Self::region_vpn(va, size)
+            };
+            if let Some(&(set, way)) = self.index.get(&(asid, vpn, size)) {
+                let e = &mut self.sets[set as usize][way as usize];
+                debug_assert!(e.asid == asid && e.vpn == vpn && e.size == size);
                 e.stamp = tick;
+                if size == PageSize::Base {
+                    self.last[last_slot(asid)] = Some((asid, vpn, set, way));
+                }
                 return Some((e.frame, e.size, e.flags));
             }
         }
@@ -127,40 +190,52 @@ impl Tlb {
             flags,
             stamp: self.tick,
         };
-        let ways = &mut self.sets[set];
-        if let Some(e) = ways
-            .iter_mut()
-            .find(|e| e.asid == asid && e.vpn == vpn && e.size == size)
-        {
-            *e = entry;
+        if let Some(&(s, w)) = self.index.get(&(asid, vpn, size)) {
+            self.sets[s as usize][w as usize] = entry;
             return;
         }
-        if ways.len() < self.assoc {
-            ways.push(entry);
+        let ways = self.sets[set].len();
+        if ways < self.assoc {
+            self.sets[set].push(entry);
+            self.index
+                .insert((asid, vpn, size), (set as u32, ways as u32));
             return;
         }
-        let lru = ways
+        // First minimum stamp wins, as in a front-to-back linear scan.
+        let lru = self.sets[set]
             .iter()
             .enumerate()
             .min_by_key(|(_, e)| e.stamp)
             .map(|(i, _)| i)
             .expect("nonempty set");
-        ways[lru] = entry;
+        let old = self.sets[set][lru];
+        self.sets[set][lru] = entry;
+        self.index.remove(&(old.asid, old.vpn, old.size));
+        self.index
+            .insert((asid, vpn, size), (set as u32, lru as u32));
     }
 
     /// Invalidate the entry covering `va` in `asid` (INVLPG).
     pub fn invalidate_page(&mut self, asid: Asid, va: VirtAddr) {
         for size in [PageSize::Base, PageSize::Huge2M, PageSize::Huge1G] {
             let vpn = Self::region_vpn(va, size);
-            let set = self.set_index(vpn);
-            self.sets[set].retain(|e| !(e.asid == asid && e.vpn == vpn && e.size == size));
+            if self.index.remove(&(asid, vpn, size)).is_some() {
+                let set = self.set_index(vpn);
+                self.sets[set].retain(|e| !(e.asid == asid && e.vpn == vpn && e.size == size));
+                self.reindex_set(set);
+            }
         }
     }
 
     /// Invalidate every entry belonging to `asid`.
     pub fn flush_asid(&mut self, asid: Asid) {
-        for set in &mut self.sets {
-            set.retain(|e| e.asid != asid);
+        self.last[last_slot(asid)] = None;
+        self.index.retain(|&(a, _, _), _| a != asid);
+        for set in 0..self.sets.len() {
+            if self.sets[set].iter().any(|e| e.asid == asid) {
+                self.sets[set].retain(|e| e.asid != asid);
+                self.reindex_set(set);
+            }
         }
     }
 
@@ -169,6 +244,23 @@ impl Tlb {
         for set in &mut self.sets {
             set.clear();
         }
+        self.index.clear();
+        self.last = [None; LAST_SLOTS];
+    }
+
+    /// Check that the hash index mirrors the set arrays exactly
+    /// (test/debug support; O(capacity)).
+    pub fn check_index_consistency(&self) -> bool {
+        let live: usize = self.sets.iter().map(Vec::len).sum();
+        if live != self.index.len() {
+            return false;
+        }
+        self.sets.iter().enumerate().all(|(set, ways)| {
+            ways.iter().enumerate().all(|(way, e)| {
+                self.index.get(&(e.asid, e.vpn, e.size))
+                    == Some(&(set as u32, way as u32))
+            })
+        })
     }
 }
 

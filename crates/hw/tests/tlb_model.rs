@@ -8,8 +8,124 @@ use std::collections::HashMap;
 use proptest::prelude::*;
 
 use o1_hw::{
-    Asid, FrameNo, PageSize, PhysAddr, PteFlags, RangeEntry, RangeTlb, Tlb, VirtAddr, PAGE_SIZE,
+    Asid, FrameNo, PageNo, PageSize, PhysAddr, PteFlags, RangeEntry, RangeTlb, Tlb, VirtAddr,
+    PAGE_SIZE,
 };
+
+/// Reference TLB: the plain linear-scan implementation the production
+/// [`Tlb`] replaced with a hash index and a last-translation cache.
+/// Semantics are pinned here entry for entry — one shared `tick`,
+/// stamp refresh on hit, probe order Base → 2M → 1G, update-in-place
+/// on duplicate insert, and LRU eviction of the *first* minimum-stamp
+/// way — so the equivalence property below proves the fast paths
+/// never change a hit, miss, or eviction victim.
+struct RefTlb {
+    sets: Vec<Vec<RefEntry>>,
+    assoc: usize,
+    tick: u64,
+}
+
+#[derive(Clone, Copy)]
+struct RefEntry {
+    asid: Asid,
+    vpn: PageNo,
+    frame: FrameNo,
+    size: PageSize,
+    flags: PteFlags,
+    stamp: u64,
+}
+
+impl RefTlb {
+    fn new(sets: usize, assoc: usize) -> RefTlb {
+        RefTlb {
+            sets: vec![Vec::new(); sets],
+            assoc,
+            tick: 0,
+        }
+    }
+
+    fn set_index(&self, vpn: PageNo) -> usize {
+        (vpn.0 as usize) & (self.sets.len() - 1)
+    }
+
+    fn region_vpn(va: VirtAddr, size: PageSize) -> PageNo {
+        va.align_down(size.bytes()).page()
+    }
+
+    fn lookup(&mut self, asid: Asid, va: VirtAddr) -> Option<(FrameNo, PageSize, PteFlags)> {
+        self.tick += 1;
+        for size in [PageSize::Base, PageSize::Huge2M, PageSize::Huge1G] {
+            let vpn = Self::region_vpn(va, size);
+            let set = self.set_index(vpn);
+            let tick = self.tick;
+            if let Some(e) = self.sets[set]
+                .iter_mut()
+                .find(|e| e.asid == asid && e.vpn == vpn && e.size == size)
+            {
+                e.stamp = tick;
+                return Some((e.frame, e.size, e.flags));
+            }
+        }
+        None
+    }
+
+    fn insert(&mut self, asid: Asid, va: VirtAddr, frame: FrameNo, size: PageSize, flags: PteFlags) {
+        self.tick += 1;
+        let vpn = Self::region_vpn(va, size);
+        let set = self.set_index(vpn);
+        let entry = RefEntry {
+            asid,
+            vpn,
+            frame,
+            size,
+            flags,
+            stamp: self.tick,
+        };
+        let ways = &mut self.sets[set];
+        if let Some(e) = ways
+            .iter_mut()
+            .find(|e| e.asid == asid && e.vpn == vpn && e.size == size)
+        {
+            *e = entry;
+            return;
+        }
+        if ways.len() < self.assoc {
+            ways.push(entry);
+            return;
+        }
+        let lru = ways
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.stamp)
+            .map(|(i, _)| i)
+            .expect("nonempty set");
+        ways[lru] = entry;
+    }
+
+    fn invalidate_page(&mut self, asid: Asid, va: VirtAddr) {
+        for size in [PageSize::Base, PageSize::Huge2M, PageSize::Huge1G] {
+            let vpn = Self::region_vpn(va, size);
+            let set = self.set_index(vpn);
+            self.sets[set].retain(|e| !(e.asid == asid && e.vpn == vpn && e.size == size));
+        }
+    }
+
+    fn flush_asid(&mut self, asid: Asid) {
+        for set in &mut self.sets {
+            set.retain(|e| e.asid != asid);
+        }
+    }
+
+    fn flush_all(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+
+    fn occupancy(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
 
 #[derive(Clone, Debug)]
 enum TlbOp {
@@ -80,6 +196,86 @@ proptest! {
                 }
             }
             prop_assert!(tlb.occupancy() <= tlb.capacity());
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum EqOp {
+    Insert { asid: u16, page: u64, frame: u64, size: u8 },
+    Lookup { asid: u16, page: u64 },
+    InvalidatePage { asid: u16, page: u64 },
+    FlushAsid { asid: u16 },
+    FlushAll,
+}
+
+fn eq_op() -> impl Strategy<Value = EqOp> {
+    // Pages span several 2M regions (512 base pages each) so huge-page
+    // entries of different sizes alias the same addresses, and frames
+    // are small enough that duplicate-key reinserts happen often.
+    prop_oneof![
+        4 => (0u16..4, 0u64..2048, 0u64..512, 0u8..3).prop_map(|(asid, page, frame, size)| {
+            EqOp::Insert { asid, page, frame, size }
+        }),
+        4 => (0u16..4, 0u64..2048).prop_map(|(asid, page)| EqOp::Lookup { asid, page }),
+        1 => (0u16..4, 0u64..2048).prop_map(|(asid, page)| EqOp::InvalidatePage { asid, page }),
+        1 => (0u16..4).prop_map(|asid| EqOp::FlushAsid { asid }),
+        1 => Just(EqOp::FlushAll),
+    ]
+}
+
+fn eq_size(tag: u8) -> PageSize {
+    match tag {
+        0 => PageSize::Base,
+        1 => PageSize::Huge2M,
+        _ => PageSize::Huge1G,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    /// The production TLB (hash-indexed sets + per-ASID last-translation
+    /// cache) is observationally identical to the linear-scan reference:
+    /// same hits, same misses, same translation on every hit, same
+    /// occupancy after every operation — i.e. the same eviction victims.
+    #[test]
+    fn tlb_matches_linear_scan_reference(
+        ops in proptest::collection::vec(eq_op(), 1..300),
+        sets in 0usize..5,
+        assoc in 1usize..5,
+    ) {
+        let mut tlb = Tlb::new(1 << sets, assoc);
+        let mut reference = RefTlb::new(1 << sets, assoc);
+        for op in ops {
+            match op {
+                EqOp::Insert { asid, page, frame, size } => {
+                    let va = VirtAddr(page * PAGE_SIZE);
+                    let size = eq_size(size);
+                    tlb.insert(Asid(asid), va, FrameNo(frame), size, PteFlags::user_rw());
+                    reference.insert(Asid(asid), va, FrameNo(frame), size, PteFlags::user_rw());
+                }
+                EqOp::Lookup { asid, page } => {
+                    let va = VirtAddr(page * PAGE_SIZE);
+                    let got = tlb.lookup(Asid(asid), va);
+                    let want = reference.lookup(Asid(asid), va);
+                    prop_assert_eq!(got, want, "lookup diverged: asid {} page {}", asid, page);
+                }
+                EqOp::InvalidatePage { asid, page } => {
+                    let va = VirtAddr(page * PAGE_SIZE);
+                    tlb.invalidate_page(Asid(asid), va);
+                    reference.invalidate_page(Asid(asid), va);
+                }
+                EqOp::FlushAsid { asid } => {
+                    tlb.flush_asid(Asid(asid));
+                    reference.flush_asid(Asid(asid));
+                }
+                EqOp::FlushAll => {
+                    tlb.flush_all();
+                    reference.flush_all();
+                }
+            }
+            prop_assert_eq!(tlb.occupancy(), reference.occupancy(), "occupancy diverged");
+            prop_assert!(tlb.check_index_consistency(), "hash index out of sync with ways");
         }
     }
 }

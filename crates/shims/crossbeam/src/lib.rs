@@ -1,0 +1,65 @@
+//! Offline drop-in subset of the `crossbeam` 0.8 scoped-thread API,
+//! implemented on `std::thread::scope` (stable since 1.63).
+//!
+//! `crossbeam::scope(|s| { s.spawn(|_| ..); .. }).unwrap()` works as
+//! upstream: spawned closures receive `&Scope` so they can spawn
+//! nested work, and the scope joins every thread before returning.
+
+/// Scope handle passed to [`scope`]'s closure and to spawned threads.
+pub struct Scope<'scope, 'env: 'scope>(&'scope std::thread::Scope<'scope, 'env>);
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread; the closure receives this scope again.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.0;
+        inner.spawn(move || f(&Scope(inner)))
+    }
+}
+
+/// Run `f` with a scope; all spawned threads are joined before this
+/// returns. The `Result` mirrors crossbeam's signature — with
+/// `std::thread::scope` underneath, a panicking child propagates on
+/// join, so the value is always `Ok` when this returns normally.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope(s))))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn scoped_threads_share_stack_data_and_join() {
+        let counter = &AtomicU64::new(0);
+        let handles_done = crate::scope(|s| {
+            for i in 0..8u64 {
+                s.spawn(move |sc| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    // Nested spawn through the passed-in scope.
+                    sc.spawn(move |_| counter.fetch_add(i, Ordering::SeqCst));
+                });
+            }
+            true
+        })
+        .unwrap();
+        assert!(handles_done);
+        assert_eq!(counter.load(Ordering::SeqCst), 8 + (0..8).sum::<u64>());
+    }
+
+    #[test]
+    fn spawn_returns_joinable_handles() {
+        let r = crate::scope(|s| {
+            let h = s.spawn(|_| 21 * 2);
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(r, 42);
+    }
+}

@@ -39,6 +39,24 @@ pub trait MemSys {
 
     /// 8-byte store at `va`.
     fn store(&mut self, pid: Pid, va: VirtAddr, value: u64) -> Result<(), VmError>;
+
+    /// Drive a whole access sequence in one call: for each address,
+    /// a [`store`](Self::store) of its sequence index when `write`,
+    /// else a [`load`](Self::load). Semantically identical to the
+    /// per-element loop (same order, same values, same charges) — the
+    /// batch exists so drivers cross the `dyn MemSys` boundary once
+    /// per sequence instead of once per access; kernels override it
+    /// with a statically dispatched inner loop.
+    fn access_batch(&mut self, pid: Pid, addrs: &[VirtAddr], write: bool) -> Result<(), VmError> {
+        for (i, &va) in addrs.iter().enumerate() {
+            if write {
+                self.store(pid, va, i as u64)?;
+            } else {
+                self.load(pid, va)?;
+            }
+        }
+        Ok(())
+    }
 }
 
 impl MemSys for crate::kernel::BaselineKernel {
@@ -87,6 +105,19 @@ impl MemSys for crate::kernel::BaselineKernel {
 
     fn store(&mut self, pid: Pid, va: VirtAddr, value: u64) -> Result<(), VmError> {
         self.store(pid, va, value)
+    }
+
+    fn access_batch(&mut self, pid: Pid, addrs: &[VirtAddr], write: bool) -> Result<(), VmError> {
+        // Same loop as the trait default, but against the inherent
+        // methods: one virtual call per batch, not per access.
+        for (i, &va) in addrs.iter().enumerate() {
+            if write {
+                self.store(pid, va, i as u64)?;
+            } else {
+                self.load(pid, va)?;
+            }
+        }
+        Ok(())
     }
 }
 

@@ -66,18 +66,16 @@ pub fn drive_access<S: MemSys + ?Sized>(
     seed: u64,
     write: bool,
 ) -> Result<Measurement, VmError> {
-    let seq = pattern.generate(pages, seed);
-    measure(sys, |s| {
-        for (i, page) in seq.iter().enumerate() {
-            let addr = va + page * PAGE_SIZE;
-            if write {
-                s.store(pid, addr, i as u64)?;
-            } else {
-                s.load(pid, addr)?;
-            }
-        }
-        Ok(())
-    })
+    // Materialize the address sequence once and hand it to the kernel
+    // as a single batch: identical accesses in identical order (the
+    // batched store value is the sequence index, as the old per-call
+    // loop charged), but the `dyn MemSys` boundary is crossed once.
+    let addrs: Vec<VirtAddr> = pattern
+        .generate(pages, seed)
+        .iter()
+        .map(|page| va + page * PAGE_SIZE)
+        .collect();
+    measure(sys, |s| s.access_batch(pid, &addrs, write))
 }
 
 /// Allocation/free churn: `rounds` of allocating `live_regions`

@@ -1,0 +1,38 @@
+#!/usr/bin/env sh
+# Tier-1 verification: exactly what CI runs, runnable locally.
+#
+#   scripts/ci.sh           # build + test + figure smoke
+#   scripts/ci.sh --full    # also regenerate every figure (slow)
+#
+# The repo builds offline: all external dev-deps resolve to the
+# in-tree shims under crates/shims/, so no network access is needed.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test --workspace"
+cargo test -q --workspace
+
+echo "==> figures smoke (--fig fig1a --json, deterministic output)"
+out="$(mktemp -d)"
+trap 'rm -rf "$out"' EXIT
+cargo run --release -p o1-bench --bin figures -- \
+    --fig fig1a --json "$out/fig1a.json" --bench-out "$out/bench.json" \
+    >/dev/null
+# The smoke figure's JSON must be non-empty and parse as the series
+# schema (cheap sanity; byte-level determinism is enforced by
+# tests/figures_determinism.rs above).
+grep -q '"fig1a"' "$out/fig1a.json"
+grep -q '"schema": "o1mem/bench-figures/v1"' "$out/bench.json"
+
+if [ "${1:-}" = "--full" ]; then
+    echo "==> full figure suite"
+    cargo run --release -p o1-bench --bin figures -- \
+        --json "$out/all.json" --bench-out "$out/bench_all.json" >/dev/null
+    grep -q '"fig_churn"' "$out/all.json"
+fi
+
+echo "ci.sh: OK"

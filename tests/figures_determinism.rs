@@ -1,0 +1,53 @@
+//! Regression gate for the parallel figure runner: the simulator's
+//! output is a pure function of the experiment definitions, so the
+//! full suite must serialize to byte-identical JSON whether figures
+//! are generated sequentially or across a thread pool (and no matter
+//! how many times each is repeated). Any divergence means host-side
+//! concurrency leaked into a simulated number — the one bug class the
+//! parallel harness must never introduce.
+
+use o1_bench::runner::{figure_fn, run_figures, RunnerOptions, ALL_IDS};
+use o1_bench::figures_to_json_pretty;
+
+#[test]
+fn all_figures_byte_identical_sequential_vs_parallel() {
+    let fns: Vec<_> = ALL_IDS
+        .iter()
+        .map(|id| figure_fn(id).expect("known id"))
+        .collect();
+
+    let seq = run_figures(
+        &fns,
+        &RunnerOptions {
+            threads: 1,
+            repeat: 1,
+        },
+    );
+    // Oversubscribe relative to typical CI hosts and repeat each
+    // figure twice so distinct interleavings actually happen.
+    let par = run_figures(
+        &fns,
+        &RunnerOptions {
+            threads: 4,
+            repeat: 2,
+        },
+    );
+
+    assert_eq!(seq.runs.len(), ALL_IDS.len());
+    for (run, id) in seq.runs.iter().zip(ALL_IDS) {
+        assert_eq!(run.id, id, "sequential report preserves request order");
+    }
+    for (run, id) in par.runs.iter().zip(ALL_IDS) {
+        assert_eq!(run.id, id, "parallel report preserves request order");
+        assert_eq!(run.wall_ns.len(), 2, "every repeat is timed");
+    }
+
+    let a = figures_to_json_pretty(&seq.figures());
+    let b = figures_to_json_pretty(&par.figures());
+    assert!(
+        a == b,
+        "parallel figure JSON diverged from sequential (lengths {} vs {})",
+        a.len(),
+        b.len()
+    );
+}
