@@ -24,7 +24,7 @@ fn bench_reclaim(c: &mut Criterion) {
                 thp: ThpMode::Never,
                 fault_around: 1,
             });
-            let pid = MemSys::create_process(&mut k);
+            let pid = MemSys::create_process(&mut k).unwrap();
             let va = k
                 .mmap(
                     pid,
@@ -47,7 +47,7 @@ fn bench_reclaim(c: &mut Criterion) {
                 mech: MapMech::SharedPt,
                 ..FomConfig::default()
             });
-            let pid = k.create_process();
+            let pid = k.create_process().unwrap();
             for i in 0..16u64 {
                 let (_, va) = k
                     .create_named_discardable(pid, &format!("/c{i}"), resident / 16 * PAGE_SIZE)

@@ -30,7 +30,7 @@ fn bench_thp(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new(label, "8MiB"), &mode, |b, &mode| {
             b.iter(|| {
                 let mut k = kernel(mode);
-                let pid = MemSys::create_process(&mut k);
+                let pid = MemSys::create_process(&mut k).unwrap();
                 let va = k
                     .mmap(
                         pid,
@@ -53,7 +53,7 @@ fn bench_thp(c: &mut Criterion) {
     g.bench_function("partial_munmap_of_huge", |b| {
         b.iter(|| {
             let mut k = kernel(ThpMode::Aligned2M);
-            let pid = MemSys::create_process(&mut k);
+            let pid = MemSys::create_process(&mut k).unwrap();
             let va = k
                 .mmap(
                     pid,

@@ -29,7 +29,7 @@ fn bench_fig1(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("private", pages), &pages, |b, &pages| {
             b.iter(|| {
                 let mut k = kernel(pages);
-                let pid = MemSys::create_process(&mut k);
+                let pid = MemSys::create_process(&mut k).unwrap();
                 let id = k.create_file("f", pages * PAGE_SIZE).unwrap();
                 black_box(
                     k.mmap(
@@ -46,7 +46,7 @@ fn bench_fig1(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("populate", pages), &pages, |b, &pages| {
             b.iter(|| {
                 let mut k = kernel(pages);
-                let pid = MemSys::create_process(&mut k);
+                let pid = MemSys::create_process(&mut k).unwrap();
                 let id = k.create_file("f", pages * PAGE_SIZE).unwrap();
                 black_box(
                     k.mmap(
@@ -68,7 +68,7 @@ fn bench_fig1(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("demand", pages), &pages, |b, &pages| {
             b.iter(|| {
                 let mut k = kernel(pages);
-                let pid = MemSys::create_process(&mut k);
+                let pid = MemSys::create_process(&mut k).unwrap();
                 let id = k.create_file("f", pages * PAGE_SIZE).unwrap();
                 let va = k
                     .mmap(
@@ -87,7 +87,7 @@ fn bench_fig1(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("populated", pages), &pages, |b, &pages| {
             b.iter(|| {
                 let mut k = kernel(pages);
-                let pid = MemSys::create_process(&mut k);
+                let pid = MemSys::create_process(&mut k).unwrap();
                 let id = k.create_file("f", pages * PAGE_SIZE).unwrap();
                 let va = k
                     .mmap(

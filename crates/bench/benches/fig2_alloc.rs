@@ -18,8 +18,8 @@ fn bench_fig2(c: &mut Criterion) {
             &pages,
             |b, &pages| {
                 b.iter(|| {
-                    let mut k = BaselineKernel::with_dram((bytes * 2).max(64 << 20));
-                    let pid = MemSys::create_process(&mut k);
+                    let mut k = BaselineKernel::builder().dram((bytes * 2).max(64 << 20)).build();
+                    let pid = MemSys::create_process(&mut k).unwrap();
                     let va = k
                         .mmap(
                             pid,
@@ -41,8 +41,8 @@ fn bench_fig2(c: &mut Criterion) {
             &pages,
             |b, &pages| {
                 b.iter(|| {
-                    let mut k = BaselineKernel::with_dram((bytes * 2).max(64 << 20));
-                    let pid = MemSys::create_process(&mut k);
+                    let mut k = BaselineKernel::builder().dram((bytes * 2).max(64 << 20)).build();
+                    let pid = MemSys::create_process(&mut k).unwrap();
                     let id = k.create_file("f", bytes).unwrap();
                     let va = k
                         .mmap(
@@ -65,8 +65,8 @@ fn bench_fig2(c: &mut Criterion) {
             &pages,
             |b, &pages| {
                 b.iter(|| {
-                    let mut k = FomKernel::with_mech(MapMech::SharedPt);
-                    let pid = k.create_process();
+                    let mut k = FomKernel::builder().mech(MapMech::SharedPt).build();
+                    let pid = k.create_process().unwrap();
                     let (_, va) = k.falloc(pid, bytes, FileClass::Volatile).unwrap();
                     for p in 0..pages {
                         k.store(pid, va + p * PAGE_SIZE, p).unwrap();

@@ -13,11 +13,11 @@ const BYTES: u64 = 8 << 20;
 fn bench_fig3(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig3_nth_mapper");
     g.bench_function("baseline_populate", |b| {
-        let mut k = BaselineKernel::with_dram(512 << 20);
+        let mut k = BaselineKernel::builder().dram(512 << 20).build();
         let id = k.create_file("shared", BYTES).unwrap();
         k.file_write(id, 0, &vec![1u8; BYTES as usize]).unwrap();
         b.iter(|| {
-            let pid = MemSys::create_process(&mut k);
+            let pid = MemSys::create_process(&mut k).unwrap();
             let va = k
                 .mmap(
                     pid,
@@ -38,12 +38,12 @@ fn bench_fig3(c: &mut Criterion) {
         ("fom_ranges", MapMech::Ranges),
     ] {
         g.bench_with_input(BenchmarkId::new(label, "8MiB"), &mech, |b, &mech| {
-            let mut k = FomKernel::with_mech(mech);
-            let setup = k.create_process();
+            let mut k = FomKernel::builder().mech(mech).build();
+            let setup = k.create_process().unwrap();
             k.create_named(setup, "/shared", BYTES, FileClass::Persistent)
                 .unwrap();
             b.iter(|| {
-                let pid = k.create_process();
+                let pid = k.create_process().unwrap();
                 let (_, va) = k.open_map(pid, "/shared", Prot::ReadWrite).unwrap();
                 k.unmap(pid, va).unwrap();
                 k.destroy_process(pid).unwrap();

@@ -52,12 +52,12 @@ fn bench_map_mechanisms(c: &mut Criterion) {
                 BenchmarkId::new(label, kb),
                 &(mech, kb),
                 |b, &(mech, kb)| {
-                    let mut k = FomKernel::with_mech(mech);
-                    let setup = k.create_process();
+                    let mut k = FomKernel::builder().mech(mech).build();
+                    let setup = k.create_process().unwrap();
                     k.create_named(setup, "/blob", kb * 1024, FileClass::Persistent)
                         .unwrap();
                     b.iter(|| {
-                        let pid = k.create_process();
+                        let pid = k.create_process().unwrap();
                         let (_, va) = k.open_map(pid, "/blob", o1_vm::Prot::ReadWrite).unwrap();
                         k.unmap(pid, va).unwrap();
                         k.destroy_process(pid).unwrap();
@@ -75,8 +75,8 @@ fn bench_map_mechanisms(c: &mut Criterion) {
         ("ranges", MapMech::Ranges),
     ] {
         g.bench_with_input(BenchmarkId::new(label, "64MiB"), &mech, |b, &mech| {
-            let mut k = FomKernel::with_mech(mech);
-            let pid = k.create_process();
+            let mut k = FomKernel::builder().mech(mech).build();
+            let pid = k.create_process().unwrap();
             let (_, va) = k.falloc(pid, 64 << 20, FileClass::Volatile).unwrap();
             let pages = (64 << 20) / PAGE_SIZE;
             let seq = AccessPattern::RandomUniform { count: 1024 }.generate(pages, 7);

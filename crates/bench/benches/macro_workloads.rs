@@ -16,8 +16,8 @@ fn bench_churn(c: &mut Criterion) {
     g.sample_size(20);
     g.bench_function("baseline", |b| {
         b.iter(|| {
-            let mut k = BaselineKernel::with_dram(512 << 20);
-            let pid = MemSys::create_process(&mut k);
+            let mut k = BaselineKernel::builder().dram(512 << 20).build();
+            let pid = MemSys::create_process(&mut k).unwrap();
             black_box(trace.replay(&mut k, pid).unwrap())
         })
     });
@@ -27,8 +27,8 @@ fn bench_churn(c: &mut Criterion) {
     ] {
         g.bench_with_input(BenchmarkId::new(label, "1500"), &mech, |b, &mech| {
             b.iter(|| {
-                let mut k = FomKernel::with_mech(mech);
-                let pid = MemSys::create_process(&mut k);
+                let mut k = FomKernel::builder().mech(mech).build();
+                let pid = MemSys::create_process(&mut k).unwrap();
                 black_box(trace.replay(&mut k, pid).unwrap())
             })
         });
@@ -40,8 +40,8 @@ fn bench_dma(c: &mut Criterion) {
     let bytes = 4u64 << 20;
     let mut g = c.benchmark_group("macro_dma_4mb");
     g.bench_function("baseline_pinned", |b| {
-        let mut k = BaselineKernel::with_dram(64 << 20);
-        let pid = MemSys::create_process(&mut k);
+        let mut k = BaselineKernel::builder().dram(64 << 20).build();
+        let pid = MemSys::create_process(&mut k).unwrap();
         let va = k
             .mmap(
                 pid,
@@ -56,8 +56,8 @@ fn bench_dma(c: &mut Criterion) {
         b.iter(|| black_box(k.dma_transfer(pid, va, bytes, &mut dma).unwrap()))
     });
     g.bench_function("fom_implicit", |b| {
-        let mut k = FomKernel::with_mech(MapMech::Ranges);
-        let pid = k.create_process();
+        let mut k = FomKernel::builder().mech(MapMech::Ranges).build();
+        let pid = k.create_process().unwrap();
         let (_, va) = k.falloc(pid, bytes, FileClass::Volatile).unwrap();
         let mut dma = DmaEngine::new();
         b.iter(|| black_box(k.dma_transfer(pid, va, bytes, &mut dma).unwrap()))

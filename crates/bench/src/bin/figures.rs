@@ -22,7 +22,10 @@
 use std::io::Write as _;
 
 use o1_bench::runner::{figure_fn, run_figures, RunReport, RunnerOptions, ALL_IDS};
-use o1_bench::{figures_to_json_pretty, json, Figure};
+use o1_bench::{
+    attribution_table, figures_to_json_pretty, figures_to_json_pretty_with_attribution, json,
+    Figure,
+};
 
 const USAGE: &str = "\
 usage: figures [options]
@@ -34,12 +37,19 @@ usage: figures [options]
   --csv <dir>         write one CSV per figure
   --profile           run the suite at 1 thread and at --threads, assert
                       byte-identical output, and record the speedup
+  --trace <dir>       collect the cost-attribution ledger, verify it
+                      conserves the simulated clock (exit 1 on any
+                      mismatch), and write <dir>/trace.jsonl plus
+                      <dir>/chrome_trace.json
+  --attrib            print per-figure attribution tables; with --json,
+                      embed an \"attribution\" section per figure
   --bench-out <path>  self-profiler output path (default BENCH_figures.json)
   --no-bench          do not write the self-profiler file
   --help              print this help
 
 Figure output is deterministic: --threads/--repeat change wall-clock
-only, never a simulated number.";
+only, never a simulated number. Traces are deterministic too: the
+JSONL and Chrome-trace bytes are identical for any --threads value.";
 
 struct Cli {
     want: Option<String>,
@@ -48,6 +58,8 @@ struct Cli {
     json_path: Option<String>,
     csv_dir: Option<String>,
     profile: bool,
+    trace_dir: Option<String>,
+    attrib: bool,
     bench_out: Option<String>,
     write_bench: bool,
 }
@@ -60,6 +72,8 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
         json_path: None,
         csv_dir: None,
         profile: false,
+        trace_dir: None,
+        attrib: false,
         bench_out: None,
         write_bench: true,
     };
@@ -106,6 +120,8 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
             "--json" => cli.json_path = Some(value(args, &mut i, "--json")?),
             "--csv" => cli.csv_dir = Some(value(args, &mut i, "--csv")?),
             "--profile" => cli.profile = true,
+            "--trace" => cli.trace_dir = Some(value(args, &mut i, "--trace")?),
+            "--attrib" => cli.attrib = true,
             "--bench-out" => cli.bench_out = Some(value(args, &mut i, "--bench-out")?),
             "--no-bench" => cli.write_bench = false,
             other => return Err(format!("unknown argument: {other}")),
@@ -252,9 +268,11 @@ fn main() {
     let threads = cli.threads.unwrap_or_else(|| {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     });
+    let tracing = cli.trace_dir.is_some() || cli.attrib;
     let opts = RunnerOptions {
         threads,
         repeat: cli.repeat,
+        trace: tracing,
     };
 
     let (reports, identical): (Vec<RunReport>, Option<bool>) = if cli.profile {
@@ -280,10 +298,44 @@ fn main() {
 
     let last = reports.last().expect("at least one run");
     let figures = last.figures();
+    let traces = last.traces();
+
+    if tracing {
+        // The ledger must account for every simulated nanosecond: a
+        // mismatch means a charge path bypassed the trace, which would
+        // make every attribution table a lie. Fail loudly.
+        let errors = o1_obs::conservation_errors(&traces);
+        if !errors.is_empty() {
+            for e in &errors {
+                eprintln!("conservation error: {e}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!(
+            "trace: {} figures, ledger conserves the simulated clock",
+            traces.len()
+        );
+    }
 
     println!("# Towards O(1) Memory — regenerated figures (simulated ns, deterministic)\n");
     for f in &figures {
         println!("{}", f.to_table());
+    }
+
+    if cli.attrib {
+        for t in &traces {
+            println!("{}", attribution_table(t));
+        }
+    }
+
+    if let Some(dir) = &cli.trace_dir {
+        std::fs::create_dir_all(dir).expect("create trace dir");
+        let jsonl = format!("{dir}/trace.jsonl");
+        std::fs::write(&jsonl, o1_obs::export_jsonl(&traces)).expect("write trace jsonl");
+        let chrome = format!("{dir}/chrome_trace.json");
+        std::fs::write(&chrome, o1_obs::export_chrome_trace(&traces))
+            .expect("write chrome trace");
+        eprintln!("wrote {jsonl} and {chrome}");
     }
 
     if let Some(dir) = &cli.csv_dir {
@@ -291,7 +343,11 @@ fn main() {
     }
 
     if let Some(path) = &cli.json_path {
-        let json = figures_to_json_pretty(&figures);
+        let json = if cli.attrib {
+            figures_to_json_pretty_with_attribution(&figures, &traces)
+        } else {
+            figures_to_json_pretty(&figures)
+        };
         let mut file = std::fs::File::create(path).expect("create json output");
         file.write_all(json.as_bytes()).expect("write json output");
         eprintln!("wrote {path}");

@@ -71,7 +71,7 @@ fn mmap_cost(pages: u64, flags: MapFlags, cost: CostModel) -> u64 {
 struct Pid0;
 impl Pid0 {
     fn pid(k: &mut BaselineKernel) -> o1_vm::Pid {
-        MemSys::create_process(k)
+        MemSys::create_process(k).unwrap()
     }
 }
 
@@ -224,7 +224,7 @@ pub fn fig2() -> Figure {
         // File-only memory.
         {
             let mut k = fom(MapMech::SharedPt, (bytes * 2).max(256 << 20));
-            let pid = k.create_process();
+            let pid = k.create_process().unwrap();
             let t0 = k.machine().now();
             let (_, va) = k.falloc(pid, bytes, FileClass::Volatile).unwrap();
             for p in 0..pages {
@@ -281,11 +281,11 @@ pub fn fig3() -> Figure {
     ] {
         let mut s = Series::new(label);
         let mut k = fom(mech, 256 << 20);
-        let setup = k.create_process();
+        let setup = k.create_process().unwrap();
         k.create_named(setup, "/shared", bytes, FileClass::Persistent)
             .unwrap();
         for i in 1..=nprocs {
-            let pid = k.create_process();
+            let pid = k.create_process().unwrap();
             let t0 = k.machine().now();
             k.open_map(pid, "/shared", Prot::ReadWrite).unwrap();
             s.push(i, k.machine().now().since(t0) as f64);
@@ -315,10 +315,10 @@ pub fn fig4_map() -> Figure {
         for kb in [64u64, 256, 1024, 4096, 16384, 65536, 262144] {
             let bytes = kb * 1024;
             let mut k = fom(mech, (bytes * 2).max(512 << 20));
-            let setup = k.create_process();
+            let setup = k.create_process().unwrap();
             k.create_named(setup, "/blob", bytes, FileClass::Persistent)
                 .unwrap();
-            let pid = k.create_process();
+            let pid = k.create_process().unwrap();
             let t0 = k.machine().now();
             let (_, va) = k.open_map(pid, "/blob", Prot::ReadWrite).unwrap();
             k.unmap(pid, va).unwrap();
@@ -350,7 +350,7 @@ pub fn fig4_access() -> Figure {
             let bytes = kb * 1024;
             let pages = bytes / PAGE_SIZE;
             let mut k = fom(mech, (bytes * 2).max(512 << 20));
-            let pid = k.create_process();
+            let pid = k.create_process().unwrap();
             let (_, va) = k.falloc(pid, bytes, FileClass::Volatile).unwrap();
             let m = drive_access(
                 &mut k,
@@ -397,7 +397,7 @@ pub fn fig_faults() -> Figure {
             series.push(pages, m.perf.minor_faults as f64);
         }
         let mut k = fom(MapMech::SharedPt, (bytes * 2).max(256 << 20));
-        let pid = k.create_process();
+        let pid = k.create_process().unwrap();
         let (_, va) = k.falloc(pid, bytes, FileClass::Volatile).unwrap();
         let m = drive_access(&mut k, pid, va, pages, &AccessPattern::OnePerPage, 0, true).unwrap();
         s_fom.push(pages, m.perf.minor_faults as f64);
@@ -580,7 +580,7 @@ pub fn fig_reclaim() -> Figure {
         // files (16 of them), then reclaim the same number of frames.
         {
             let mut k = fom(MapMech::SharedPt, (resident + 64) * PAGE_SIZE);
-            let pid = k.create_process();
+            let pid = k.create_process().unwrap();
             let per_file = resident / 16;
             for i in 0..16 {
                 let (_, va) = k
@@ -679,7 +679,7 @@ pub fn fig_persist() -> Figure {
             MapMech::SharedPt,
             2 * 16 * pages_per_file * PAGE_SIZE + (64 << 20),
         );
-        let pid = k.create_process();
+        let pid = k.create_process().unwrap();
         for i in 0..16 {
             k.create_named(
                 pid,
@@ -697,7 +697,7 @@ pub fn fig_persist() -> Figure {
     let mut s_count = Series::new("64-page files, growing count");
     for files in [16u64, 64, 256, 1024] {
         let mut k = fom(MapMech::SharedPt, 2 * files * 64 * PAGE_SIZE + (64 << 20));
-        let pid = k.create_process();
+        let pid = k.create_process().unwrap();
         for i in 0..files {
             k.create_named(
                 pid,
@@ -742,7 +742,7 @@ pub fn fig_virt() -> Figure {
         for (mode, refs) in modes {
             let mut k = fom(mech, 256 << 20);
             k.set_walk_mode(mode);
-            let pid = k.create_process();
+            let pid = k.create_process().unwrap();
             let (_, va) = k.falloc(pid, 64 << 20, FileClass::Volatile).unwrap();
             let pages = (64 << 20) / PAGE_SIZE;
             let m = drive_access(
@@ -854,7 +854,7 @@ pub fn fig_teardown() -> Figure {
             (&mut s_ranges, MapMech::Ranges),
         ] {
             let mut k = fom(mech, (bytes * 2).max(256 << 20));
-            let pid = k.create_process();
+            let pid = k.create_process().unwrap();
             let (_, va) = k.falloc(pid, bytes, FileClass::Volatile).unwrap();
             let t0 = k.machine().now();
             k.unmap(pid, va).unwrap();
@@ -883,7 +883,7 @@ pub fn fig_frag() -> Figure {
     for hole_kb in [1024u64, 4096, 16384, 65536] {
         let volume = 1u64 << 30;
         let mut k = fom(MapMech::Ranges, volume);
-        let pid = k.create_process();
+        let pid = k.create_process().unwrap();
         // Fill the volume completely, then delete every other file.
         let file_bytes = hole_kb * 1024;
         let n_files = volume / file_bytes;
@@ -942,7 +942,7 @@ pub fn fig_churn() -> Figure {
             (&mut s_ranges, MapMech::Ranges),
         ] {
             let mut k = fom(mech, 1 << 30);
-            let pid = MemSys::create_process(&mut k);
+            let pid = MemSys::create_process(&mut k).unwrap();
             let (m, _) = trace.replay(&mut k, pid).unwrap();
             series.push(max_pages, m.ns as f64);
         }
@@ -1004,7 +1004,7 @@ pub fn fig_dma() -> Figure {
         }
         {
             let mut k = fom(MapMech::Ranges, (bytes * 2).max(128 << 20));
-            let pid = k.create_process();
+            let pid = k.create_process().unwrap();
             let (_, va) = k.falloc(pid, bytes, FileClass::Volatile).unwrap();
             let mut dma = o1_hw::DmaEngine::new();
             let t0 = k.machine().now();

@@ -6,11 +6,13 @@
 //! `figures` binary drives it all; Criterion benches in `benches/`
 //! measure the host-side cost of the same operations.
 
+pub mod attrib;
 pub mod experiments;
 pub mod json;
 pub mod runner;
 pub mod series;
 
+pub use attrib::{attribution_table, figures_to_json_pretty_with_attribution};
 pub use experiments::all_figures;
 pub use runner::{run_figures, RunnerOptions};
 pub use series::{figures_to_json_pretty, Figure, Series};

@@ -79,6 +79,11 @@ pub struct RunnerOptions {
     /// Times to regenerate each figure (timing samples; the emitted
     /// figure always comes from the first repeat).
     pub repeat: usize,
+    /// Collect a cost-attribution trace ([`o1_obs::FigureTrace`]) per
+    /// figure. Tracing never changes figure bytes: the ledger records
+    /// what each machine already charges. Only the first repeat is
+    /// traced, so `--repeat` timing samples stay untraced.
+    pub trace: bool,
 }
 
 impl Default for RunnerOptions {
@@ -88,6 +93,7 @@ impl Default for RunnerOptions {
                 .map(|n| n.get())
                 .unwrap_or(1),
             repeat: 1,
+            trace: false,
         }
     }
 }
@@ -100,6 +106,9 @@ pub struct FigureRun {
     pub figure: Figure,
     /// Host nanoseconds per repeat, in repeat order.
     pub wall_ns: Vec<u64>,
+    /// Cost-attribution trace from the first repeat, when
+    /// [`RunnerOptions::trace`] was set.
+    pub trace: Option<o1_obs::FigureTrace>,
 }
 
 impl FigureRun {
@@ -126,6 +135,11 @@ impl RunReport {
     pub fn figures(&self) -> Vec<Figure> {
         self.runs.iter().map(|r| r.figure.clone()).collect()
     }
+
+    /// Traces only, in request order (empty unless the run traced).
+    pub fn traces(&self) -> Vec<o1_obs::FigureTrace> {
+        self.runs.iter().filter_map(|r| r.trace.clone()).collect()
+    }
 }
 
 /// Run `fns` (id + generator pairs from [`figure_fn`]) across a
@@ -137,9 +151,17 @@ pub fn run_figures(fns: &[(&'static str, fn() -> Figure)], opts: &RunnerOptions)
     let n_tasks = fns.len() * repeat;
     let threads = opts.threads.max(1).min(n_tasks.max(1));
 
-    // One slot per figure: the figure from repeat 0 plus all timings.
-    type Slot = (Option<Figure>, Vec<(usize, u64)>);
-    let slots: Vec<Mutex<Slot>> = fns.iter().map(|_| Mutex::new((None, Vec::new()))).collect();
+    // One slot per figure: the figure and trace from repeat 0 plus
+    // all timings.
+    type Slot = (
+        Option<Figure>,
+        Option<o1_obs::FigureTrace>,
+        Vec<(usize, u64)>,
+    );
+    let slots: Vec<Mutex<Slot>> = fns
+        .iter()
+        .map(|_| Mutex::new((None, None, Vec::new())))
+        .collect();
     let next = AtomicUsize::new(0);
 
     let t0 = Instant::now();
@@ -154,12 +176,26 @@ pub fn run_figures(fns: &[(&'static str, fn() -> Figure)], opts: &RunnerOptions)
                 // cover the whole suite and load-balance well.
                 let (fi, rep) = (task % fns.len(), task / fns.len());
                 let started = Instant::now();
-                let figure = (fns[fi].1)();
+                // A figure runs wholly on this worker, and machines
+                // flush their ledgers on drop in program order — so
+                // the collected trace is deterministic regardless of
+                // thread count.
+                let (figure, trace) = if opts.trace && rep == 0 {
+                    let (figure, machines) = o1_obs::with_collector(fns[fi].1);
+                    let trace = o1_obs::FigureTrace {
+                        id: fns[fi].0.to_string(),
+                        machines,
+                    };
+                    (figure, Some(trace))
+                } else {
+                    ((fns[fi].1)(), None)
+                };
                 let ns = started.elapsed().as_nanos() as u64;
                 let mut slot = slots[fi].lock().unwrap_or_else(|e| e.into_inner());
-                slot.1.push((rep, ns));
+                slot.2.push((rep, ns));
                 if rep == 0 {
                     slot.0 = Some(figure);
+                    slot.1 = trace;
                 }
             });
         }
@@ -170,12 +206,13 @@ pub fn run_figures(fns: &[(&'static str, fn() -> Figure)], opts: &RunnerOptions)
         .iter()
         .zip(slots)
         .map(|(&(id, _), slot)| {
-            let (figure, mut timings) = slot.into_inner().unwrap_or_else(|e| e.into_inner());
+            let (figure, trace, mut timings) = slot.into_inner().unwrap_or_else(|e| e.into_inner());
             timings.sort_unstable_by_key(|&(rep, _)| rep);
             FigureRun {
                 id,
                 figure: figure.expect("every figure ran at least once"),
                 wall_ns: timings.into_iter().map(|(_, ns)| ns).collect(),
+                trace,
             }
         })
         .collect();
@@ -209,8 +246,8 @@ mod tests {
             .iter()
             .map(|id| figure_fn(id).unwrap())
             .collect();
-        let seq = run_figures(&fns, &RunnerOptions { threads: 1, repeat: 1 });
-        let par = run_figures(&fns, &RunnerOptions { threads: 3, repeat: 2 });
+        let seq = run_figures(&fns, &RunnerOptions { threads: 1, repeat: 1, trace: false });
+        let par = run_figures(&fns, &RunnerOptions { threads: 3, repeat: 2, trace: false });
         assert_eq!(seq.threads, 1);
         assert_eq!(par.threads, 3);
         assert_eq!(par.runs[0].wall_ns.len(), 2, "repeats all timed");

@@ -131,6 +131,17 @@ impl Figure {
 /// given equal inputs — the determinism regression test compares the
 /// emitted strings directly.
 pub fn figures_to_json_pretty(figures: &[Figure]) -> String {
+    write_figures_pretty(figures, |_, _| {})
+}
+
+/// Shared pretty-printer behind [`figures_to_json_pretty`]. `extra`
+/// may append further `,"key": ...` members to the figure object at
+/// index `fi` (it runs after the `"series"` array closes); the plain
+/// path passes a no-op so its bytes never change.
+pub(crate) fn write_figures_pretty(
+    figures: &[Figure],
+    extra: impl Fn(&mut String, usize),
+) -> String {
     let mut out = String::from("[");
     for (fi, f) in figures.iter().enumerate() {
         if fi > 0 {
@@ -180,6 +191,7 @@ pub fn figures_to_json_pretty(figures: &[Figure]) -> String {
             json::push_indent(&mut out, 2);
         }
         out.push(']');
+        extra(&mut out, fi);
         json::push_indent(&mut out, 1);
         out.push('}');
     }

@@ -22,11 +22,12 @@
 //! there is no copy-on-write and no page-granular `mprotect` — those
 //! tests live in the baseline kernel only.
 
+use o1_hw::CostKind;
 use std::collections::HashMap;
 
 use o1_hw::{
-    Access, Asid, FrameNo, Machine, Mmu, PageTables, PhysAddr, PtNodeId, PteFlags, RangeEntry,
-    RangeTable, TranslateError, VirtAddr, HUGE_2M, PAGE_SIZE,
+    Access, Asid, FrameNo, Machine, MachineConfig, Mmu, PageTables, PhysAddr, PtNodeId, PteFlags,
+    RangeEntry, RangeTable, RangeTlb, Tlb, TranslateError, VirtAddr, HUGE_2M, PAGE_SIZE,
 };
 use o1_memfs::{FileClass, FileId, FsError, Pmfs, RecoveryStats};
 use o1_palloc::PhysExtent;
@@ -158,16 +159,137 @@ pub struct FomKernel {
 /// Cost of dropping a crypto-erase key (constant).
 const KEY_DROP_NS: u64 = 90;
 
-impl FomKernel {
-    /// Boot a file-only-memory kernel.
-    pub fn new(config: FomConfig) -> FomKernel {
-        let machine = Machine::with_nvm(config.dram_bytes, config.nvm_bytes);
-        let span = PhysExtent::new(machine.phys.nvm_base(), machine.phys.nvm_frames());
-        let mmu = if config.mech == MapMech::Ranges {
+/// Builder for a [`FomKernel`]: kernel policy plus the shared
+/// [`MachineConfig`] (cost model, CPU count, observability mode) and
+/// TLB geometry, in one place. Obtained from [`FomKernel::builder`].
+///
+/// # Examples
+/// ```
+/// use o1_core::{FomKernel, MapMech};
+///
+/// let k = FomKernel::builder()
+///     .mech(MapMech::Ranges)
+///     .nvm(256 << 20)
+///     .cpus(8)
+///     .build();
+/// assert!(k.free_frames() > 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FomBuilder {
+    config: FomConfig,
+    machine: MachineConfig,
+    tlb: Option<(usize, usize)>,
+    rtlb_entries: Option<usize>,
+}
+
+impl Default for FomBuilder {
+    fn default() -> Self {
+        FomBuilder {
+            config: FomConfig::default(),
+            machine: MachineConfig::default(),
+            tlb: None,
+            rtlb_entries: None,
+        }
+    }
+}
+
+impl FomBuilder {
+    /// DRAM tier size in bytes.
+    pub fn dram(mut self, bytes: u64) -> Self {
+        self.config.dram_bytes = bytes;
+        self
+    }
+
+    /// NVM tier (file-system volume) size in bytes.
+    pub fn nvm(mut self, bytes: u64) -> Self {
+        self.config.nvm_bytes = bytes;
+        self
+    }
+
+    /// Mapping mechanism.
+    pub fn mech(mut self, mech: MapMech) -> Self {
+        self.config.mech = mech;
+        self
+    }
+
+    /// Erase policy for volatile data.
+    pub fn erase(mut self, policy: ErasePolicy) -> Self {
+        self.config.erase = policy;
+        self
+    }
+
+    /// Per-operation cost table.
+    pub fn cost(mut self, cost: o1_hw::CostModel) -> Self {
+        self.machine.cost = cost;
+        self
+    }
+
+    /// Number of CPUs (scales TLB-shootdown cost).
+    pub fn cpus(mut self, cpus: u32) -> Self {
+        self.machine.cpus = cpus;
+        self
+    }
+
+    /// Cost-attribution ledger mode (see [`o1_hw::ObsMode`]).
+    pub fn obs(mut self, mode: o1_hw::ObsMode) -> Self {
+        self.machine.obs = mode;
+        self
+    }
+
+    /// Page-TLB geometry (`sets` × `assoc` entries).
+    pub fn tlb(mut self, sets: usize, assoc: usize) -> Self {
+        self.tlb = Some((sets, assoc));
+        self
+    }
+
+    /// Range-TLB capacity (only used by [`MapMech::Ranges`]).
+    pub fn rtlb(mut self, entries: usize) -> Self {
+        self.rtlb_entries = Some(entries);
+        self
+    }
+
+    /// Replace the whole kernel-policy config at once.
+    pub fn config(mut self, config: FomConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Boot the kernel.
+    pub fn build(self) -> FomKernel {
+        let machine = Machine::from_config(MachineConfig {
+            dram_bytes: self.config.dram_bytes,
+            nvm_bytes: self.config.nvm_bytes,
+            ..self.machine
+        });
+        let mut mmu = if self.config.mech == MapMech::Ranges {
             Mmu::with_ranges()
         } else {
             Mmu::paging_only()
         };
+        if let Some((sets, assoc)) = self.tlb {
+            mmu.tlb = Tlb::new(sets, assoc);
+        }
+        if let Some(entries) = self.rtlb_entries {
+            mmu.rtlb = RangeTlb::new(entries);
+        }
+        FomKernel::boot(self.config, machine, mmu)
+    }
+}
+
+impl FomKernel {
+    /// Boot a file-only-memory kernel.
+    pub fn new(config: FomConfig) -> FomKernel {
+        FomKernel::builder().config(config).build()
+    }
+
+    /// Start configuring a kernel: policy, machine geometry, cost
+    /// model and TLB shape in one fluent chain.
+    pub fn builder() -> FomBuilder {
+        FomBuilder::default()
+    }
+
+    fn boot(config: FomConfig, machine: Machine, mmu: Mmu) -> FomKernel {
+        let span = PhysExtent::new(machine.phys.nvm_base(), machine.phys.nvm_frames());
         FomKernel {
             machine,
             pt: PageTables::new(),
@@ -185,11 +307,9 @@ impl FomKernel {
     }
 
     /// Boot with a given mechanism and defaults otherwise.
+    #[deprecated(note = "use `FomKernel::builder().mech(mech).build()`")]
     pub fn with_mech(mech: MapMech) -> FomKernel {
-        FomKernel::new(FomConfig {
-            mech,
-            ..FomConfig::default()
-        })
+        FomKernel::builder().mech(mech).build()
     }
 
     /// The simulated machine.
@@ -241,8 +361,14 @@ impl FomKernel {
     // ---- process lifecycle --------------------------------------------------
 
     /// Create an empty process.
-    pub fn create_process(&mut self) -> Pid {
+    ///
+    /// # Errors
+    /// [`VmError::ProcessLimit`] once the 16-bit ASID space is spent.
+    pub fn create_process(&mut self) -> Result<Pid, VmError> {
         self.machine.charge_syscall();
+        if self.next_pid > u32::from(u16::MAX) {
+            return Err(VmError::ProcessLimit);
+        }
         let pid = Pid(self.next_pid);
         self.next_pid += 1;
         let root = self.pt.create_root(&mut self.machine);
@@ -256,7 +382,7 @@ impl FomKernel {
                 next_va: FOM_MMAP_BASE,
             },
         );
-        pid
+        Ok(pid)
     }
 
     /// Tear down a process. Cost is per *mapping*, not per page —
@@ -286,7 +412,7 @@ impl FomKernel {
         heap_bytes: u64,
         stack_bytes: u64,
     ) -> Result<Pid, VmError> {
-        let pid = self.create_process();
+        let pid = self.create_process()?;
         // Code: create once, then every launch just maps it.
         if self.pmfs.lookup(&mut self.machine, code_name).is_err() {
             self.create_named(pid, code_name, code_bytes, FileClass::Persistent)?;
@@ -311,8 +437,8 @@ impl FomKernel {
     /// use o1_core::{FomKernel, MapMech};
     /// use o1_memfs::FileClass;
     ///
-    /// let mut k = FomKernel::with_mech(MapMech::Ranges);
-    /// let pid = k.create_process();
+    /// let mut k = FomKernel::builder().mech(MapMech::Ranges).build();
+    /// let pid = k.create_process().unwrap();
     /// let (_, va) = k.falloc(pid, 16 << 20, FileClass::Volatile).unwrap();
     /// k.store(pid, va, 7).unwrap();
     /// assert_eq!(k.load(pid, va).unwrap(), 7);
@@ -402,7 +528,7 @@ impl FomKernel {
                 }
             }
             ErasePolicy::CryptoErase => {
-                self.machine.charge(self.machine.cost.key_gen);
+                self.machine.charge_kind(CostKind::KeyGen);
                 self.keys_live += 1;
                 for e in &extents {
                     // Fresh key ⇒ old ciphertext reads as zeros.
@@ -450,7 +576,7 @@ impl FomKernel {
     ) -> Result<VirtAddr, VmError> {
         self.pmfs.inc_ref(id).map_err(VmError::from)?;
         // One map record per file — the whole-file analogue of a VMA.
-        self.machine.charge(self.machine.cost.vma_create);
+        self.machine.charge_kind(CostKind::VmaCreate);
         let extents: Vec<o1_memfs::FileExtent> = self
             .pmfs
             .inode(id)
@@ -488,7 +614,7 @@ impl FomKernel {
                     let entry = RangeEntry::new(va, fe.phys.bytes(), fe.phys.base(), pte_for(prot));
                     let proc = self.proc_mut(pid)?;
                     proc.ranges.insert(entry).map_err(|_| VmError::BadRange)?;
-                    self.machine.charge(self.machine.cost.pte_write);
+                    self.machine.charge_kind(CostKind::PteWrite);
                     self.machine.perf.range_installs += 1;
                     pieces.push(Piece::Range { base: va });
                 }
@@ -643,7 +769,7 @@ impl FomKernel {
             let p = self.proc(pid)?;
             (p.root, p.asid)
         };
-        self.machine.charge(self.machine.cost.vma_destroy);
+        self.machine.charge_kind(CostKind::VmaDestroy);
         for piece in &mapping.pieces {
             match *piece {
                 Piece::Range { base } => {
@@ -707,7 +833,7 @@ impl FomKernel {
                 }
             }
             ErasePolicy::CryptoErase => {
-                self.machine.charge(KEY_DROP_NS);
+                self.machine.charge_tagged(CostKind::KeyDrop, 1, KEY_DROP_NS);
                 self.keys_live = self.keys_live.saturating_sub(1);
                 for e in extents {
                     self.machine.phys.zero_frames(e.start, e.frames);
@@ -1022,7 +1148,7 @@ impl FomKernel {
             let at = va + off as u64;
             let pa = self.resolve(pid, at, Access::Write)?;
             let take = usize::min(data.len() - off, (PAGE_SIZE - at.page_offset()) as usize);
-            self.machine.charge(self.machine.cost.copy_page);
+            self.machine.charge_kind(CostKind::CopyPage);
             self.machine.phys.write(pa, &data[off..off + take]);
             off += take;
         }
@@ -1036,7 +1162,7 @@ impl FomKernel {
             let at = va + off as u64;
             let pa = self.resolve(pid, at, Access::Read)?;
             let take = usize::min(buf.len() - off, (PAGE_SIZE - at.page_offset()) as usize);
-            self.machine.charge(self.machine.cost.copy_page);
+            self.machine.charge_kind(CostKind::CopyPage);
             self.machine.phys.read(pa, &mut buf[off..off + take]);
             off += take;
         }
@@ -1171,7 +1297,7 @@ impl MemSys for FomKernel {
         &mut self.machine
     }
 
-    fn create_process(&mut self) -> Pid {
+    fn create_process(&mut self) -> Result<Pid, VmError> {
         self.create_process()
     }
 
@@ -1223,11 +1349,29 @@ mod tests {
         MapMech::Ranges,
     ];
 
+    /// The deprecated constructors must keep working while they live.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_with_mech_still_boots() {
+        let k = FomKernel::with_mech(MapMech::Ranges);
+        assert_eq!(k.mech(), MapMech::Ranges);
+        assert!(k.free_frames() > 0);
+    }
+
+    #[test]
+    fn process_table_exhaustion_is_an_error() {
+        let mut k = FomKernel::builder().mech(MapMech::SharedPt).build();
+        k.next_pid = u32::from(u16::MAX);
+        let last = k.create_process().unwrap();
+        assert_eq!(last, Pid(u32::from(u16::MAX)));
+        assert_eq!(k.create_process(), Err(VmError::ProcessLimit));
+    }
+
     #[test]
     fn alloc_store_load_roundtrip_all_mechs() {
         for mech in MECHS {
-            let mut k = FomKernel::with_mech(mech);
-            let pid = k.create_process();
+            let mut k = FomKernel::builder().mech(mech).build();
+            let pid = k.create_process().unwrap();
             let (_, va) = k.falloc(pid, 1 << 20, FileClass::Volatile).unwrap();
             for i in 0..256u64 {
                 k.store(pid, va + i * PAGE_SIZE, 7000 + i).unwrap();
@@ -1247,8 +1391,8 @@ mod tests {
     #[test]
     fn fresh_memory_reads_zero_all_mechs() {
         for mech in MECHS {
-            let mut k = FomKernel::with_mech(mech);
-            let pid = k.create_process();
+            let mut k = FomKernel::builder().mech(mech).build();
+            let pid = k.create_process().unwrap();
             let (_, va) = k.falloc(pid, 64 * PAGE_SIZE, FileClass::Volatile).unwrap();
             k.store(pid, va, 0xdead).unwrap();
             k.unmap(pid, va).unwrap();
@@ -1268,8 +1412,8 @@ mod tests {
     fn allocation_time_is_near_constant() {
         // Figure 2's fom side: file allocation+mapping cost barely
         // grows with size.
-        let mut k = FomKernel::with_mech(MapMech::Ranges);
-        let pid = k.create_process();
+        let mut k = FomKernel::builder().mech(MapMech::Ranges).build();
+        let pid = k.create_process().unwrap();
         let time_alloc = |k: &mut FomKernel, bytes: u64| {
             let t0 = k.machine().now();
             let (_, va) = k.falloc(pid, bytes, FileClass::Volatile).unwrap();
@@ -1288,14 +1432,14 @@ mod tests {
     #[test]
     fn baseline_populate_is_linear_fom_is_not() {
         use o1_vm::{BaselineKernel, MemSys};
-        let mut base = BaselineKernel::with_dram(256 << 20);
-        let bpid = MemSys::create_process(&mut base);
+        let mut base = BaselineKernel::builder().dram(256 << 20).build();
+        let bpid = MemSys::create_process(&mut base).unwrap();
         let t0 = base.machine().now();
         MemSys::alloc(&mut base, bpid, 4 << 20, true).unwrap();
         let baseline_ns = base.machine().now().since(t0);
 
-        let mut fom = FomKernel::with_mech(MapMech::SharedPt);
-        let fpid = MemSys::create_process(&mut fom);
+        let mut fom = FomKernel::builder().mech(MapMech::SharedPt).build();
+        let fpid = MemSys::create_process(&mut fom).unwrap();
         let t0 = fom.machine().now();
         MemSys::alloc(&mut fom, fpid, 4 << 20, true).unwrap();
         let fom_ns = fom.machine().now().since(t0);
@@ -1307,8 +1451,8 @@ mod tests {
 
     #[test]
     fn ranges_map_whole_file_with_one_entry() {
-        let mut k = FomKernel::with_mech(MapMech::Ranges);
-        let pid = k.create_process();
+        let mut k = FomKernel::builder().mech(MapMech::Ranges).build();
+        let pid = k.create_process().unwrap();
         let before = k.machine().perf.range_installs;
         let (_, va) = k.falloc(pid, 256 << 20, FileClass::Volatile).unwrap();
         let installs = k.machine().perf.range_installs - before;
@@ -1322,13 +1466,13 @@ mod tests {
 
     #[test]
     fn shared_pt_second_mapper_pays_o1() {
-        let mut k = FomKernel::with_mech(MapMech::SharedPt);
-        let p1 = k.create_process();
+        let mut k = FomKernel::builder().mech(MapMech::SharedPt).build();
+        let p1 = k.create_process().unwrap();
         // A named persistent file, 8 MiB.
         k.create_named(p1, "/shared/data", 8 << 20, FileClass::Persistent)
             .unwrap();
         let writes_first = k.machine().perf.pte_writes;
-        let p2 = k.create_process();
+        let p2 = k.create_process().unwrap();
         let before = k.machine().perf.pte_writes;
         let (_, va2) = k.open_map(p2, "/shared/data", Prot::ReadWrite).unwrap();
         let second = k.machine().perf.pte_writes - before;
@@ -1345,9 +1489,9 @@ mod tests {
 
     #[test]
     fn pbm_gives_identical_addresses() {
-        let mut k = FomKernel::with_mech(MapMech::Pbm);
-        let p1 = k.create_process();
-        let p2 = k.create_process();
+        let mut k = FomKernel::builder().mech(MapMech::Pbm).build();
+        let p1 = k.create_process().unwrap();
+        let p2 = k.create_process().unwrap();
         k.create_named(p1, "/pbm/file", 4 << 20, FileClass::Persistent)
             .unwrap();
         let va1 = k.mapping_base(p1, "/pbm/file").unwrap();
@@ -1360,8 +1504,8 @@ mod tests {
 
     #[test]
     fn pbm_addresses_never_collide() {
-        let mut k = FomKernel::with_mech(MapMech::Pbm);
-        let pid = k.create_process();
+        let mut k = FomKernel::builder().mech(MapMech::Pbm).build();
+        let pid = k.create_process().unwrap();
         let mut seen = std::collections::HashSet::new();
         for i in 0..20 {
             let (_, va) = k
@@ -1374,8 +1518,8 @@ mod tests {
     #[test]
     fn unmap_reclaims_whole_file() {
         for mech in MECHS {
-            let mut k = FomKernel::with_mech(mech);
-            let pid = k.create_process();
+            let mut k = FomKernel::builder().mech(mech).build();
+            let pid = k.create_process().unwrap();
             let free0 = k.free_frames();
             let (_, va) = k.falloc(pid, 16 << 20, FileClass::Volatile).unwrap();
             assert_eq!(k.free_frames(), free0 - 4096);
@@ -1388,10 +1532,10 @@ mod tests {
     #[test]
     fn destroy_process_releases_everything() {
         for mech in MECHS {
-            let mut k = FomKernel::with_mech(mech);
+            let mut k = FomKernel::builder().mech(mech).build();
             let free0 = k.free_frames();
             let nodes0 = k.pt_metadata_bytes();
-            let pid = k.create_process();
+            let pid = k.create_process().unwrap();
             k.falloc(pid, 4 << 20, FileClass::Volatile).unwrap();
             k.falloc(pid, 123 * PAGE_SIZE, FileClass::Volatile).unwrap();
             k.destroy_process(pid).unwrap();
@@ -1402,8 +1546,8 @@ mod tests {
 
     #[test]
     fn no_reclaim_scanning_ever() {
-        let mut k = FomKernel::with_mech(MapMech::SharedPt);
-        let pid = k.create_process();
+        let mut k = FomKernel::builder().mech(MapMech::SharedPt).build();
+        let pid = k.create_process().unwrap();
         for _ in 0..8 {
             let (_, va) = k.falloc(pid, 1 << 20, FileClass::Volatile).unwrap();
             for i in 0..256u64 {
@@ -1418,8 +1562,8 @@ mod tests {
 
     #[test]
     fn persistent_files_survive_crash() {
-        let mut k = FomKernel::with_mech(MapMech::SharedPt);
-        let pid = k.create_process();
+        let mut k = FomKernel::builder().mech(MapMech::SharedPt).build();
+        let pid = k.create_process().unwrap();
         let (_, va) = k
             .create_named(pid, "/data/db", 2 << 20, FileClass::Persistent)
             .unwrap();
@@ -1434,7 +1578,7 @@ mod tests {
         // Old process is gone.
         assert_eq!(k.load(pid, va), Err(VmError::NoProcess));
         // A new process maps the file and finds the data.
-        let p2 = k.create_process();
+        let p2 = k.create_process().unwrap();
         let (_, va2) = k.open_map(p2, "/data/db", Prot::ReadWrite).unwrap();
         assert_eq!(k.load(p2, va2).unwrap(), 0xfeed_beef);
         assert_eq!(k.load(p2, va2 + ((2 << 20) - 8)).unwrap(), 0x1234);
@@ -1442,8 +1586,8 @@ mod tests {
 
     #[test]
     fn volatile_data_is_erased_on_crash() {
-        let mut k = FomKernel::with_mech(MapMech::PageTables);
-        let pid = k.create_process();
+        let mut k = FomKernel::builder().mech(MapMech::PageTables).build();
+        let pid = k.create_process().unwrap();
         let (_, va) = k.falloc(pid, 64 * PAGE_SIZE, FileClass::Volatile).unwrap();
         k.store(pid, va, 0x5ec2e7).unwrap();
         let pa = k.resolve(pid, va, Access::Read).unwrap();
@@ -1460,7 +1604,7 @@ mod tests {
             nvm_bytes: 1024 * PAGE_SIZE,
             ..FomConfig::default()
         });
-        let pid = k.create_process();
+        let pid = k.create_process().unwrap();
         // Populate three discardable caches, then close (unmap) them:
         // the files stay in the namespace, reclaimable because
         // nothing references them.
@@ -1487,8 +1631,8 @@ mod tests {
 
     #[test]
     fn mprotect_file_changes_whole_file() {
-        let mut k = FomKernel::with_mech(MapMech::Ranges);
-        let pid = k.create_process();
+        let mut k = FomKernel::builder().mech(MapMech::Ranges).build();
+        let pid = k.create_process().unwrap();
         let (_, va) = k
             .create_named(pid, "/ro/data", 1 << 20, FileClass::Persistent)
             .unwrap();
@@ -1501,8 +1645,8 @@ mod tests {
 
     #[test]
     fn dma_is_implicitly_pinned() {
-        let mut k = FomKernel::with_mech(MapMech::SharedPt);
-        let pid = k.create_process();
+        let mut k = FomKernel::builder().mech(MapMech::SharedPt).build();
+        let pid = k.create_process().unwrap();
         let (_, va) = k.falloc(pid, 1 << 20, FileClass::Volatile).unwrap();
         let (pa, ns) = {
             let t0 = k.machine().now();
@@ -1529,7 +1673,7 @@ mod tests {
             ..FomConfig::default()
         });
         let run = |k: &mut FomKernel| {
-            let pid = k.create_process();
+            let pid = k.create_process().unwrap();
             let t0 = k.machine().now();
             let (_, va) = k.falloc(pid, 64 << 20, FileClass::Volatile).unwrap();
             k.unmap(pid, va).unwrap();
@@ -1550,7 +1694,7 @@ mod tests {
             erase: ErasePolicy::BackgroundPool,
             ..FomConfig::default()
         });
-        let pid = k.create_process();
+        let pid = k.create_process().unwrap();
         let (_, va) = k.falloc(pid, 64 << 20, FileClass::Volatile).unwrap();
         k.store(pid, va, 0xbad).unwrap();
         // Free: O(1) foreground — extents just queue up.
@@ -1580,7 +1724,7 @@ mod tests {
             nvm_bytes: 300 * PAGE_SIZE,
             ..FomConfig::default()
         });
-        let pid = k.create_process();
+        let pid = k.create_process().unwrap();
         let (_, va) = k.falloc(pid, 256 * PAGE_SIZE, FileClass::Volatile).unwrap();
         k.store(pid, va, 0x5ec2e7).unwrap();
         k.unmap(pid, va).unwrap();
@@ -1599,8 +1743,8 @@ mod tests {
     #[test]
     fn fgrow_extends_and_preserves_data() {
         for mech in MECHS {
-            let mut k = FomKernel::with_mech(mech);
-            let pid = k.create_process();
+            let mut k = FomKernel::builder().mech(mech).build();
+            let pid = k.create_process().unwrap();
             let (_, va) = k.falloc(pid, 1 << 20, FileClass::Volatile).unwrap();
             for i in 0..256u64 {
                 k.store(pid, va + i * PAGE_SIZE, 9000 + i).unwrap();
@@ -1649,16 +1793,16 @@ mod tests {
 
     #[test]
     fn fgrow_noop_when_shrinking() {
-        let mut k = FomKernel::with_mech(MapMech::Ranges);
-        let pid = k.create_process();
+        let mut k = FomKernel::builder().mech(MapMech::Ranges).build();
+        let pid = k.create_process().unwrap();
         let (_, va) = k.falloc(pid, 1 << 20, FileClass::Volatile).unwrap();
         assert_eq!(k.fgrow(pid, va, 4096).unwrap(), va);
     }
 
     #[test]
     fn persist_mapping_promotes_volatile_data() {
-        let mut k = FomKernel::with_mech(MapMech::SharedPt);
-        let pid = k.create_process();
+        let mut k = FomKernel::builder().mech(MapMech::SharedPt).build();
+        let pid = k.create_process().unwrap();
         // Compute into scratch memory...
         let (_, va) = k.falloc(pid, 1 << 20, FileClass::Volatile).unwrap();
         k.store(pid, va, 0xda7a).unwrap();
@@ -1670,29 +1814,29 @@ mod tests {
         assert_eq!(k.load(pid, va2).unwrap(), 0xda7a);
         // And it survives a crash.
         k.crash_and_recover();
-        let pid = k.create_process();
+        let pid = k.create_process().unwrap();
         let (_, va3) = k.open_map(pid, "/results/run1", Prot::ReadWrite).unwrap();
         assert_eq!(k.load(pid, va3).unwrap(), 0xda7a);
     }
 
     #[test]
     fn set_file_class_demotes_to_volatile() {
-        let mut k = FomKernel::with_mech(MapMech::SharedPt);
-        let pid = k.create_process();
+        let mut k = FomKernel::builder().mech(MapMech::SharedPt).build();
+        let pid = k.create_process().unwrap();
         k.create_named(pid, "/tmp/soon-gone", 1 << 20, FileClass::Persistent)
             .unwrap();
         k.set_file_class("/tmp/soon-gone", FileClass::Volatile)
             .unwrap();
         let stats = k.crash_and_recover();
         assert_eq!(stats.volatile_dropped, 1);
-        let pid = k.create_process();
+        let pid = k.create_process().unwrap();
         assert!(k.open_map(pid, "/tmp/soon-gone", Prot::Read).is_err());
     }
 
     #[test]
     fn zero_length_alloc_rejected() {
-        let mut k = FomKernel::with_mech(MapMech::SharedPt);
-        let pid = k.create_process();
+        let mut k = FomKernel::builder().mech(MapMech::SharedPt).build();
+        let pid = k.create_process().unwrap();
         assert_eq!(
             k.falloc(pid, 0, FileClass::Volatile).unwrap_err(),
             VmError::BadRange
@@ -1705,7 +1849,7 @@ mod tests {
             nvm_bytes: 64 * PAGE_SIZE,
             ..FomConfig::default()
         });
-        let pid = k.create_process();
+        let pid = k.create_process().unwrap();
         assert_eq!(
             k.falloc(pid, 1 << 30, FileClass::Volatile).unwrap_err(),
             VmError::NoMemory
@@ -1717,9 +1861,9 @@ mod tests {
     #[test]
     fn memsys_trait_roundtrip() {
         for mech in MECHS {
-            let mut k = FomKernel::with_mech(mech);
+            let mut k = FomKernel::builder().mech(mech).build();
             let sys: &mut dyn MemSys = &mut k;
-            let pid = sys.create_process();
+            let pid = sys.create_process().unwrap();
             let va = sys.alloc(pid, 8 * PAGE_SIZE, false).unwrap();
             sys.store(pid, va, 1).unwrap();
             assert_eq!(sys.load(pid, va).unwrap(), 1);
@@ -1730,7 +1874,7 @@ mod tests {
 
     #[test]
     fn launch_process_with_shared_code() {
-        let mut k = FomKernel::with_mech(MapMech::SharedPt);
+        let mut k = FomKernel::builder().mech(MapMech::SharedPt).build();
         let p1 = k
             .launch_process("/bin/app", 2 << 20, 1 << 20, 256 * 1024)
             .unwrap();

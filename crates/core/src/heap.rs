@@ -95,8 +95,7 @@ impl FomHeap {
         match Self::class_for(bytes) {
             Some(class) => {
                 // User-level allocator fast path: constant work.
-                let slab_op = k.machine().cost.slab_op;
-                k.machine_mut().charge(slab_op);
+                k.machine_mut().charge_kind(o1_hw::CostKind::SlabOp);
                 let size = 1u64 << (MIN_SHIFT + class as u32);
                 let va = match self.free_lists[class].pop() {
                     Some(addr) => VirtAddr(addr),
@@ -134,8 +133,7 @@ impl FomHeap {
             return k.unmap(self.pid, va);
         }
         let class = self.small_live.remove(&va.0).ok_or(VmError::BadAddress)?;
-        let slab_op = k.machine().cost.slab_op;
-        k.machine_mut().charge(slab_op);
+        k.machine_mut().charge_kind(o1_hw::CostKind::SlabOp);
         self.free_lists[class].push(va.0);
         Ok(())
     }
@@ -160,8 +158,8 @@ mod tests {
     use o1_hw::PAGE_SIZE;
 
     fn setup() -> (FomKernel, Pid, FomHeap) {
-        let mut k = FomKernel::with_mech(MapMech::SharedPt);
-        let pid = k.create_process();
+        let mut k = FomKernel::builder().mech(MapMech::SharedPt).build();
+        let pid = k.create_process().unwrap();
         let heap = FomHeap::new(&mut k, pid, 4 << 20).unwrap();
         (k, pid, heap)
     }
@@ -219,8 +217,8 @@ mod tests {
 
     #[test]
     fn heap_grows_with_new_segments() {
-        let mut k = FomKernel::with_mech(MapMech::Ranges);
-        let pid = k.create_process();
+        let mut k = FomKernel::builder().mech(MapMech::Ranges).build();
+        let pid = k.create_process().unwrap();
         let mut h = FomHeap::new(&mut k, pid, 64 * 1024).unwrap();
         let mut ptrs = Vec::new();
         for i in 0..400u64 {
@@ -244,7 +242,7 @@ mod tests {
             mech: MapMech::Ranges,
             ..FomConfig::default()
         });
-        let pid = k.create_process();
+        let pid = k.create_process().unwrap();
         let mut h = FomHeap::new(&mut k, pid, 32 * PAGE_SIZE).unwrap();
         let mut failed = false;
         for _ in 0..2048 {
@@ -268,8 +266,8 @@ mod tests {
 
     #[test]
     fn destroy_releases_all_memory() {
-        let mut k = FomKernel::with_mech(MapMech::SharedPt);
-        let pid = k.create_process();
+        let mut k = FomKernel::builder().mech(MapMech::SharedPt).build();
+        let pid = k.create_process().unwrap();
         let free0 = k.free_frames();
         let mut h = FomHeap::new(&mut k, pid, 1 << 20).unwrap();
         for i in 0..100 {

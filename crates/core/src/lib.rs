@@ -11,6 +11,6 @@ pub mod fom;
 pub mod heap;
 pub mod sync;
 
-pub use fom::{ErasePolicy, FomConfig, FomKernel, MapMech, FOM_MMAP_BASE, PBM_BASE};
+pub use fom::{ErasePolicy, FomBuilder, FomConfig, FomKernel, MapMech, FOM_MMAP_BASE, PBM_BASE};
 pub use heap::FomHeap;
 pub use sync::SyncFom;

@@ -30,7 +30,10 @@ impl SyncFom {
     }
 
     /// Create a process.
-    pub fn create_process(&self) -> Pid {
+    ///
+    /// # Errors
+    /// [`VmError::ProcessLimit`] when the process table is exhausted.
+    pub fn create_process(&self) -> Result<Pid, VmError> {
         self.inner.lock().create_process()
     }
 
@@ -110,7 +113,7 @@ mod tests {
             .map(|t| {
                 let fom = fom.clone();
                 std::thread::spawn(move || {
-                    let pid = fom.create_process();
+                    let pid = fom.create_process().unwrap();
                     let va = fom.alloc(pid, 64 * PAGE_SIZE).unwrap();
                     for i in 0..64u64 {
                         fom.store(pid, va + i * PAGE_SIZE, t * 1000 + i).unwrap();
@@ -130,7 +133,7 @@ mod tests {
     #[test]
     fn crossbeam_scoped_sharing_of_a_file() {
         let fom = SyncFom::new(FomConfig::default());
-        let writer = fom.create_process();
+        let writer = fom.create_process().unwrap();
         let base = fom.create_named(writer, "/shared/blob", 1 << 20).unwrap();
         for i in 0..16u64 {
             fom.store(writer, base + i * 8, i * i).unwrap();
@@ -138,7 +141,7 @@ mod tests {
         crossbeam::scope(|s| {
             for _ in 0..4 {
                 s.spawn(|_| {
-                    let pid = fom.create_process();
+                    let pid = fom.create_process().unwrap();
                     let va = fom.open_map(pid, "/shared/blob", Prot::Read).unwrap();
                     for i in 0..16u64 {
                         assert_eq!(fom.load(pid, va + i * 8).unwrap(), i * i);
@@ -154,7 +157,7 @@ mod tests {
     fn with_gives_batch_access() {
         let fom = SyncFom::new(FomConfig::default());
         let frames = fom.with(|k| {
-            let pid = k.create_process();
+            let pid = k.create_process().unwrap();
             let (_, va) = k.falloc(pid, PAGE_SIZE, FileClass::Volatile).unwrap();
             k.store(pid, va, 5).unwrap();
             k.free_frames()

@@ -24,6 +24,8 @@
 //! and per-[`Machine`](crate::machine::Machine) so experiments can run
 //! sensitivity sweeps.
 
+use o1_obs::CostKind;
+
 use crate::addr::PAGE_SIZE;
 
 /// Per-operation costs in nanoseconds.
@@ -228,6 +230,63 @@ impl CostModel {
     #[inline]
     pub fn walk(&self, levels: u8) -> u64 {
         self.ptw_level_ref * levels as u64
+    }
+
+    /// Unit cost of one primitive of `kind` — the bridge between the
+    /// ledger's tags and this table. Kinds whose cost is a fixed
+    /// constant outside the model (DMA, key drop) and
+    /// [`CostKind::Untagged`] return 0; charge those with
+    /// `Machine::charge_tagged`.
+    #[inline]
+    pub fn unit(&self, kind: CostKind) -> u64 {
+        match kind {
+            CostKind::Syscall => self.syscall,
+            CostKind::FaultTrap => self.fault_trap,
+            CostKind::FaultHandlerBase => self.fault_handler_base,
+            CostKind::MemReadDram => self.mem_read_dram,
+            CostKind::MemWriteDram => self.mem_write_dram,
+            CostKind::MemReadNvm => self.mem_read_nvm,
+            CostKind::MemWriteNvm => self.mem_write_nvm,
+            CostKind::ZeroPageDram => self.zero_page_dram,
+            CostKind::ZeroPageNvm => self.zero_page_nvm,
+            CostKind::CopyPage => self.copy_page,
+            CostKind::TlbHit => self.tlb_hit,
+            CostKind::PtwLevelRef => self.ptw_level_ref,
+            CostKind::TlbFill => self.tlb_fill,
+            CostKind::TlbInvlpg => self.tlb_invlpg,
+            CostKind::TlbFlushAsid => self.tlb_flush_asid,
+            CostKind::TlbShootdownPercpu => self.tlb_shootdown_percpu,
+            CostKind::RtlbHit => self.rtlb_hit,
+            CostKind::RangeWalk => self.range_walk,
+            CostKind::RtlbFill => self.rtlb_fill,
+            CostKind::PteWrite => self.pte_write,
+            CostKind::PtNodeAlloc => self.pt_node_alloc,
+            CostKind::PtNodeFree => self.pt_node_free,
+            CostKind::BuddyAlloc => self.buddy_alloc,
+            CostKind::BuddyLevel => self.buddy_level,
+            CostKind::BuddyFree => self.buddy_free,
+            CostKind::ExtentAlloc => self.extent_alloc,
+            CostKind::ExtentFree => self.extent_free,
+            CostKind::SlabOp => self.slab_op,
+            CostKind::KeyGen => self.key_gen,
+            CostKind::VmaCreate => self.vma_create,
+            CostKind::VmaFind => self.vma_find,
+            CostKind::VmaDestroy => self.vma_destroy,
+            CostKind::MmapFixed => self.mmap_fixed,
+            CostKind::PageMetaUpdate => self.page_meta_update,
+            CostKind::ReclaimScanPage => self.reclaim_scan_page,
+            CostKind::SwapOutPage => self.swap_out_page,
+            CostKind::SwapInPage => self.swap_in_page,
+            CostKind::PinPage => self.pin_page,
+            CostKind::FsLookup => self.fs_lookup,
+            CostKind::FsCreateInode => self.fs_create_inode,
+            CostKind::FsRemoveInode => self.fs_remove_inode,
+            CostKind::FsExtentOp => self.fs_extent_op,
+            CostKind::JournalRecord => self.journal_record,
+            CostKind::JournalCommit => self.journal_commit,
+            CostKind::FileIoFixed => self.file_io_fixed,
+            CostKind::KeyDrop | CostKind::DmaPage | CostKind::IommuFault | CostKind::Untagged => 0,
+        }
     }
 }
 

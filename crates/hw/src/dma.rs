@@ -64,13 +64,13 @@ impl DmaEngine {
             let page = (pa.0 + i * PAGE_SIZE) >> crate::addr::PAGE_SHIFT;
             if mode == DmaMode::IommuFaulting && !self.iotlb.contains(&page) {
                 self.iommu_faults += 1;
-                m.charge(IOMMU_FAULT_NS);
+                m.charge_tagged(o1_obs::CostKind::IommuFault, 1, IOMMU_FAULT_NS);
                 if self.iotlb.len() >= IOTLB_ENTRIES {
                     self.iotlb.pop_front();
                 }
                 self.iotlb.push_back(page);
             }
-            m.charge(DMA_PAGE_NS);
+            m.charge_tagged(o1_obs::CostKind::DmaPage, 1, DMA_PAGE_NS);
         }
         pages
     }

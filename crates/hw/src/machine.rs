@@ -1,10 +1,25 @@
 //! The simulated machine: physical memory + cost model + clock +
-//! performance counters.
+//! performance counters + the cost-attribution ledger.
 //!
 //! Everything that "takes time" in the simulation charges nanoseconds
-//! to the machine clock through [`Machine::charge`]. Experiments read
-//! the clock before and after an operation; because the simulation is
-//! deterministic, the same workload always yields the same duration.
+//! to the machine clock through [`Machine::charge`] or one of the
+//! tagged variants ([`Machine::charge_kind`], [`Machine::charge_opn`],
+//! [`Machine::charge_tagged`]). Experiments read the clock before and
+//! after an operation; because the simulation is deterministic, the
+//! same workload always yields the same duration.
+//!
+//! When observability is enabled (an `o1-obs` collector is installed
+//! on the thread, or [`ObsMode::On`] was configured), every charge
+//! additionally records `(cost kind, count, ns)` under the current
+//! phase label into a per-machine ledger. The *only* way to advance
+//! the clock is through the charge methods, and every charge method
+//! records exactly what it added — so the ledger always sums to the
+//! simulated-clock delta (conservation), with [`CostKind::Untagged`]
+//! absorbing any charge nobody has attributed yet. With observability
+//! disabled the machine carries no ledger, allocates nothing, and
+//! behaves bit-identically.
+
+use o1_obs::{CostKind, MachineTrace};
 
 use crate::cost::CostModel;
 use crate::perf::PerfCounters;
@@ -26,6 +41,56 @@ impl SimNs {
     }
 }
 
+/// Whether a machine carries the cost-attribution ledger.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ObsMode {
+    /// Carry a ledger iff an `o1-obs` collector is installed on the
+    /// constructing thread (what the figure runner arranges).
+    #[default]
+    Auto,
+    /// Never carry a ledger, even under a collector.
+    Off,
+    /// Always carry a ledger; read it back with
+    /// [`Machine::take_trace`] (or let `Drop` flush it to a collector).
+    On,
+}
+
+/// Shared machine configuration: memory geometry, cost model, CPU
+/// count, and the observability sink. Kernel builders in `o1-vm` and
+/// `o1-core` embed one of these.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// DRAM tier size in bytes.
+    pub dram_bytes: u64,
+    /// NVM tier size in bytes (0 = no persistent tier).
+    pub nvm_bytes: u64,
+    /// Per-operation cost table.
+    pub cost: CostModel,
+    /// Number of CPUs (scales TLB-shootdown cost).
+    pub cpus: u32,
+    /// Cost-attribution ledger mode.
+    pub obs: ObsMode,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            dram_bytes: 256 << 20,
+            nvm_bytes: 0,
+            cost: CostModel::tmpfs_dram(),
+            cpus: 4,
+            obs: ObsMode::Auto,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// Build the configured machine.
+    pub fn build(&self) -> Machine {
+        Machine::from_config(self.clone())
+    }
+}
+
 /// The simulated machine.
 #[derive(Debug)]
 pub struct Machine {
@@ -38,18 +103,37 @@ pub struct Machine {
     clock_ns: u64,
     /// Number of CPUs, which scales TLB-shootdown cost.
     cpus: u32,
+    /// Cost-attribution ledger; `None` when observability is off.
+    trace: Option<Box<MachineTrace>>,
 }
 
 impl Machine {
-    /// Build a machine with the given memory geometry and cost model.
-    pub fn new(dram_bytes: u64, nvm_bytes: u64, cost: CostModel) -> Self {
+    /// Build a machine from a full [`MachineConfig`].
+    pub fn from_config(config: MachineConfig) -> Self {
+        assert!(config.cpus > 0, "machine needs at least one CPU");
+        let traced = match config.obs {
+            ObsMode::Auto => o1_obs::collector_active(),
+            ObsMode::Off => false,
+            ObsMode::On => true,
+        };
         Machine {
-            cost,
-            phys: PhysicalMemory::new(dram_bytes, nvm_bytes),
+            cost: config.cost,
+            phys: PhysicalMemory::new(config.dram_bytes, config.nvm_bytes),
             perf: PerfCounters::default(),
             clock_ns: 0,
-            cpus: 4,
+            cpus: config.cpus,
+            trace: traced.then(|| Box::new(MachineTrace::new())),
         }
+    }
+
+    /// Build a machine with the given memory geometry and cost model.
+    pub fn new(dram_bytes: u64, nvm_bytes: u64, cost: CostModel) -> Self {
+        Machine::from_config(MachineConfig {
+            dram_bytes,
+            nvm_bytes,
+            cost,
+            ..MachineConfig::default()
+        })
     }
 
     /// Convenience constructor matching the paper's tmpfs testbed:
@@ -70,13 +154,84 @@ impl Machine {
         SimNs(self.clock_ns)
     }
 
-    /// Advance the clock by `ns` nanoseconds.
+    /// Advance the clock. The single mutation point for `clock_ns`:
+    /// every public charge method funnels through here *and* records
+    /// the same amount in the ledger, which is what makes the ledger
+    /// conserve simulated time.
     #[inline]
-    pub fn charge(&mut self, ns: u64) {
+    fn advance(&mut self, ns: u64) {
         self.clock_ns = self
             .clock_ns
             .checked_add(ns)
             .expect("simulated clock overflow");
+    }
+
+    /// Record a ledger entry (no clock effect).
+    #[inline]
+    fn note(&mut self, kind: CostKind, count: u64, ns: u64) {
+        if let Some(trace) = self.trace.as_mut() {
+            trace.record(kind, count, ns);
+        }
+    }
+
+    /// Advance the clock by `ns` nanoseconds, attributed to
+    /// [`CostKind::Untagged`]. Prefer the tagged variants; this exists
+    /// so unattributed charges still conserve.
+    #[inline]
+    pub fn charge(&mut self, ns: u64) {
+        if ns == 0 {
+            return;
+        }
+        self.advance(ns);
+        self.note(CostKind::Untagged, 1, ns);
+    }
+
+    /// Charge one primitive of `kind` at its model unit cost.
+    #[inline]
+    pub fn charge_kind(&mut self, kind: CostKind) {
+        let ns = self.cost.unit(kind);
+        self.advance(ns);
+        self.note(kind, 1, ns);
+    }
+
+    /// Charge `count` primitives of `kind` at the model unit cost.
+    #[inline]
+    pub fn charge_opn(&mut self, kind: CostKind, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let ns = self.cost.unit(kind) * count;
+        self.advance(ns);
+        self.note(kind, count, ns);
+    }
+
+    /// Charge `count` primitives of `kind` costing `ns` in total, for
+    /// primitives whose cost does not come from the model table (DMA
+    /// constants, crypto-erase key drops).
+    #[inline]
+    pub fn charge_tagged(&mut self, kind: CostKind, count: u64, ns: u64) {
+        self.advance(ns);
+        self.note(kind, count, ns);
+    }
+
+    /// Enter ledger phase `label` (driver boundaries set these). No
+    /// clock effect; a no-op without a ledger.
+    #[inline]
+    pub fn set_phase(&mut self, label: &'static str) {
+        if let Some(trace) = self.trace.as_mut() {
+            trace.set_phase(label, self.clock_ns);
+        }
+    }
+
+    /// True if this machine carries a cost-attribution ledger.
+    pub fn traced(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Close and remove the ledger, returning the report (None if
+    /// observability is off). After this the machine records nothing.
+    pub fn take_trace(&mut self) -> Option<o1_obs::MachineReport> {
+        self.trace.take().map(|t| t.finish(self.clock_ns))
     }
 
     /// Number of CPUs (affects shootdown costs).
@@ -99,33 +254,33 @@ impl Machine {
     #[inline]
     pub fn charge_load(&mut self, tier: MemTier) {
         self.perf.loads += 1;
-        let ns = match tier {
-            MemTier::Dram => self.cost.mem_read_dram,
-            MemTier::Nvm => self.cost.mem_read_nvm,
+        let kind = match tier {
+            MemTier::Dram => CostKind::MemReadDram,
+            MemTier::Nvm => CostKind::MemReadNvm,
         };
-        self.charge(ns);
+        self.charge_kind(kind);
     }
 
     /// Charge the cost of one program-issued store to the given tier.
     #[inline]
     pub fn charge_store(&mut self, tier: MemTier) {
         self.perf.stores += 1;
-        let ns = match tier {
-            MemTier::Dram => self.cost.mem_write_dram,
-            MemTier::Nvm => self.cost.mem_write_nvm,
+        let kind = match tier {
+            MemTier::Dram => CostKind::MemWriteDram,
+            MemTier::Nvm => CostKind::MemWriteNvm,
         };
-        self.charge(ns);
+        self.charge_kind(kind);
     }
 
     /// Charge a foreground zero of `bytes` bytes in `tier` and count it
     /// against the critical path.
     pub fn charge_zero_fg(&mut self, tier: MemTier, bytes: u64) {
         self.perf.bytes_zeroed_fg += bytes;
-        let ns = match tier {
-            MemTier::Dram => self.cost.zero_bytes_dram(bytes),
-            MemTier::Nvm => self.cost.zero_bytes_nvm(bytes),
+        let kind = match tier {
+            MemTier::Dram => CostKind::ZeroPageDram,
+            MemTier::Nvm => CostKind::ZeroPageNvm,
         };
-        self.charge(ns);
+        self.charge_opn(kind, bytes.div_ceil(crate::addr::PAGE_SIZE));
     }
 
     /// Count a background zero of `bytes` bytes. Background work does
@@ -139,7 +294,7 @@ impl Machine {
     #[inline]
     pub fn charge_syscall(&mut self) {
         self.perf.syscalls += 1;
-        self.charge(self.cost.syscall);
+        self.charge_kind(CostKind::Syscall);
     }
 
     /// Charge a TLB shootdown: a local flush plus one IPI per remote
@@ -147,7 +302,8 @@ impl Machine {
     pub fn charge_shootdown(&mut self) {
         self.perf.tlb_shootdowns += 1;
         let remote = u64::from(self.cpus.saturating_sub(1));
-        self.charge(self.cost.tlb_flush_asid + remote * self.cost.tlb_shootdown_percpu);
+        self.charge_kind(CostKind::TlbFlushAsid);
+        self.charge_opn(CostKind::TlbShootdownPercpu, remote);
     }
 
     /// Run `f` and return its result along with the simulated
@@ -157,6 +313,17 @@ impl Machine {
         let out = f(self);
         let elapsed = self.now().since(start);
         (out, elapsed)
+    }
+}
+
+impl Drop for Machine {
+    /// Flush the closed ledger to the thread's `o1-obs` collector (if
+    /// one is installed). Drop order is program order, so collected
+    /// reports are as deterministic as the simulation.
+    fn drop(&mut self) {
+        if let Some(trace) = self.trace.take() {
+            o1_obs::submit(trace.finish(self.clock_ns));
+        }
     }
 }
 
@@ -232,5 +399,64 @@ mod tests {
         m.charge_syscall();
         assert_eq!(m.perf.syscalls, 2);
         assert_eq!(m.now().0, 2 * m.cost.syscall);
+    }
+
+    #[test]
+    fn untraced_by_default_traced_when_forced() {
+        let m = Machine::dram_only(1 << 20);
+        assert!(!m.traced(), "no collector, no ledger");
+        let mut m = Machine::from_config(MachineConfig {
+            obs: ObsMode::On,
+            ..MachineConfig::default()
+        });
+        assert!(m.traced());
+        m.charge_syscall();
+        m.set_phase("work");
+        m.charge_shootdown();
+        m.charge(77); // untagged
+        let report = m.take_trace().expect("forced ledger");
+        assert!(report.conserves(), "every charge path records its ns");
+        assert_eq!(report.clock_ns, m.now().0);
+        assert!(!m.traced(), "ledger is gone after take_trace");
+        assert!(report
+            .rows
+            .iter()
+            .any(|r| r.kind == o1_obs::CostKind::Untagged && r.ns == 77));
+        assert!(report
+            .rows
+            .iter()
+            .any(|r| r.phase == "work" && r.kind == o1_obs::CostKind::TlbFlushAsid));
+    }
+
+    #[test]
+    fn collector_gathers_machine_on_drop() {
+        let ((), reports) = o1_obs::with_collector(|| {
+            let mut m = Machine::dram_only(1 << 20);
+            assert!(m.traced(), "collector enables the ledger");
+            m.charge_zero_fg(MemTier::Dram, 3 * PAGE_SIZE);
+            m.charge_syscall();
+        });
+        assert_eq!(reports.len(), 1);
+        assert!(reports[0].conserves());
+        let zero = reports[0]
+            .rows
+            .iter()
+            .find(|r| r.kind == o1_obs::CostKind::ZeroPageDram)
+            .expect("zeroing recorded");
+        assert_eq!(zero.count, 3, "counted in pages");
+    }
+
+    #[test]
+    fn tagged_charges_match_model_units() {
+        let mut m = Machine::dram_only(1 << 20);
+        let t0 = m.now();
+        m.charge_kind(o1_obs::CostKind::PteWrite);
+        assert_eq!(m.now().since(t0), m.cost.pte_write);
+        let t1 = m.now();
+        m.charge_opn(o1_obs::CostKind::PtwLevelRef, 4);
+        assert_eq!(m.now().since(t1), m.cost.walk(4));
+        let t2 = m.now();
+        m.charge_tagged(o1_obs::CostKind::DmaPage, 2, 500);
+        assert_eq!(m.now().since(t2), 500);
     }
 }

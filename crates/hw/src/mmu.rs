@@ -14,6 +14,7 @@
 //! Every step charges its modelled cost and bumps the perf counters,
 //! so experiments can attribute time to translation machinery exactly.
 
+use o1_obs::CostKind;
 use crate::addr::{FrameNo, PageNo, PageSize, PhysAddr, VirtAddr};
 use crate::fasthash::FastMap;
 use crate::machine::Machine;
@@ -198,7 +199,7 @@ impl Mmu {
         if self.ranges_enabled {
             if let Some(entry) = self.rtlb.lookup(asid, va) {
                 m.perf.rtlb_hits += 1;
-                m.charge(m.cost.rtlb_hit);
+                m.charge_kind(CostKind::RtlbHit);
                 check_prot(entry.prot, access)?;
                 return Ok(Translated {
                     pa: entry.translate(va),
@@ -211,7 +212,7 @@ impl Mmu {
         // 2. Page TLB.
         if let Some((frame, size, flags)) = self.tlb.lookup(asid, va) {
             m.perf.tlb_hits += 1;
-            m.charge(m.cost.tlb_hit);
+            m.charge_kind(CostKind::TlbHit);
             check_prot(flags, access)?;
             // Hardware sets the dirty bit on the first write through a
             // clean TLB entry; modelling that requires a PT update.
@@ -228,10 +229,10 @@ impl Mmu {
 
         // 3. Range-table walk.
         if self.ranges_enabled {
-            m.charge(m.cost.range_walk);
+            m.charge_kind(CostKind::RangeWalk);
             if let Some(entry) = ranges.lookup(va).copied() {
                 check_prot(entry.prot, access)?;
-                m.charge(m.cost.rtlb_fill);
+                m.charge_kind(CostKind::RtlbFill);
                 self.rtlb.insert(asid, entry);
                 return Ok(Translated {
                     pa: entry.translate(va),
@@ -244,9 +245,12 @@ impl Mmu {
         // modes charge the extra references on top).
         match self.cached_walk(m, pt, root, va) {
             Some((t, frame)) => {
-                m.charge(m.cost.ptw_level_ref * self.walk_mode.extra_refs(t.levels_touched));
+                m.charge_opn(
+                    CostKind::PtwLevelRef,
+                    self.walk_mode.extra_refs(t.levels_touched),
+                );
                 check_prot(t.flags, access)?;
-                m.charge(m.cost.tlb_fill);
+                m.charge_kind(CostKind::TlbFill);
                 self.tlb.insert(asid, va, frame, t.size, t.flags);
                 pt.mark_accessed(root, va, access == Access::Write);
                 Ok(Translated {
@@ -255,7 +259,10 @@ impl Mmu {
                 })
             }
             None => {
-                m.charge(m.cost.ptw_level_ref * self.walk_mode.extra_refs(crate::addr::PT_LEVELS));
+                m.charge_opn(
+                    CostKind::PtwLevelRef,
+                    self.walk_mode.extra_refs(crate::addr::PT_LEVELS),
+                );
                 Err(TranslateError::NotMapped)
             }
         }
@@ -306,7 +313,7 @@ impl Mmu {
                     // Exactly what `PageTables::walk` charges for a
                     // failed walk: one counted walk at full depth.
                     m.perf.page_walks += 1;
-                    m.charge(m.cost.walk(crate::addr::PT_LEVELS));
+                    m.charge_opn(CostKind::PtwLevelRef, u64::from(crate::addr::PT_LEVELS));
                     return None;
                 }
             },
@@ -316,7 +323,7 @@ impl Mmu {
             _ => unreachable!("walk-cache slot went stale within an epoch"),
         };
         m.perf.page_walks += 1;
-        m.charge(m.cost.walk(slot.levels_touched));
+        m.charge_opn(CostKind::PtwLevelRef, u64::from(slot.levels_touched));
         let off = va.0 & (slot.size.bytes() - 1);
         let t = Translation {
             pa: PhysAddr(frame.base().0 + off),
@@ -331,19 +338,19 @@ impl Mmu {
     /// cost. The kernel calls [`Machine::charge_shootdown`] separately
     /// when remote CPUs must also be notified.
     pub fn invalidate_page(&mut self, m: &mut Machine, asid: Asid, va: VirtAddr) {
-        m.charge(m.cost.tlb_invlpg);
+        m.charge_kind(CostKind::TlbInvlpg);
         self.tlb.invalidate_page(asid, va);
     }
 
     /// Invalidate one cached range entry (the O(1) unmap path).
     pub fn invalidate_range(&mut self, m: &mut Machine, asid: Asid, base: VirtAddr) {
-        m.charge(m.cost.tlb_invlpg);
+        m.charge_kind(CostKind::TlbInvlpg);
         self.rtlb.invalidate(asid, base);
     }
 
     /// Flush all translations for an address space.
     pub fn flush_asid(&mut self, m: &mut Machine, asid: Asid) {
-        m.charge(m.cost.tlb_flush_asid);
+        m.charge_kind(CostKind::TlbFlushAsid);
         self.tlb.flush_asid(asid);
         self.rtlb.flush_asid(asid);
     }

@@ -18,6 +18,7 @@
 //!
 //! [`PerfCounters`]: crate::perf::PerfCounters
 
+use o1_obs::CostKind;
 use core::fmt;
 
 use crate::addr::{FrameNo, PageSize, PhysAddr, VirtAddr, PAGE_SIZE, PT_ENTRIES};
@@ -239,7 +240,7 @@ impl PageTables {
     /// The caller holds the initial reference.
     pub fn create_node(&mut self, m: &mut Machine, level: u8) -> PtNodeId {
         assert!(level < crate::addr::PT_LEVELS, "bad page-table level");
-        m.charge(m.cost.pt_node_alloc);
+        m.charge_kind(CostKind::PtNodeAlloc);
         m.perf.pt_nodes_alloced += 1;
         self.epoch += 1;
         let node = Node::new(level);
@@ -291,7 +292,7 @@ impl PageTables {
         self.nodes[id.0 as usize] = None;
         self.free_ids.push(id.0);
         self.epoch += 1;
-        m.charge(m.cost.pt_node_free);
+        m.charge_kind(CostKind::PtNodeFree);
         m.perf.pt_nodes_freed += 1;
         for c in children {
             self.release(m, c);
@@ -304,7 +305,7 @@ impl PageTables {
     }
 
     fn set_entry(&mut self, m: &mut Machine, node: PtNodeId, index: usize, e: Entry) {
-        m.charge(m.cost.pte_write);
+        m.charge_kind(CostKind::PteWrite);
         m.perf.pte_writes += 1;
         self.epoch += 1;
         let n = self.node_mut(node);
@@ -539,7 +540,7 @@ impl PageTables {
         let t = self.lookup(root, va);
         let touched = t.map_or(crate::addr::PT_LEVELS, |t| t.levels_touched);
         m.perf.page_walks += 1;
-        m.charge(m.cost.walk(touched));
+        m.charge_opn(o1_obs::CostKind::PtwLevelRef, u64::from(touched));
         t
     }
 

@@ -94,6 +94,35 @@ impl PerfCounters {
     }
 }
 
+/// A typed point-in-time capture of a machine: simulated clock plus
+/// all counters. The unit `MemSys::stats` returns, replacing ad-hoc
+/// `machine().now()` / `machine().perf` pairs at call sites.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PerfSnapshot {
+    /// Simulated time of the capture.
+    pub at: crate::machine::SimNs,
+    /// Counter values at the capture.
+    pub counters: PerfCounters,
+}
+
+impl PerfSnapshot {
+    /// Capture the machine's current clock and counters.
+    pub fn of(machine: &crate::machine::Machine) -> PerfSnapshot {
+        PerfSnapshot {
+            at: machine.now(),
+            counters: machine.perf.snapshot(),
+        }
+    }
+
+    /// Elapsed simulated ns and counter delta since `earlier`.
+    ///
+    /// # Panics
+    /// Panics if `earlier` was captured after `self`.
+    pub fn since(&self, earlier: &PerfSnapshot) -> (u64, PerfCounters) {
+        (self.at.since(earlier.at), self.counters - earlier.counters)
+    }
+}
+
 impl Sub for PerfCounters {
     type Output = PerfCounters;
 

@@ -8,6 +8,7 @@
 //! the journal tail (simulated by [`Journal::lose_tail`]) rolls the
 //! interrupted operation back cleanly.
 
+use o1_hw::CostKind;
 use o1_hw::Machine;
 use o1_palloc::PhysExtent;
 
@@ -104,14 +105,14 @@ impl Journal {
 
     /// Append one record (an NVM write).
     pub fn append(&mut self, m: &mut Machine, rec: Record) {
-        m.charge(m.cost.journal_record);
+        m.charge_kind(CostKind::JournalRecord);
         m.perf.journal_records += 1;
         self.records.push(rec);
     }
 
     /// Append a commit record and fence.
     pub fn commit(&mut self, m: &mut Machine, tx: u64) {
-        m.charge(m.cost.journal_commit);
+        m.charge_kind(CostKind::JournalCommit);
         m.perf.journal_records += 1;
         self.records.push(Record::Commit { tx });
     }
@@ -140,10 +141,10 @@ impl Journal {
     /// Replace the whole journal with `records` (checkpointing).
     pub fn replace(&mut self, m: &mut Machine, records: Vec<Record>) {
         for _ in &records {
-            m.charge(m.cost.journal_record);
+            m.charge_kind(CostKind::JournalRecord);
             m.perf.journal_records += 1;
         }
-        m.charge(m.cost.journal_commit);
+        m.charge_kind(CostKind::JournalCommit);
         self.records = records;
     }
 }

@@ -16,6 +16,7 @@
 //!   replay; volatile files are dropped and their frames erased
 //!   (A-PERSIST).
 
+use o1_hw::CostKind;
 use std::collections::{BTreeMap, HashMap};
 
 use o1_hw::{Machine, PhysAddr, PAGE_SIZE};
@@ -180,7 +181,7 @@ impl Pmfs {
     /// component of `dir`.
     pub fn list_dir(&self, m: &mut Machine, dir: &str) -> Vec<String> {
         let components = dir.split('/').filter(|c| !c.is_empty()).count() as u64;
-        m.charge(m.cost.fs_lookup * components.max(1));
+        m.charge_opn(CostKind::FsLookup, components.max(1));
         let prefix = if dir.ends_with('/') {
             dir.to_string()
         } else {
@@ -217,11 +218,11 @@ impl Pmfs {
         name: &str,
         class: FileClass,
     ) -> Result<FileId, FsError> {
-        m.charge(m.cost.fs_lookup);
+        m.charge_kind(CostKind::FsLookup);
         if self.names.contains_key(name) {
             return Err(FsError::Exists);
         }
-        m.charge(m.cost.fs_create_inode);
+        m.charge_kind(CostKind::FsCreateInode);
         let id = FileId(self.next_id);
         self.next_id += 1;
         let journaled = class == FileClass::Persistent;
@@ -256,7 +257,7 @@ impl Pmfs {
 
     /// Resolve a name.
     pub fn lookup(&self, m: &mut Machine, name: &str) -> Result<FileId, FsError> {
-        m.charge(m.cost.fs_lookup);
+        m.charge_kind(CostKind::FsLookup);
         self.names.get(name).copied().ok_or(FsError::NotFound)
     }
 
@@ -305,7 +306,7 @@ impl Pmfs {
                     }
                     return Err(FsError::NoSpace);
                 };
-                m.charge(m.cost.fs_extent_op);
+                m.charge_kind(CostKind::FsExtentOp);
                 if let Some(_tx) = tx {
                     self.journal.append(
                         m,
@@ -359,7 +360,7 @@ impl Pmfs {
         if journaled {
             let tx = self.begin(m);
             for ext in &freed {
-                m.charge(m.cost.fs_extent_op);
+                m.charge_kind(CostKind::FsExtentOp);
                 self.journal.append(m, Record::FreeExtent { id, ext: *ext });
             }
             self.journal.append(
@@ -372,7 +373,7 @@ impl Pmfs {
             self.journal.commit(m, tx);
         } else {
             for _ in &freed {
-                m.charge(m.cost.fs_extent_op);
+                m.charge_kind(CostKind::FsExtentOp);
             }
         }
         for ext in freed {
@@ -434,7 +435,7 @@ impl Pmfs {
 
     /// Rename a file (its single link moves to `new_name`).
     pub fn rename(&mut self, m: &mut Machine, old: &str, new: &str) -> Result<(), FsError> {
-        m.charge(m.cost.fs_lookup * 2);
+        m.charge_opn(CostKind::FsLookup, 2);
         if self.names.contains_key(new) {
             return Err(FsError::Exists);
         }
@@ -590,7 +591,7 @@ impl Pmfs {
 
     /// Remove the name; the inode dies when the last reference drops.
     pub fn unlink(&mut self, m: &mut Machine, name: &str) -> Result<(), FsError> {
-        m.charge(m.cost.fs_lookup);
+        m.charge_kind(CostKind::FsLookup);
         let id = *self.names.get(name).ok_or(FsError::NotFound)?;
         if self.files[&id].journaled {
             let tx = self.begin(m);
@@ -607,11 +608,11 @@ impl Pmfs {
     }
 
     fn destroy(&mut self, m: &mut Machine, id: FileId) {
-        m.charge(m.cost.fs_remove_inode);
+        m.charge_kind(CostKind::FsRemoveInode);
         let mut f = self.files.remove(&id).expect("destroy of live file");
         // Reclamation in the unit of a file: one free per extent.
         for ext in f.extents.take_all() {
-            m.charge(m.cost.fs_extent_op);
+            m.charge_kind(CostKind::FsExtentOp);
             self.alloc.free(m, ext);
         }
     }
@@ -637,7 +638,7 @@ impl Pmfs {
             let in_page = (pos % PAGE_SIZE) as usize;
             let take = usize::min(data.len() - done, PAGE_SIZE as usize - in_page);
             let pa = f.extents.translate(pos).expect("allocated above");
-            m.charge(m.cost.copy_page);
+            m.charge_kind(CostKind::CopyPage);
             m.phys.write(pa, &data[done..done + take]);
             pos += take as u64;
             done += take;
@@ -665,7 +666,7 @@ impl Pmfs {
         while done < buf.len() {
             let in_page = (pos % PAGE_SIZE) as usize;
             let take = usize::min(buf.len() - done, PAGE_SIZE as usize - in_page);
-            m.charge(m.cost.copy_page);
+            m.charge_kind(CostKind::CopyPage);
             match f.extents.translate(pos) {
                 Some(pa) => m.phys.read(pa, &mut buf[done..done + take]),
                 None => buf[done..done + take].fill(0),
@@ -732,7 +733,7 @@ impl Pmfs {
         let committed: Vec<Record> = journal.committed_records().into_iter().cloned().collect();
         for rec in committed {
             stats.records_replayed += 1;
-            m.charge(m.cost.mem_read_nvm);
+            m.charge_kind(CostKind::MemReadNvm);
             match rec {
                 Record::Begin { .. } | Record::Commit { .. } => {}
                 Record::CreateInode { id, name, class } => {

@@ -6,6 +6,7 @@
 //! per-page structure is precisely what makes `MAP_POPULATE` linear in
 //! Figure 1a and demand faulting expensive in Figure 1b.
 
+use o1_hw::CostKind;
 use std::collections::{BTreeMap, HashMap};
 
 use o1_hw::{FrameNo, Machine, PAGE_SIZE};
@@ -75,11 +76,11 @@ impl Tmpfs {
 
     /// Create an empty file. Charges inode creation.
     pub fn create(&mut self, m: &mut Machine, name: &str) -> Result<FileId, FsError> {
-        m.charge(m.cost.fs_lookup);
+        m.charge_kind(CostKind::FsLookup);
         if self.names.contains_key(name) {
             return Err(FsError::Exists);
         }
-        m.charge(m.cost.fs_create_inode);
+        m.charge_kind(CostKind::FsCreateInode);
         let id = FileId(self.next_id);
         self.next_id += 1;
         self.files.insert(
@@ -95,7 +96,7 @@ impl Tmpfs {
 
     /// Resolve a name. Charges a path lookup.
     pub fn lookup(&self, m: &mut Machine, name: &str) -> Result<FileId, FsError> {
-        m.charge(m.cost.fs_lookup);
+        m.charge_kind(CostKind::FsLookup);
         self.names.get(name).copied().ok_or(FsError::NotFound)
     }
 
@@ -145,7 +146,7 @@ impl Tmpfs {
         let doomed: Vec<u64> = f.pages.range(new_pages..).map(|(&p, _)| p).collect();
         for p in doomed {
             let frame = f.pages.remove(&p).expect("page present");
-            m.charge(m.cost.page_meta_update);
+            m.charge_kind(CostKind::PageMetaUpdate);
             m.perf.page_meta_updates += 1;
             alloc.free(m, o1_palloc::PhysExtent::new(frame, 1));
             self.used_frames -= 1;
@@ -177,7 +178,7 @@ impl Tmpfs {
         if let Some(&frame) = f.pages.get(&page_idx) {
             // Radix lookup of an existing page (the fault-time cost of
             // mapping a pre-allocated file block).
-            m.charge(m.cost.fs_extent_op);
+            m.charge_kind(CostKind::FsExtentOp);
             return Ok(frame);
         }
         if let Some(q) = self.quota_frames {
@@ -191,7 +192,7 @@ impl Tmpfs {
         let tier = m.phys.tier(ext.start);
         m.charge_zero_fg(tier, PAGE_SIZE);
         m.phys.zero_frames(ext.start, 1);
-        m.charge(m.cost.page_meta_update);
+        m.charge_kind(CostKind::PageMetaUpdate);
         m.perf.page_meta_updates += 1;
         self.used_frames += 1;
         self.files
@@ -227,7 +228,7 @@ impl Tmpfs {
             let in_page = (pos % PAGE_SIZE) as usize;
             let take = usize::min(data.len() - done, PAGE_SIZE as usize - in_page);
             let frame = self.get_or_alloc_page(m, alloc, id, page)?;
-            m.charge(m.cost.copy_page);
+            m.charge_kind(CostKind::CopyPage);
             m.phys.write(
                 o1_hw::PhysAddr(frame.base().0 + in_page as u64),
                 &data[done..done + take],
@@ -257,7 +258,7 @@ impl Tmpfs {
             let page = pos / PAGE_SIZE;
             let in_page = (pos % PAGE_SIZE) as usize;
             let take = usize::min(buf.len() - done, PAGE_SIZE as usize - in_page);
-            m.charge(m.cost.copy_page);
+            m.charge_kind(CostKind::CopyPage);
             match f.pages.get(&page) {
                 Some(frame) => m.phys.read(
                     o1_hw::PhysAddr(frame.base().0 + in_page as u64),
@@ -280,7 +281,7 @@ impl Tmpfs {
         alloc: &mut dyn FrameSource,
         name: &str,
     ) -> Result<(), FsError> {
-        m.charge(m.cost.fs_lookup);
+        m.charge_kind(CostKind::FsLookup);
         let id = self.names.remove(name).ok_or(FsError::NotFound)?;
         let f = self.files.get_mut(&id).expect("name points to live file");
         f.linked = false;
@@ -291,10 +292,10 @@ impl Tmpfs {
     }
 
     fn destroy(&mut self, m: &mut Machine, alloc: &mut dyn FrameSource, id: FileId) {
-        m.charge(m.cost.fs_remove_inode);
+        m.charge_kind(CostKind::FsRemoveInode);
         let f = self.files.remove(&id).expect("destroy of live file");
         for (_, frame) in f.pages {
-            m.charge(m.cost.page_meta_update);
+            m.charge_kind(CostKind::PageMetaUpdate);
             m.perf.page_meta_updates += 1;
             alloc.free(m, o1_palloc::PhysExtent::new(frame, 1));
             self.used_frames -= 1;

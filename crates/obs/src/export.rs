@@ -1,0 +1,177 @@
+//! Deterministic exporters: JSONL for grepping, Chrome trace-event
+//! JSON for `chrome://tracing` / Perfetto.
+//!
+//! Everything here is a pure function of the collected traces, which
+//! are themselves pure functions of the experiments — so both formats
+//! are byte-identical across runs and `--threads` settings. All
+//! numbers are integers (simulated ns, or ns split into µs + a
+//! three-digit fraction for Chrome's microsecond timestamps); no float
+//! formatting is involved.
+
+use std::fmt::Write as _;
+
+use crate::ledger::FigureTrace;
+
+/// Escape `s` per RFC 8259 and append it, quoted.
+pub fn json_escape(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Chrome wants microsecond timestamps; emit simulated ns exactly as
+/// `µs.nnn` so no precision is lost and no float formatting runs.
+fn push_us(out: &mut String, ns: u64) {
+    let _ = write!(out, "{}.{:03}", ns / 1000, ns % 1000);
+}
+
+/// One JSON line per figure summary, then one line per aggregated
+/// ledger row: figure, machine index, phase, subsystem, kind, count,
+/// simulated ns.
+pub fn export_jsonl(traces: &[FigureTrace]) -> String {
+    let mut out = String::new();
+    for t in traces {
+        let conserved = t.machines.iter().all(|m| m.conserves());
+        out.push_str("{\"fig\":");
+        json_escape(&mut out, &t.id);
+        let _ = write!(
+            out,
+            ",\"machines\":{},\"total_ns\":{},\"conserved\":{}}}\n",
+            t.machines.len(),
+            t.total_ns(),
+            conserved
+        );
+        for (mi, m) in t.machines.iter().enumerate() {
+            for r in &m.rows {
+                out.push_str("{\"fig\":");
+                json_escape(&mut out, &t.id);
+                let _ = write!(out, ",\"machine\":{mi},\"phase\":");
+                json_escape(&mut out, r.phase);
+                let _ = write!(
+                    out,
+                    ",\"subsystem\":\"{}\",\"kind\":\"{}\",\"count\":{},\"ns\":{}}}\n",
+                    r.kind.subsystem().name(),
+                    r.kind.name(),
+                    r.count,
+                    r.ns
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Chrome trace-event JSON: one process per figure, one thread per
+/// machine, one complete (`"X"`) event per phase span on the simulated
+/// clock, with the span's subsystem breakdown attached as args.
+pub fn export_chrome_trace(traces: &[FigureTrace]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    let mut event = |out: &mut String| {
+        if first {
+            first = false;
+        } else {
+            out.push(',');
+        }
+        out.push_str("\n ");
+    };
+    for (pid, t) in traces.iter().enumerate() {
+        event(&mut out);
+        out.push_str("{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":");
+        let _ = write!(out, "{pid},\"tid\":0,\"args\":{{\"name\":");
+        json_escape(&mut out, &t.id);
+        out.push_str("}}");
+        for (tid, m) in t.machines.iter().enumerate() {
+            event(&mut out);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{pid},\"tid\":{tid},\
+                 \"args\":{{\"name\":\"machine {tid}\"}}}}"
+            );
+            for span in &m.spans {
+                event(&mut out);
+                out.push_str("{\"ph\":\"X\",\"cat\":\"phase\",\"name\":");
+                json_escape(&mut out, span.label);
+                let _ = write!(out, ",\"pid\":{pid},\"tid\":{tid},\"ts\":");
+                push_us(&mut out, span.start_ns);
+                out.push_str(",\"dur\":");
+                push_us(&mut out, span.end_ns - span.start_ns);
+                out.push_str(",\"args\":{");
+                let mut first_arg = true;
+                for r in m.rows.iter().filter(|r| r.phase == span.label) {
+                    if !first_arg {
+                        out.push(',');
+                    }
+                    first_arg = false;
+                    let _ = write!(out, "\"{}\":{}", r.kind.name(), r.ns);
+                }
+                out.push_str("}}");
+            }
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::CostKind;
+    use crate::ledger::MachineTrace;
+
+    fn sample() -> Vec<FigureTrace> {
+        let mut t = MachineTrace::new();
+        t.record(CostKind::Syscall, 1, 500);
+        t.set_phase("access", 500);
+        t.record(CostKind::TlbFill, 2, 10);
+        vec![FigureTrace {
+            id: "fig1a".into(),
+            machines: vec![t.finish(510)],
+        }]
+    }
+
+    #[test]
+    fn jsonl_has_summary_then_rows_and_is_deterministic() {
+        let traces = sample();
+        let a = export_jsonl(&traces);
+        let b = export_jsonl(&traces);
+        assert_eq!(a, b);
+        let lines: Vec<&str> = a.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0],
+            "{\"fig\":\"fig1a\",\"machines\":1,\"total_ns\":510,\"conserved\":true}"
+        );
+        assert!(lines[1].contains("\"subsystem\":\"cpu\",\"kind\":\"syscall\",\"count\":1,\"ns\":500"));
+        assert!(lines[2].contains("\"phase\":\"access\""));
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_shape() {
+        let out = export_chrome_trace(&sample());
+        assert!(out.starts_with("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["));
+        assert!(out.ends_with("]}\n"));
+        assert!(out.contains("\"process_name\""));
+        assert!(out.contains("\"ts\":0.000,\"dur\":0.500"));
+        assert!(out.contains("\"name\":\"access\""));
+        assert!(out.contains("\"tlb_fill\":10"));
+        // Balanced braces/brackets (cheap well-formedness check).
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            let o = out.matches(open).count();
+            let c = out.matches(close).count();
+            assert_eq!(o, c, "unbalanced {open}{close}");
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Cost kinds and the subsystems that charge them.
+//!
+//! [`CostKind`] mirrors the cost model one-to-one: every `CostModel`
+//! field has a kind, plus a few primitives whose unit cost is a fixed
+//! constant outside the model (DMA, crypto-erase key drop) and the
+//! [`CostKind::Untagged`] catch-all that keeps conservation exact even
+//! for charges nobody has attributed yet.
+
+/// The subsystem a charge is attributed to. Groups match the cost
+/// model's field grouping (and DESIGN.md's inventory).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
+#[repr(u8)]
+pub enum Subsystem {
+    /// Privilege crossings: syscalls, fault traps, handler bases.
+    Cpu,
+    /// Memory-device operations: loads, stores, zeroing, page copies.
+    Mem,
+    /// Address translation: TLBs, page walks, range walks, shootdowns.
+    Translation,
+    /// Page-table maintenance: PTE writes, node alloc/free.
+    PageTable,
+    /// Physical allocators: buddy, extent, slab, key generation.
+    Alloc,
+    /// VM bookkeeping: VMAs, mmap path, page metadata, reclaim, swap.
+    Vm,
+    /// File system: lookups, inodes, extents, journal, file I/O.
+    Fs,
+    /// Device DMA and the IOMMU.
+    Dma,
+    /// Charges not yet attributed to a subsystem.
+    Other,
+}
+
+impl Subsystem {
+    /// All subsystems, in display order.
+    pub const ALL: [Subsystem; 9] = [
+        Subsystem::Cpu,
+        Subsystem::Mem,
+        Subsystem::Translation,
+        Subsystem::PageTable,
+        Subsystem::Alloc,
+        Subsystem::Vm,
+        Subsystem::Fs,
+        Subsystem::Dma,
+        Subsystem::Other,
+    ];
+
+    /// Stable lowercase name used in exports and tables.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Subsystem::Cpu => "cpu",
+            Subsystem::Mem => "mem",
+            Subsystem::Translation => "translation",
+            Subsystem::PageTable => "pagetable",
+            Subsystem::Alloc => "alloc",
+            Subsystem::Vm => "vm",
+            Subsystem::Fs => "fs",
+            Subsystem::Dma => "dma",
+            Subsystem::Other => "other",
+        }
+    }
+}
+
+macro_rules! cost_kinds {
+    ($($variant:ident => ($name:literal, $subsystem:ident)),* $(,)?) => {
+        /// One charged primitive operation.
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
+        #[repr(u8)]
+        pub enum CostKind {
+            $(#[doc = $name] $variant),*
+        }
+
+        impl CostKind {
+            /// Every kind, in declaration (= export) order.
+            pub const ALL: [CostKind; cost_kinds!(@count $($variant)*)] =
+                [$(CostKind::$variant),*];
+
+            /// Stable snake_case name matching the cost-model field.
+            pub const fn name(self) -> &'static str {
+                match self { $(CostKind::$variant => $name),* }
+            }
+
+            /// The subsystem this kind is attributed to.
+            pub const fn subsystem(self) -> Subsystem {
+                match self { $(CostKind::$variant => Subsystem::$subsystem),* }
+            }
+        }
+    };
+    (@count) => { 0 };
+    (@count $head:ident $($tail:ident)*) => { 1 + cost_kinds!(@count $($tail)*) };
+}
+
+cost_kinds! {
+    // ---- CPU / privilege crossings ----
+    Syscall => ("syscall", Cpu),
+    FaultTrap => ("fault_trap", Cpu),
+    FaultHandlerBase => ("fault_handler_base", Cpu),
+    // ---- Memory device ----
+    MemReadDram => ("mem_read_dram", Mem),
+    MemWriteDram => ("mem_write_dram", Mem),
+    MemReadNvm => ("mem_read_nvm", Mem),
+    MemWriteNvm => ("mem_write_nvm", Mem),
+    ZeroPageDram => ("zero_page_dram", Mem),
+    ZeroPageNvm => ("zero_page_nvm", Mem),
+    CopyPage => ("copy_page", Mem),
+    // ---- Address translation ----
+    TlbHit => ("tlb_hit", Translation),
+    PtwLevelRef => ("ptw_level_ref", Translation),
+    TlbFill => ("tlb_fill", Translation),
+    TlbInvlpg => ("tlb_invlpg", Translation),
+    TlbFlushAsid => ("tlb_flush_asid", Translation),
+    TlbShootdownPercpu => ("tlb_shootdown_percpu", Translation),
+    RtlbHit => ("rtlb_hit", Translation),
+    RangeWalk => ("range_walk", Translation),
+    RtlbFill => ("rtlb_fill", Translation),
+    // ---- Page tables ----
+    PteWrite => ("pte_write", PageTable),
+    PtNodeAlloc => ("pt_node_alloc", PageTable),
+    PtNodeFree => ("pt_node_free", PageTable),
+    // ---- Physical allocators ----
+    BuddyAlloc => ("buddy_alloc", Alloc),
+    BuddyLevel => ("buddy_level", Alloc),
+    BuddyFree => ("buddy_free", Alloc),
+    ExtentAlloc => ("extent_alloc", Alloc),
+    ExtentFree => ("extent_free", Alloc),
+    SlabOp => ("slab_op", Alloc),
+    KeyGen => ("key_gen", Alloc),
+    KeyDrop => ("key_drop", Alloc),
+    // ---- VM bookkeeping ----
+    VmaCreate => ("vma_create", Vm),
+    VmaFind => ("vma_find", Vm),
+    VmaDestroy => ("vma_destroy", Vm),
+    MmapFixed => ("mmap_fixed", Vm),
+    PageMetaUpdate => ("page_meta_update", Vm),
+    ReclaimScanPage => ("reclaim_scan_page", Vm),
+    SwapOutPage => ("swap_out_page", Vm),
+    SwapInPage => ("swap_in_page", Vm),
+    PinPage => ("pin_page", Vm),
+    // ---- File system ----
+    FsLookup => ("fs_lookup", Fs),
+    FsCreateInode => ("fs_create_inode", Fs),
+    FsRemoveInode => ("fs_remove_inode", Fs),
+    FsExtentOp => ("fs_extent_op", Fs),
+    JournalRecord => ("journal_record", Fs),
+    JournalCommit => ("journal_commit", Fs),
+    FileIoFixed => ("file_io_fixed", Fs),
+    // ---- Device DMA ----
+    DmaPage => ("dma_page", Dma),
+    IommuFault => ("iommu_fault", Dma),
+    // ---- Fallback ----
+    Untagged => ("untagged", Other),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_snake_case() {
+        let mut seen = std::collections::HashSet::new();
+        for k in CostKind::ALL {
+            assert!(seen.insert(k.name()), "duplicate kind name {}", k.name());
+            assert!(
+                k.name()
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "kind name {} is not snake_case",
+                k.name()
+            );
+        }
+    }
+
+    #[test]
+    fn every_subsystem_has_a_kind() {
+        for s in Subsystem::ALL {
+            assert!(
+                CostKind::ALL.iter().any(|k| k.subsystem() == s),
+                "subsystem {} has no kinds",
+                s.name()
+            );
+        }
+    }
+
+    #[test]
+    fn discriminants_match_all_order() {
+        for (i, k) in CostKind::ALL.iter().enumerate() {
+            assert_eq!(*k as usize, i);
+        }
+    }
+}

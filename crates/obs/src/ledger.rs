@@ -1,0 +1,322 @@
+//! The per-machine ledger: charges aggregated by `(phase, kind)`,
+//! plus phase spans for timeline export.
+//!
+//! The ledger never computes a cost itself — it only observes what the
+//! machine charges. That is what makes conservation (`Σ entries ==
+//! clock delta`) hold *by construction*: every path that advances the
+//! simulated clock records exactly what it added, and the catch-all
+//! [`CostKind::Untagged`] covers charges nobody has attributed yet.
+
+use std::collections::BTreeMap;
+
+use crate::kind::{CostKind, Subsystem};
+
+/// Phase label a machine starts in before anyone calls `set_phase`.
+pub const INITIAL_PHASE: &str = "main";
+
+/// One closed phase interval on a machine's simulated clock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PhaseSpan {
+    /// Phase label (driver boundary name).
+    pub label: &'static str,
+    /// Simulated ns at which the phase began.
+    pub start_ns: u64,
+    /// Simulated ns at which the phase ended.
+    pub end_ns: u64,
+}
+
+/// Live ledger carried by an enabled machine.
+///
+/// Aggregates rather than logs: the figure suite charges millions of
+/// primitives, but only ever a few dozen distinct `(phase, kind)`
+/// pairs per machine.
+#[derive(Clone, Debug, Default)]
+pub struct MachineTrace {
+    /// Phase labels in order of first use; index is the row key.
+    phases: Vec<&'static str>,
+    /// Index of the current phase in `phases`.
+    current: usize,
+    /// Clock value when the current phase began.
+    span_start_ns: u64,
+    /// Closed spans, in time order.
+    spans: Vec<PhaseSpan>,
+    /// `(phase index, kind discriminant) → (count, ns)`.
+    rows: BTreeMap<(usize, u8), (u64, u64)>,
+    /// Running sum of everything recorded.
+    charged_ns: u64,
+}
+
+impl MachineTrace {
+    /// Fresh ledger: clock 0, phase [`INITIAL_PHASE`].
+    pub fn new() -> MachineTrace {
+        MachineTrace {
+            phases: vec![INITIAL_PHASE],
+            ..MachineTrace::default()
+        }
+    }
+
+    /// Record `count` primitives of `kind` costing `ns` total.
+    #[inline]
+    pub fn record(&mut self, kind: CostKind, count: u64, ns: u64) {
+        let row = self.rows.entry((self.current, kind as u8)).or_insert((0, 0));
+        row.0 += count;
+        row.1 += ns;
+        self.charged_ns += ns;
+    }
+
+    /// Enter phase `label` at simulated time `now_ns`. Re-entering the
+    /// current phase is a no-op; zero-length spans are not kept.
+    pub fn set_phase(&mut self, label: &'static str, now_ns: u64) {
+        if self.phases[self.current] == label {
+            return;
+        }
+        if now_ns > self.span_start_ns {
+            self.spans.push(PhaseSpan {
+                label: self.phases[self.current],
+                start_ns: self.span_start_ns,
+                end_ns: now_ns,
+            });
+        }
+        self.current = match self.phases.iter().position(|&p| p == label) {
+            Some(i) => i,
+            None => {
+                self.phases.push(label);
+                self.phases.len() - 1
+            }
+        };
+        self.span_start_ns = now_ns;
+    }
+
+    /// Total simulated ns recorded so far.
+    pub fn charged_ns(&self) -> u64 {
+        self.charged_ns
+    }
+
+    /// Close the ledger at final clock value `clock_ns`.
+    pub fn finish(mut self, clock_ns: u64) -> MachineReport {
+        if clock_ns > self.span_start_ns {
+            self.spans.push(PhaseSpan {
+                label: self.phases[self.current],
+                start_ns: self.span_start_ns,
+                end_ns: clock_ns,
+            });
+        }
+        let rows = self
+            .rows
+            .iter()
+            .map(|(&(phase, kind), &(count, ns))| TraceRow {
+                phase: self.phases[phase],
+                kind: CostKind::ALL[kind as usize],
+                count,
+                ns,
+            })
+            .collect();
+        MachineReport {
+            spans: self.spans,
+            rows,
+            clock_ns,
+            charged_ns: self.charged_ns,
+        }
+    }
+}
+
+/// One aggregated ledger row of a finished machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceRow {
+    /// Phase the charges happened in.
+    pub phase: &'static str,
+    /// What was charged.
+    pub kind: CostKind,
+    /// How many primitives.
+    pub count: u64,
+    /// Their total simulated cost.
+    pub ns: u64,
+}
+
+/// A machine's closed ledger, as flushed to the collector on drop.
+#[derive(Clone, Debug)]
+pub struct MachineReport {
+    /// Phase timeline.
+    pub spans: Vec<PhaseSpan>,
+    /// Aggregated rows, ordered by (phase first-use, kind).
+    pub rows: Vec<TraceRow>,
+    /// Final simulated clock value (machines start at 0).
+    pub clock_ns: u64,
+    /// Sum of all recorded entries.
+    pub charged_ns: u64,
+}
+
+impl MachineReport {
+    /// True iff the ledger accounts for every clock tick.
+    pub fn conserves(&self) -> bool {
+        let row_sum: u64 = self.rows.iter().map(|r| r.ns).sum();
+        row_sum == self.clock_ns && self.charged_ns == self.clock_ns
+    }
+}
+
+/// Every machine ledger collected while one figure ran.
+#[derive(Clone, Debug)]
+pub struct FigureTrace {
+    /// Canonical figure id.
+    pub id: String,
+    /// Machine reports in flush (= deterministic program) order.
+    pub machines: Vec<MachineReport>,
+}
+
+impl FigureTrace {
+    /// Total simulated ns across all the figure's machines.
+    pub fn total_ns(&self) -> u64 {
+        self.machines.iter().map(|m| m.clock_ns).sum()
+    }
+}
+
+/// Check `Σ ledger == clock` for every machine of every figure.
+/// Returns one human-readable line per violation; empty means the
+/// whole run conserves simulated time.
+pub fn conservation_errors(traces: &[FigureTrace]) -> Vec<String> {
+    let mut errors = Vec::new();
+    for t in traces {
+        for (i, m) in t.machines.iter().enumerate() {
+            if !m.conserves() {
+                let row_sum: u64 = m.rows.iter().map(|r| r.ns).sum();
+                errors.push(format!(
+                    "{}: machine {}: ledger {} ns (running sum {}) != clock {} ns",
+                    t.id, i, row_sum, m.charged_ns, m.clock_ns
+                ));
+            }
+        }
+    }
+    errors
+}
+
+/// A figure's decomposition into counts × costs, ready for tables.
+#[derive(Clone, Debug)]
+pub struct Attribution {
+    /// Total simulated ns across the figure's machines.
+    pub total_ns: u64,
+    /// `(subsystem, count, ns)` in [`Subsystem::ALL`] order, zero
+    /// subsystems omitted.
+    pub by_subsystem: Vec<(Subsystem, u64, u64)>,
+    /// `(kind, count, ns)` in [`CostKind::ALL`] order, zero kinds
+    /// omitted.
+    pub by_kind: Vec<(CostKind, u64, u64)>,
+    /// `(phase, ns)` in first-appearance order.
+    pub by_phase: Vec<(&'static str, u64)>,
+}
+
+/// Aggregate one figure's machine ledgers across machines.
+pub fn attribute(trace: &FigureTrace) -> Attribution {
+    let mut kind_totals = [(0u64, 0u64); CostKind::ALL.len()];
+    let mut phases: Vec<(&'static str, u64)> = Vec::new();
+    for m in &trace.machines {
+        for r in &m.rows {
+            let slot = &mut kind_totals[r.kind as usize];
+            slot.0 += r.count;
+            slot.1 += r.ns;
+            match phases.iter_mut().find(|(p, _)| *p == r.phase) {
+                Some((_, ns)) => *ns += r.ns,
+                None => phases.push((r.phase, r.ns)),
+            }
+        }
+    }
+    let by_kind: Vec<_> = CostKind::ALL
+        .iter()
+        .map(|&k| {
+            let (count, ns) = kind_totals[k as usize];
+            (k, count, ns)
+        })
+        .filter(|&(_, count, ns)| count > 0 || ns > 0)
+        .collect();
+    let by_subsystem = Subsystem::ALL
+        .iter()
+        .map(|&s| {
+            let (count, ns) = by_kind
+                .iter()
+                .filter(|(k, _, _)| k.subsystem() == s)
+                .fold((0, 0), |(c, n), &(_, kc, kn)| (c + kc, n + kn));
+            (s, count, ns)
+        })
+        .filter(|&(_, count, ns)| count > 0 || ns > 0)
+        .collect();
+    Attribution {
+        total_ns: trace.total_ns(),
+        by_subsystem,
+        by_kind,
+        by_phase: phases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> MachineReport {
+        let mut t = MachineTrace::new();
+        t.record(CostKind::Syscall, 1, 500);
+        t.record(CostKind::PteWrite, 10, 550);
+        t.set_phase("access", 1050);
+        t.record(CostKind::TlbFill, 3, 15);
+        t.finish(1065)
+    }
+
+    #[test]
+    fn rows_aggregate_and_conserve() {
+        let r = report();
+        assert_eq!(r.rows.len(), 3);
+        assert_eq!(r.charged_ns, 1065);
+        assert!(r.conserves());
+        assert_eq!(r.rows[0].phase, INITIAL_PHASE);
+        assert_eq!(r.rows[2].phase, "access");
+        assert_eq!(r.rows[2].kind, CostKind::TlbFill);
+        assert_eq!(r.rows[2].count, 3);
+    }
+
+    #[test]
+    fn spans_cover_the_clock() {
+        let r = report();
+        assert_eq!(
+            r.spans,
+            vec![
+                PhaseSpan { label: INITIAL_PHASE, start_ns: 0, end_ns: 1050 },
+                PhaseSpan { label: "access", start_ns: 1050, end_ns: 1065 },
+            ]
+        );
+    }
+
+    #[test]
+    fn unaccounted_time_breaks_conservation() {
+        let mut t = MachineTrace::new();
+        t.record(CostKind::Syscall, 1, 500);
+        let r = t.finish(501); // one ns advanced without being recorded
+        assert!(!r.conserves());
+        let trace = FigureTrace { id: "figX".into(), machines: vec![r] };
+        let errs = conservation_errors(&[trace]);
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].contains("figX"), "{errs:?}");
+    }
+
+    #[test]
+    fn attribution_groups_by_subsystem_and_phase() {
+        let trace = FigureTrace { id: "f".into(), machines: vec![report(), report()] };
+        let a = attribute(&trace);
+        assert_eq!(a.total_ns, 2 * 1065);
+        let (s, count, ns) = a.by_subsystem[0];
+        assert_eq!(s, Subsystem::Cpu);
+        assert_eq!((count, ns), (2, 1000));
+        assert_eq!(a.by_phase, vec![(INITIAL_PHASE, 2100), ("access", 30)]);
+        assert!(a.by_kind.iter().any(|&(k, c, _)| k == CostKind::PteWrite && c == 20));
+    }
+
+    #[test]
+    fn reentering_current_phase_is_noop() {
+        let mut t = MachineTrace::new();
+        t.set_phase(INITIAL_PHASE, 0);
+        t.record(CostKind::Syscall, 1, 500);
+        t.set_phase("a", 500);
+        t.set_phase("a", 500);
+        t.record(CostKind::Syscall, 1, 500);
+        let r = t.finish(1000);
+        assert_eq!(r.spans.len(), 2);
+        assert!(r.conserves());
+    }
+}

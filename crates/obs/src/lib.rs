@@ -1,0 +1,42 @@
+//! # o1-obs — deterministic cost-attribution ledger
+//!
+//! Every figure in *Towards O(1) Memory* is, by construction,
+//! *operation counts × unit costs*. This crate makes that decomposition
+//! a first-class, verifiable artifact instead of a claim:
+//!
+//! * [`CostKind`] tags every primitive the simulated machine charges
+//!   (one kind per [`CostModel`] field plus a few fixed-cost
+//!   primitives), and [`Subsystem`] groups kinds the way DESIGN.md
+//!   groups the cost model;
+//! * [`MachineTrace`] is the per-machine ledger: simulated nanoseconds
+//!   aggregated by `(phase label, cost kind)`, plus the phase spans
+//!   themselves. Because it only ever observes `Machine::charge`, the
+//!   ledger *conserves time*: the sum of its entries equals the
+//!   simulated-clock delta, checked by [`conservation_errors`] and
+//!   enforced as a test across the whole figure suite;
+//! * a scoped, thread-local [collector](install_collector) gathers the
+//!   traces of every machine built while it is installed, so the
+//!   figure runner attributes whole experiments without changing a
+//!   single figure-function signature;
+//! * [`export_jsonl`] and [`export_chrome_trace`] serialize collected
+//!   traces deterministically — byte-identical across runs and thread
+//!   counts — for grepping and for `chrome://tracing` / Perfetto.
+//!
+//! The ledger is strictly opt-in: a machine built while no collector
+//! is installed (and not forced on) carries no ledger at all, records
+//! nothing, allocates nothing, and emits nothing.
+//!
+//! [`CostModel`]: https://docs.rs/o1-hw
+
+mod collect;
+mod export;
+mod kind;
+mod ledger;
+
+pub use collect::{collector_active, install_collector, submit, take_collector, with_collector};
+pub use export::{export_chrome_trace, export_jsonl, json_escape};
+pub use kind::{CostKind, Subsystem};
+pub use ledger::{
+    attribute, conservation_errors, Attribution, FigureTrace, MachineReport, MachineTrace,
+    PhaseSpan, TraceRow, INITIAL_PHASE,
+};

@@ -7,6 +7,7 @@
 //! PMFS model for its block allocation. Its metadata footprint is what
 //! the T-META experiment compares against `struct page`.
 
+use o1_hw::CostKind;
 use o1_hw::{FrameNo, Machine};
 
 use crate::extent::{AllocError, FrameSource, PhysExtent};
@@ -85,7 +86,7 @@ impl BitmapAllocator {
             self.set_bit(start + i, true);
         }
         self.free -= ext.frames;
-        m.charge(m.cost.extent_alloc);
+        m.charge_kind(CostKind::ExtentAlloc);
         m.perf.alloc_calls += 1;
         m.perf.frames_alloced += ext.frames;
         Ok(ext)
@@ -146,7 +147,7 @@ impl FrameSource for BitmapAllocator {
         }
         self.cursor = start + frames;
         self.free -= frames;
-        m.charge(m.cost.extent_alloc);
+        m.charge_kind(CostKind::ExtentAlloc);
         m.perf.alloc_calls += 1;
         m.perf.frames_alloced += frames;
         Ok(PhysExtent::new(FrameNo(self.base + start), frames))
@@ -167,7 +168,7 @@ impl FrameSource for BitmapAllocator {
             self.set_bit(start + i, false);
         }
         self.free += ext.frames;
-        m.charge(m.cost.extent_free);
+        m.charge_kind(CostKind::ExtentFree);
         m.perf.frames_freed += ext.frames;
     }
 

@@ -8,6 +8,7 @@
 //! populating a region, which is where the linear cost in Figure 1a
 //! comes from.
 
+use o1_hw::CostKind;
 use std::collections::{BTreeSet, HashMap};
 
 use o1_hw::{FrameNo, Machine};
@@ -85,11 +86,11 @@ impl BuddyAllocator {
             .next()
             .expect("nonempty");
         self.free_lists[at_order as usize].remove(&start);
-        m.charge(m.cost.buddy_alloc);
+        m.charge_kind(CostKind::BuddyAlloc);
         // Split down to the requested order.
         while at_order > order {
             at_order -= 1;
-            m.charge(m.cost.buddy_level);
+            m.charge_kind(CostKind::BuddyLevel);
             let buddy = start + (1u64 << at_order);
             self.free_lists[at_order as usize].insert(buddy);
         }
@@ -122,7 +123,7 @@ impl BuddyAllocator {
             ext.frames,
             "size mismatch on free of {ext:?}"
         );
-        m.charge(m.cost.buddy_free);
+        m.charge_kind(CostKind::BuddyFree);
         m.perf.frames_freed += ext.frames;
         self.free += ext.frames;
         let mut start = ext.start.0;
@@ -132,7 +133,7 @@ impl BuddyAllocator {
             if !self.free_lists[order as usize].remove(&buddy) {
                 break;
             }
-            m.charge(m.cost.buddy_level);
+            m.charge_kind(CostKind::BuddyLevel);
             start = start.min(buddy);
             order += 1;
         }

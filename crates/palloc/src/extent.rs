@@ -9,6 +9,7 @@
 //! allocate/free is O(log #free-runs) regardless of the extent size —
 //! and charges exactly one constant simulated cost.
 
+use o1_hw::CostKind;
 use std::collections::{BTreeMap, BTreeSet};
 
 use o1_hw::{FrameNo, Machine, PhysAddr, PAGE_SIZE};
@@ -214,7 +215,7 @@ impl FrameSource for ExtentAllocator {
         });
         match pick {
             Some((start, len, aligned)) => {
-                m.charge(m.cost.extent_alloc);
+                m.charge_kind(CostKind::ExtentAlloc);
                 m.perf.alloc_calls += 1;
                 m.perf.frames_alloced += frames;
                 Ok(self.carve(start, len, aligned, frames))
@@ -230,7 +231,7 @@ impl FrameSource for ExtentAllocator {
             "extent {ext:?} outside allocator span {:?}",
             self.span
         );
-        m.charge(m.cost.extent_free);
+        m.charge_kind(CostKind::ExtentFree);
         m.perf.frames_freed += ext.frames;
         let mut start = ext.start.0;
         let mut len = ext.frames;

@@ -7,6 +7,7 @@
 //! [`SizeClassAllocator`] fronts a set of caches with power-of-two size
 //! classes and falls back to the parent allocator for large requests.
 
+use o1_hw::CostKind;
 use std::collections::BTreeMap;
 
 use o1_hw::{FrameNo, Machine};
@@ -84,7 +85,7 @@ impl SlabCache {
         m: &mut Machine,
         parent: &mut dyn FrameSource,
     ) -> Result<PhysExtent, AllocError> {
-        m.charge(m.cost.slab_op);
+        m.charge_kind(CostKind::SlabOp);
         // Prefer partial slabs, then cached-empty slabs.
         let start = match self.partial.last().copied() {
             Some(s) => s,
@@ -133,7 +134,7 @@ impl SlabCache {
     /// Panics if `ext` was not allocated from this cache.
     pub fn free(&mut self, m: &mut Machine, parent: &mut dyn FrameSource, ext: PhysExtent) {
         assert_eq!(ext.frames, self.obj_frames, "object size mismatch");
-        m.charge(m.cost.slab_op);
+        m.charge_kind(CostKind::SlabOp);
         let slab_frames = self.slab_frames();
         let (&start, slab) = self
             .slabs

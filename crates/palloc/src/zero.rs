@@ -18,6 +18,7 @@
 //!
 //! The A-ZERO ablation benchmark compares all three.
 
+use o1_hw::CostKind;
 use std::collections::VecDeque;
 
 use o1_hw::Machine;
@@ -234,7 +235,7 @@ impl<P: FrameSource> CryptoZero<P> {
 impl<P: FrameSource> FrameSource for CryptoZero<P> {
     fn alloc(&mut self, m: &mut Machine, frames: u64) -> Result<PhysExtent, AllocError> {
         let ext = self.parent.alloc(m, frames)?;
-        m.charge(m.cost.key_gen);
+        m.charge_kind(CostKind::KeyGen);
         self.keys_live += 1;
         Ok(ext)
     }
@@ -246,13 +247,13 @@ impl<P: FrameSource> FrameSource for CryptoZero<P> {
         align_frames: u64,
     ) -> Result<PhysExtent, AllocError> {
         let ext = self.parent.alloc_aligned(m, frames, align_frames)?;
-        m.charge(m.cost.key_gen);
+        m.charge_kind(CostKind::KeyGen);
         self.keys_live += 1;
         Ok(ext)
     }
 
     fn free(&mut self, m: &mut Machine, ext: PhysExtent) {
-        m.charge(KEY_DROP_NS);
+        m.charge_tagged(CostKind::KeyDrop, 1, KEY_DROP_NS);
         self.keys_live = self.keys_live.saturating_sub(1);
         self.keys_dropped += 1;
         // Old contents are ciphertext under a dropped key: unreadable.

@@ -5,7 +5,7 @@
 //! and the file-only-memory kernel and differs only in what the two
 //! designs charge.
 
-use o1_hw::{Machine, VirtAddr};
+use o1_hw::{Machine, PerfSnapshot, VirtAddr};
 
 use crate::types::{Pid, VmError};
 
@@ -20,8 +20,27 @@ pub trait MemSys {
     /// Mutable machine access.
     fn machine_mut(&mut self) -> &mut Machine;
 
+    /// Snapshot the simulated clock and perf counters. Drivers diff
+    /// two snapshots ([`PerfSnapshot::since`]) instead of reaching
+    /// into [`Machine`] internals.
+    fn stats(&self) -> PerfSnapshot {
+        PerfSnapshot::of(self.machine())
+    }
+
+    /// Label the current execution phase in the cost-attribution
+    /// ledger. Free when tracing is off; with a trace every
+    /// subsequent charge is attributed to `label` until the next
+    /// call. Re-entering the current phase is a no-op.
+    fn phase(&mut self, label: &'static str) {
+        self.machine_mut().set_phase(label);
+    }
+
     /// Create an empty process.
-    fn create_process(&mut self) -> Pid;
+    ///
+    /// # Errors
+    /// [`VmError::ProcessLimit`] when the process table is exhausted
+    /// (ASIDs are 16-bit, so at most 65535 processes ever).
+    fn create_process(&mut self) -> Result<Pid, VmError>;
 
     /// Tear down a process and all its memory.
     fn destroy_process(&mut self, pid: Pid) -> Result<(), VmError>;
@@ -72,7 +91,7 @@ impl MemSys for crate::kernel::BaselineKernel {
         self.machine_mut()
     }
 
-    fn create_process(&mut self) -> Pid {
+    fn create_process(&mut self) -> Result<Pid, VmError> {
         self.create_process()
     }
 
@@ -128,7 +147,7 @@ mod tests {
     use o1_hw::PAGE_SIZE;
 
     fn run_generic(sys: &mut dyn MemSys) {
-        let pid = sys.create_process();
+        let pid = sys.create_process().unwrap();
         let va = sys.alloc(pid, 8 * PAGE_SIZE, false).unwrap();
         sys.store(pid, va, 1234).unwrap();
         assert_eq!(sys.load(pid, va).unwrap(), 1234);
@@ -139,7 +158,7 @@ mod tests {
 
     #[test]
     fn baseline_implements_memsys() {
-        let mut k = BaselineKernel::with_dram(16 << 20);
+        let mut k = BaselineKernel::builder().dram(16 << 20).build();
         assert_eq!(k.sys_name(), "baseline");
         run_generic(&mut k);
         assert!(k.machine().now().0 > 0);

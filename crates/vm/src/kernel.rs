@@ -14,11 +14,12 @@
 //!   pinning — the page-granular features the paper concedes are hard
 //!   to keep under file-only memory.
 
+use o1_hw::CostKind;
 use std::collections::HashMap;
 
 use o1_hw::{
-    Access, Asid, FrameNo, Machine, MemTier, Mmu, PageSize, PageTables, PhysAddr, PtNodeId,
-    PteFlags, RangeTable, TranslateError, VirtAddr, HUGE_2M, PAGE_SIZE,
+    Access, Asid, FrameNo, Machine, MachineConfig, MemTier, Mmu, PageSize, PageTables, PhysAddr,
+    PtNodeId, PteFlags, RangeTable, Tlb, TranslateError, VirtAddr, HUGE_2M, PAGE_SIZE,
 };
 use o1_memfs::{FileId, Tmpfs};
 use o1_palloc::{BuddyAllocator, FrameSource, PhysExtent};
@@ -79,6 +80,121 @@ impl Default for BaselineConfig {
     }
 }
 
+/// Builder for a [`BaselineKernel`]: kernel policy plus the shared
+/// [`MachineConfig`] (cost model, CPU count, observability mode) and
+/// TLB geometry, in one place. Obtained from
+/// [`BaselineKernel::builder`].
+///
+/// # Examples
+/// ```
+/// use o1_vm::{BaselineKernel, ThpMode};
+///
+/// let k = BaselineKernel::builder()
+///     .dram(64 << 20)
+///     .thp(ThpMode::Aligned2M)
+///     .cpus(8)
+///     .build();
+/// assert!(k.free_frames() > 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BaselineBuilder {
+    config: BaselineConfig,
+    machine: MachineConfig,
+    tlb: Option<(usize, usize)>,
+}
+
+impl Default for BaselineBuilder {
+    fn default() -> Self {
+        BaselineBuilder {
+            config: BaselineConfig::default(),
+            machine: MachineConfig::default(),
+            tlb: None,
+        }
+    }
+}
+
+impl BaselineBuilder {
+    /// DRAM size in bytes.
+    pub fn dram(mut self, bytes: u64) -> Self {
+        self.config.dram_bytes = bytes;
+        self
+    }
+
+    /// Reclaim policy.
+    pub fn reclaim(mut self, policy: ReclaimPolicy) -> Self {
+        self.config.reclaim = policy;
+        self
+    }
+
+    /// Free-frame watermark below which reclaim kicks in.
+    pub fn low_watermark_frames(mut self, frames: u64) -> Self {
+        self.config.low_watermark_frames = frames;
+        self
+    }
+
+    /// Whether anonymous pages may be swapped out under pressure.
+    pub fn swap(mut self, enabled: bool) -> Self {
+        self.config.swap_enabled = enabled;
+        self
+    }
+
+    /// Transparent-huge-page policy.
+    pub fn thp(mut self, mode: ThpMode) -> Self {
+        self.config.thp = mode;
+        self
+    }
+
+    /// Pages populated per fault.
+    pub fn fault_around(mut self, pages: u32) -> Self {
+        self.config.fault_around = pages;
+        self
+    }
+
+    /// Per-operation cost table.
+    pub fn cost(mut self, cost: o1_hw::CostModel) -> Self {
+        self.machine.cost = cost;
+        self
+    }
+
+    /// Number of CPUs (scales TLB-shootdown cost).
+    pub fn cpus(mut self, cpus: u32) -> Self {
+        self.machine.cpus = cpus;
+        self
+    }
+
+    /// Cost-attribution ledger mode (see [`o1_hw::ObsMode`]).
+    pub fn obs(mut self, mode: o1_hw::ObsMode) -> Self {
+        self.machine.obs = mode;
+        self
+    }
+
+    /// Page-TLB geometry (`sets` × `assoc` entries).
+    pub fn tlb(mut self, sets: usize, assoc: usize) -> Self {
+        self.tlb = Some((sets, assoc));
+        self
+    }
+
+    /// Replace the whole kernel-policy config at once.
+    pub fn config(mut self, config: BaselineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Boot the kernel.
+    pub fn build(self) -> BaselineKernel {
+        let machine = Machine::from_config(MachineConfig {
+            dram_bytes: self.config.dram_bytes,
+            nvm_bytes: 0,
+            ..self.machine
+        });
+        let mut mmu = Mmu::paging_only();
+        if let Some((sets, assoc)) = self.tlb {
+            mmu.tlb = Tlb::new(sets, assoc);
+        }
+        BaselineKernel::boot(self.config, machine, mmu)
+    }
+}
+
 #[derive(Debug)]
 struct Proc {
     asid: Asid,
@@ -119,12 +235,21 @@ pub struct BaselineKernel {
 impl BaselineKernel {
     /// Boot a kernel with the given configuration.
     pub fn new(config: BaselineConfig) -> BaselineKernel {
-        let machine = Machine::dram_only(config.dram_bytes);
+        BaselineKernel::builder().config(config).build()
+    }
+
+    /// Start configuring a kernel: policy, machine geometry, cost
+    /// model and TLB shape in one fluent chain.
+    pub fn builder() -> BaselineBuilder {
+        BaselineBuilder::default()
+    }
+
+    fn boot(config: BaselineConfig, machine: Machine, mmu: Mmu) -> BaselineKernel {
         let frames = machine.phys.total_frames();
         BaselineKernel {
             machine,
             pt: PageTables::new(),
-            mmu: Mmu::paging_only(),
+            mmu,
             alloc: BuddyAllocator::new(PhysExtent::new(FrameNo(0), frames)),
             tmpfs: Tmpfs::new(),
             procs: HashMap::new(),
@@ -143,11 +268,9 @@ impl BaselineKernel {
     }
 
     /// Boot with defaults and the given DRAM size.
+    #[deprecated(note = "use `BaselineKernel::builder().dram(bytes).build()`")]
     pub fn with_dram(dram_bytes: u64) -> BaselineKernel {
-        BaselineKernel::new(BaselineConfig {
-            dram_bytes,
-            ..BaselineConfig::default()
-        })
+        BaselineKernel::builder().dram(dram_bytes).build()
     }
 
     /// The simulated machine (clock, counters, cost model).
@@ -203,11 +326,24 @@ impl BaselineKernel {
 
     // ---- process lifecycle ------------------------------------------------
 
-    /// Create an empty process.
-    pub fn create_process(&mut self) -> Pid {
-        self.machine.charge_syscall();
+    /// Allocate the next pid. ASIDs are 16-bit, so the process table
+    /// is exhausted once pids no longer fit.
+    fn alloc_pid(&mut self) -> Result<Pid, VmError> {
+        if self.next_pid > u32::from(u16::MAX) {
+            return Err(VmError::ProcessLimit);
+        }
         let pid = Pid(self.next_pid);
         self.next_pid += 1;
+        Ok(pid)
+    }
+
+    /// Create an empty process.
+    ///
+    /// # Errors
+    /// [`VmError::ProcessLimit`] once the 16-bit ASID space is spent.
+    pub fn create_process(&mut self) -> Result<Pid, VmError> {
+        self.machine.charge_syscall();
+        let pid = self.alloc_pid()?;
         let root = self.pt.create_root(&mut self.machine);
         self.procs.insert(
             pid,
@@ -218,7 +354,7 @@ impl BaselineKernel {
                 swapped: HashMap::new(),
             },
         );
-        pid
+        Ok(pid)
     }
 
     /// Tear down a process: unmap everything (page by page — the
@@ -256,12 +392,11 @@ impl BaselineKernel {
                 p.swapped.iter().map(|(&k, &v)| (k, v)).collect(),
             )
         };
-        let child = Pid(self.next_pid);
-        self.next_pid += 1;
+        let child = self.alloc_pid()?;
         let c_root = self.pt.create_root(&mut self.machine);
         let mut c_vmas = VmaMap::new();
         for v in &vmas {
-            self.machine.charge(self.machine.cost.vma_create);
+            self.machine.charge_kind(CostKind::VmaCreate);
             c_vmas.insert(*v);
         }
         let mut c_swapped = HashMap::new();
@@ -323,7 +458,7 @@ impl BaselineKernel {
                     let meta = self.meta.get_mut(frame);
                     meta.mapcount += 1;
                     meta.rmap.push((child, va));
-                    self.machine.charge(self.machine.cost.page_meta_update);
+                    self.machine.charge_kind(CostKind::PageMetaUpdate);
                     self.machine.perf.page_meta_updates += 1;
                 }
                 va += PAGE_SIZE;
@@ -353,7 +488,7 @@ impl BaselineKernel {
         stack_bytes: u64,
         populate: bool,
     ) -> Result<Pid, VmError> {
-        let pid = self.create_process();
+        let pid = self.create_process().unwrap();
         let flags = if populate {
             MapFlags::private_populate()
         } else {
@@ -380,8 +515,8 @@ impl BaselineKernel {
             return Err(VmError::BadRange);
         }
         self.machine.charge_syscall();
-        self.machine.charge(self.machine.cost.mmap_fixed);
-        self.machine.charge(self.machine.cost.vma_create);
+        self.machine.charge_kind(CostKind::MmapFixed);
+        self.machine.charge_kind(CostKind::VmaCreate);
         let initial = o1_hw::round_up_pages(initial_bytes);
         let max = o1_hw::round_up_pages(max_bytes);
         let proc = self.proc_mut(pid)?;
@@ -417,7 +552,7 @@ impl BaselineKernel {
         let new_start = va.align_down(PAGE_SIZE);
         proc.vmas.grow_down(old_start, new_start);
         let grown = proc.vmas.find(va).copied();
-        self.machine.charge(self.machine.cost.vma_create);
+        self.machine.charge_kind(CostKind::VmaCreate);
         Ok(grown)
     }
 
@@ -433,8 +568,8 @@ impl BaselineKernel {
     /// ```
     /// use o1_vm::{Backing, BaselineKernel, MapFlags, MemSys, Prot};
     ///
-    /// let mut k = BaselineKernel::with_dram(64 << 20);
-    /// let pid = MemSys::create_process(&mut k);
+    /// let mut k = BaselineKernel::builder().dram(64 << 20).build();
+    /// let pid = MemSys::create_process(&mut k).unwrap();
     /// let va = k
     ///     .mmap(pid, 1 << 20, Prot::ReadWrite, Backing::Anon, MapFlags::private())
     ///     .unwrap();
@@ -453,8 +588,8 @@ impl BaselineKernel {
             return Err(VmError::BadRange);
         }
         self.machine.charge_syscall();
-        self.machine.charge(self.machine.cost.mmap_fixed);
-        self.machine.charge(self.machine.cost.vma_create);
+        self.machine.charge_kind(CostKind::MmapFixed);
+        self.machine.charge_kind(CostKind::VmaCreate);
         let mut len = o1_hw::round_up_pages(len);
         let anon = matches!(backing, Backing::Anon);
         if anon && self.thp == ThpMode::GreedyHuge {
@@ -515,7 +650,7 @@ impl BaselineKernel {
             let proc = self.proc_mut(pid)?;
             proc.vmas.remove_range(va, len)
         };
-        self.machine.charge(self.machine.cost.vma_destroy);
+        self.machine.charge_kind(CostKind::VmaDestroy);
         let (root, asid) = {
             let p = self.proc(pid)?;
             (p.root, p.asid)
@@ -582,7 +717,7 @@ impl BaselineKernel {
             self.pt
                 .map(&mut self.machine, root, va, frame, PageSize::Base, flags)
                 .expect("fresh base slot inside split leaf");
-            self.machine.charge(self.machine.cost.page_meta_update);
+            self.machine.charge_kind(CostKind::PageMetaUpdate);
             self.machine.perf.page_meta_updates += 1;
             let meta = self.meta.get_mut(frame);
             meta.mapcount = 1;
@@ -624,7 +759,7 @@ impl BaselineKernel {
             return;
         };
         self.mmu.invalidate_page(&mut self.machine, asid, va);
-        self.machine.charge(self.machine.cost.page_meta_update);
+        self.machine.charge_kind(CostKind::PageMetaUpdate);
         self.machine.perf.page_meta_updates += 1;
         let meta = self.meta.get_mut(frame);
         meta.mapcount = meta.mapcount.saturating_sub(1);
@@ -744,7 +879,7 @@ impl BaselineKernel {
                 meta.set(PageFlag::Swapbacked);
                 meta.set(PageFlag::Lru);
                 meta.set(PageFlag::Uptodate);
-                self.machine.charge(self.machine.cost.page_meta_update);
+                self.machine.charge_kind(CostKind::PageMetaUpdate);
                 self.machine.perf.page_meta_updates += 1;
                 if self.swap_enabled {
                     self.lru.insert(frame);
@@ -774,7 +909,7 @@ impl BaselineKernel {
                 meta.rmap.push((pid, va));
                 meta.set(PageFlag::Mappedtodisk);
                 meta.set(PageFlag::Uptodate);
-                self.machine.charge(self.machine.cost.page_meta_update);
+                self.machine.charge_kind(CostKind::PageMetaUpdate);
                 self.machine.perf.page_meta_updates += 1;
             }
         }
@@ -827,7 +962,7 @@ impl BaselineKernel {
         meta.set(PageFlag::Head);
         meta.set(PageFlag::Swapbacked);
         meta.set(PageFlag::Uptodate);
-        self.machine.charge(self.machine.cost.page_meta_update);
+        self.machine.charge_kind(CostKind::PageMetaUpdate);
         self.machine.perf.page_meta_updates += 1;
         // Huge pages are not on the reclaim lists (they would need a
         // split first); splitting re-inserts the fragments.
@@ -835,9 +970,9 @@ impl BaselineKernel {
     }
 
     fn page_fault(&mut self, pid: Pid, va: VirtAddr, access: Access) -> Result<(), VmError> {
-        self.machine.charge(self.machine.cost.fault_trap);
-        self.machine.charge(self.machine.cost.fault_handler_base);
-        self.machine.charge(self.machine.cost.vma_find);
+        self.machine.charge_kind(CostKind::FaultTrap);
+        self.machine.charge_kind(CostKind::FaultHandlerBase);
+        self.machine.charge_kind(CostKind::VmaFind);
         let vma = match self.proc(pid)?.vmas.find(va) {
             Some(v) => *v,
             None => {
@@ -885,9 +1020,9 @@ impl BaselineKernel {
 
     /// Handle a protection fault: break COW if applicable.
     fn protection_fault(&mut self, pid: Pid, va: VirtAddr, access: Access) -> Result<(), VmError> {
-        self.machine.charge(self.machine.cost.fault_trap);
-        self.machine.charge(self.machine.cost.fault_handler_base);
-        self.machine.charge(self.machine.cost.vma_find);
+        self.machine.charge_kind(CostKind::FaultTrap);
+        self.machine.charge_kind(CostKind::FaultHandlerBase);
+        self.machine.charge_kind(CostKind::VmaFind);
         let vma = match self.proc(pid)?.vmas.find(va) {
             Some(v) => *v,
             None => {
@@ -934,7 +1069,7 @@ impl BaselineKernel {
         }
         // Copy the page.
         let new_frame = self.alloc_frame()?;
-        self.machine.charge(self.machine.cost.copy_page);
+        self.machine.charge_kind(CostKind::CopyPage);
         let mut buf = vec![0u8; PAGE_SIZE as usize];
         self.machine.phys.read(old_frame.base(), &mut buf);
         self.machine.phys.write(new_frame.base(), &buf);
@@ -972,7 +1107,7 @@ impl BaselineKernel {
         meta.rmap.push((pid, page_va));
         meta.set(PageFlag::Swapbacked);
         meta.set(PageFlag::Uptodate);
-        self.machine.charge(self.machine.cost.page_meta_update);
+        self.machine.charge_kind(CostKind::PageMetaUpdate);
         self.machine.perf.page_meta_updates += 1;
         if self.swap_enabled {
             self.lru.insert(new_frame);
@@ -1001,7 +1136,7 @@ impl BaselineKernel {
         meta.rmap.push((pid, va));
         meta.set(PageFlag::Swapbacked);
         meta.set(PageFlag::Uptodate);
-        self.machine.charge(self.machine.cost.page_meta_update);
+        self.machine.charge_kind(CostKind::PageMetaUpdate);
         self.machine.perf.page_meta_updates += 1;
         if self.swap_enabled {
             self.lru.insert(frame);
@@ -1043,7 +1178,7 @@ impl BaselineKernel {
             let Some(frame) = self.lru.next_candidate() else {
                 break;
             };
-            self.machine.charge(self.machine.cost.reclaim_scan_page);
+            self.machine.charge_kind(CostKind::ReclaimScanPage);
             self.machine.perf.reclaim_scanned += 1;
             let (pins, rmap) = {
                 let meta = self.meta.get(frame);
@@ -1139,7 +1274,7 @@ impl BaselineKernel {
     /// path the paper contrasts with direct mapping, T-READ16K).
     pub fn file_read(&mut self, id: FileId, off: u64, buf: &mut [u8]) -> Result<(), VmError> {
         self.machine.charge_syscall();
-        self.machine.charge(self.machine.cost.file_io_fixed);
+        self.machine.charge_kind(CostKind::FileIoFixed);
         self.tmpfs
             .read(&mut self.machine, id, off, buf)
             .map_err(VmError::from)
@@ -1148,7 +1283,7 @@ impl BaselineKernel {
     /// `write()`-style syscall into a tmpfs file.
     pub fn file_write(&mut self, id: FileId, off: u64, data: &[u8]) -> Result<(), VmError> {
         self.machine.charge_syscall();
-        self.machine.charge(self.machine.cost.file_io_fixed);
+        self.machine.charge_kind(CostKind::FileIoFixed);
         let (machine, tmpfs, alloc) = (&mut self.machine, &mut self.tmpfs, &mut self.alloc);
         tmpfs
             .write(machine, alloc, id, off, data)
@@ -1177,7 +1312,7 @@ impl BaselineKernel {
         let mut page_va = va;
         while page_va < va + o1_hw::round_up_pages(len) {
             let pa = self.resolve(pid, page_va, Access::Read)?;
-            self.machine.charge(self.machine.cost.pin_page);
+            self.machine.charge_kind(CostKind::PinPage);
             let meta = self.meta.get_mut(pa.frame());
             meta.pins += 1;
             meta.set(PageFlag::Mlocked);
@@ -1193,7 +1328,7 @@ impl BaselineKernel {
         let mut page_va = va;
         while page_va < va + o1_hw::round_up_pages(len) {
             let pa = self.resolve(pid, page_va, Access::Read)?;
-            self.machine.charge(self.machine.cost.pin_page);
+            self.machine.charge_kind(CostKind::PinPage);
             let meta = self.meta.get_mut(pa.frame());
             meta.pins = meta.pins.saturating_sub(1);
             if meta.pins == 0 {
@@ -1259,13 +1394,31 @@ mod tests {
     use super::*;
 
     fn kernel() -> BaselineKernel {
-        BaselineKernel::with_dram(64 << 20)
+        BaselineKernel::builder().dram(64 << 20).build()
+    }
+
+    /// The deprecated constructors must keep working while they live.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_with_dram_still_boots() {
+        let k = BaselineKernel::with_dram(64 << 20);
+        assert_eq!(k.free_frames(), (64 << 20) / PAGE_SIZE);
+    }
+
+    #[test]
+    fn process_table_exhaustion_is_an_error() {
+        let mut k = kernel();
+        k.next_pid = u32::from(u16::MAX);
+        let last = k.create_process().unwrap();
+        assert_eq!(last, Pid(u32::from(u16::MAX)));
+        assert_eq!(k.create_process(), Err(VmError::ProcessLimit));
+        assert_eq!(k.fork(last), Err(VmError::ProcessLimit));
     }
 
     #[test]
     fn anon_demand_mapping_faults_per_page() {
         let mut k = kernel();
-        let pid = k.create_process();
+        let pid = k.create_process().unwrap();
         let va = k
             .mmap(
                 pid,
@@ -1289,7 +1442,7 @@ mod tests {
     #[test]
     fn populate_mapping_never_faults() {
         let mut k = kernel();
-        let pid = k.create_process();
+        let pid = k.create_process().unwrap();
         let va = k
             .mmap(
                 pid,
@@ -1308,7 +1461,7 @@ mod tests {
     #[test]
     fn mmap_private_is_constant_populate_is_linear() {
         let mut k = kernel();
-        let pid = k.create_process();
+        let pid = k.create_process().unwrap();
         let t = |k: &mut BaselineKernel, pages: u64, populate: bool| {
             let flags = if populate {
                 MapFlags::private_populate()
@@ -1340,7 +1493,7 @@ mod tests {
     #[test]
     fn unmapped_access_is_sigsegv() {
         let mut k = kernel();
-        let pid = k.create_process();
+        let pid = k.create_process().unwrap();
         assert_eq!(k.load(pid, VirtAddr(0x123000)), Err(VmError::BadAddress));
         assert_eq!(k.machine().perf.prot_faults, 1);
     }
@@ -1348,7 +1501,7 @@ mod tests {
     #[test]
     fn write_to_readonly_is_protection_fault() {
         let mut k = kernel();
-        let pid = k.create_process();
+        let pid = k.create_process().unwrap();
         let va = k
             .mmap(
                 pid,
@@ -1365,7 +1518,7 @@ mod tests {
     #[test]
     fn munmap_frees_frames() {
         let mut k = kernel();
-        let pid = k.create_process();
+        let pid = k.create_process().unwrap();
         let before = k.free_frames();
         let va = k
             .mmap(
@@ -1385,7 +1538,7 @@ mod tests {
     #[test]
     fn partial_munmap_splits_vma() {
         let mut k = kernel();
-        let pid = k.create_process();
+        let pid = k.create_process().unwrap();
         let va = k
             .mmap(
                 pid,
@@ -1405,7 +1558,7 @@ mod tests {
     #[test]
     fn file_shared_mapping_reads_file_data() {
         let mut k = kernel();
-        let pid = k.create_process();
+        let pid = k.create_process().unwrap();
         let id = k.create_file("data", 4 * PAGE_SIZE).unwrap();
         k.file_write(id, 0, &42u64.to_le_bytes()).unwrap();
         let va = k
@@ -1428,8 +1581,8 @@ mod tests {
     #[test]
     fn file_private_mapping_is_cow() {
         let mut k = kernel();
-        let p1 = k.create_process();
-        let p2 = k.create_process();
+        let p1 = k.create_process().unwrap();
+        let p2 = k.create_process().unwrap();
         let id = k.create_file("shared", PAGE_SIZE).unwrap();
         k.file_write(id, 0, &7u64.to_le_bytes()).unwrap();
         let f = Backing::File { id, offset: 0 };
@@ -1453,7 +1606,7 @@ mod tests {
     #[test]
     fn fork_is_copy_on_write() {
         let mut k = kernel();
-        let parent = k.create_process();
+        let parent = k.create_process().unwrap();
         let va = k
             .mmap(
                 pid_of(parent),
@@ -1493,7 +1646,7 @@ mod tests {
         let mut k = kernel();
         let before_frames = k.free_frames();
         let before_nodes = k.pt_metadata_bytes();
-        let pid = k.create_process();
+        let pid = k.create_process().unwrap();
         k.mmap(
             pid,
             32 * PAGE_SIZE,
@@ -1518,7 +1671,7 @@ mod tests {
             thp: ThpMode::Never,
             fault_around: 1,
         });
-        let pid = k.create_process();
+        let pid = k.create_process().unwrap();
         let va = k
             .mmap(
                 pid,
@@ -1558,7 +1711,7 @@ mod tests {
             thp: ThpMode::Never,
             fault_around: 1,
         });
-        let pid = k.create_process();
+        let pid = k.create_process().unwrap();
         let va = k
             .mmap(
                 pid,
@@ -1585,7 +1738,7 @@ mod tests {
     #[test]
     fn mprotect_changes_permissions() {
         let mut k = kernel();
-        let pid = k.create_process();
+        let pid = k.create_process().unwrap();
         let va = k
             .mmap(
                 pid,
@@ -1607,7 +1760,7 @@ mod tests {
     #[test]
     fn madvise_dontneed_drops_and_rezeros() {
         let mut k = kernel();
-        let pid = k.create_process();
+        let pid = k.create_process().unwrap();
         let va = k
             .mmap(
                 pid,
@@ -1662,7 +1815,7 @@ mod tests {
             thp: ThpMode::Never,
             fault_around: 1,
         });
-        let pid = k.create_process();
+        let pid = k.create_process().unwrap();
         let va = k
             .mmap(
                 pid,
@@ -1696,7 +1849,7 @@ mod tests {
     #[test]
     fn thp_populates_huge_pages_in_one_fault() {
         let mut k = thp_kernel(ThpMode::Aligned2M);
-        let pid = k.create_process();
+        let pid = k.create_process().unwrap();
         let va = k
             .mmap(
                 pid,
@@ -1723,7 +1876,7 @@ mod tests {
     #[test]
     fn thp_falls_back_for_small_mappings() {
         let mut k = thp_kernel(ThpMode::Aligned2M);
-        let pid = k.create_process();
+        let pid = k.create_process().unwrap();
         let va = k
             .mmap(
                 pid,
@@ -1749,7 +1902,7 @@ mod tests {
         let pages = o1_hw::pages_for(req);
         let mut times = Vec::new();
         for k in [&mut base, &mut greedy] {
-            let pid = k.create_process();
+            let pid = k.create_process().unwrap();
             let t0 = k.machine().now();
             let va = k
                 .mmap(
@@ -1786,7 +1939,7 @@ mod tests {
     #[test]
     fn partial_munmap_splits_huge_in_place() {
         let mut k = thp_kernel(ThpMode::Aligned2M);
-        let pid = k.create_process();
+        let pid = k.create_process().unwrap();
         let va = k
             .mmap(
                 pid,
@@ -1825,7 +1978,7 @@ mod tests {
     #[test]
     fn fork_of_huge_mappings_splits_then_cows() {
         let mut k = thp_kernel(ThpMode::Aligned2M);
-        let parent = k.create_process();
+        let parent = k.create_process().unwrap();
         let va = k
             .mmap(
                 parent,
@@ -1853,7 +2006,7 @@ mod tests {
             thp: ThpMode::Never,
             fault_around: 16,
         });
-        let pid = k.create_process();
+        let pid = k.create_process().unwrap();
         let va = k
             .mmap(
                 pid,
@@ -1879,7 +2032,7 @@ mod tests {
     #[test]
     fn stack_grows_down_on_demand() {
         let mut k = kernel();
-        let pid = k.create_process();
+        let pid = k.create_process().unwrap();
         let top = k.map_stack(pid, 16 * PAGE_SIZE, 1 << 20).unwrap();
         // Initial extent is usable.
         k.store(pid, top - 8u64, 1).unwrap();
@@ -1902,7 +2055,7 @@ mod tests {
     #[test]
     fn stack_growth_does_not_swallow_neighbours() {
         let mut k = kernel();
-        let pid = k.create_process();
+        let pid = k.create_process().unwrap();
         let top = k.map_stack(pid, PAGE_SIZE, 64 * PAGE_SIZE).unwrap();
         // A far-away unmapped address is still a SIGSEGV.
         assert_eq!(k.load(pid, VirtAddr(0xdead_0000)), Err(VmError::BadAddress));
@@ -1927,7 +2080,7 @@ mod tests {
     #[test]
     fn mprotect_keeps_interior_huge_pages() {
         let mut k = thp_kernel(ThpMode::Aligned2M);
-        let pid = k.create_process();
+        let pid = k.create_process().unwrap();
         let va = k
             .mmap(
                 pid,

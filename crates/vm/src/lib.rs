@@ -20,7 +20,7 @@ pub mod types;
 pub mod vma;
 
 pub use api::MemSys;
-pub use kernel::{BaselineConfig, BaselineKernel, ThpMode, MMAP_BASE};
+pub use kernel::{BaselineBuilder, BaselineConfig, BaselineKernel, ThpMode, MMAP_BASE};
 pub use page_meta::{PageFlag, PageMeta, PageMetaTable, PAGE_FLAG_COUNT, STRUCT_PAGE_BYTES};
 pub use reclaim::{LruLists, ReclaimPolicy, ScanDecision, SwapDevice, SwapSlot};
 pub use types::{Backing, MapFlags, Pid, Prot, VmError};

@@ -7,6 +7,7 @@
 //! both: a clock list and a simplified 2Q (active/inactive). The
 //! A-RECLAIM ablation charges every page the scan examines.
 
+use o1_hw::CostKind;
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use o1_hw::{FrameNo, Machine, PAGE_SIZE};
@@ -37,7 +38,7 @@ impl SwapDevice {
     /// Write one page image out, charging swap-out I/O.
     pub fn swap_out(&mut self, m: &mut Machine, data: Box<[u8]>) -> SwapSlot {
         assert_eq!(data.len() as u64, PAGE_SIZE, "swap stores whole pages");
-        m.charge(m.cost.swap_out_page);
+        m.charge_kind(CostKind::SwapOutPage);
         m.perf.pages_swapped_out += 1;
         let slot = self.free.pop().unwrap_or_else(|| {
             let s = self.next;
@@ -54,7 +55,7 @@ impl SwapDevice {
     /// # Panics
     /// Panics on an unknown slot (kernel bug).
     pub fn swap_in(&mut self, m: &mut Machine, slot: SwapSlot) -> Box<[u8]> {
-        m.charge(m.cost.swap_in_page);
+        m.charge_kind(CostKind::SwapInPage);
         m.perf.pages_swapped_in += 1;
         let data = self
             .slots

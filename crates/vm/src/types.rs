@@ -99,6 +99,8 @@ pub enum VmError {
     /// Malformed range (unaligned, zero-length, or not a mapping
     /// boundary).
     BadRange,
+    /// The process table is full (ASIDs are 16-bit).
+    ProcessLimit,
     /// Underlying file-system error.
     Fs(FsError),
 }
@@ -111,6 +113,7 @@ impl fmt::Display for VmError {
             VmError::ProtectionFault => write!(f, "protection fault (SIGSEGV)"),
             VmError::NoMemory => write!(f, "out of memory"),
             VmError::BadRange => write!(f, "bad range"),
+            VmError::ProcessLimit => write!(f, "process table full"),
             VmError::Fs(e) => write!(f, "file system: {e}"),
         }
     }

@@ -31,11 +31,9 @@ pub fn measure<S: MemSys + ?Sized>(
     sys: &mut S,
     f: impl FnOnce(&mut S) -> Result<(), VmError>,
 ) -> Result<Measurement, VmError> {
-    let t0 = sys.machine().now();
-    let p0 = sys.machine().perf.snapshot();
+    let before = sys.stats();
     f(sys)?;
-    let ns = sys.machine().now().since(t0);
-    let perf = sys.machine().perf.snapshot() - p0;
+    let (ns, perf) = sys.stats().since(&before);
     Ok(Measurement { ns, perf })
 }
 
@@ -47,6 +45,7 @@ pub fn drive_alloc<S: MemSys + ?Sized>(
     pages: u64,
     populate: bool,
 ) -> Result<(VirtAddr, Measurement), VmError> {
+    sys.phase("alloc");
     let mut va = VirtAddr(0);
     let m = measure(sys, |s| {
         va = s.alloc(pid, pages * PAGE_SIZE, populate)?;
@@ -75,6 +74,7 @@ pub fn drive_access<S: MemSys + ?Sized>(
         .iter()
         .map(|page| va + page * PAGE_SIZE)
         .collect();
+    sys.phase("access");
     measure(sys, |s| s.access_batch(pid, &addrs, write))
 }
 
@@ -88,6 +88,7 @@ pub fn drive_churn<S: MemSys + ?Sized>(
     live_regions: u32,
     pages: u64,
 ) -> Result<Measurement, VmError> {
+    sys.phase("churn");
     measure(sys, |s| {
         for _ in 0..rounds {
             let mut regions = Vec::new();
@@ -113,10 +114,11 @@ pub fn drive_launch_storm<S: MemSys + ?Sized>(
     n: u32,
     pages: u64,
 ) -> Result<Measurement, VmError> {
+    sys.phase("launch_storm");
     measure(sys, |s| {
         let mut procs = Vec::new();
         for _ in 0..n {
-            let pid = s.create_process();
+            let pid = s.create_process()?;
             let va = s.alloc(pid, pages * PAGE_SIZE, true)?;
             for p in (0..pages).step_by(8) {
                 s.store(pid, va + p * PAGE_SIZE, p)?;
@@ -138,8 +140,8 @@ mod tests {
 
     #[test]
     fn measure_reports_time_and_counters() {
-        let mut k = BaselineKernel::with_dram(32 << 20);
-        let pid = MemSys::create_process(&mut k);
+        let mut k = BaselineKernel::builder().dram(32 << 20).build();
+        let pid = MemSys::create_process(&mut k).unwrap();
         let (va, alloc_m) = drive_alloc(&mut k, pid, 16, false).unwrap();
         assert!(alloc_m.ns > 0);
         let m = drive_access(&mut k, pid, va, 16, &AccessPattern::OnePerPage, 0, false).unwrap();
@@ -149,10 +151,10 @@ mod tests {
 
     #[test]
     fn same_driver_runs_both_kernels() {
-        let mut base = BaselineKernel::with_dram(64 << 20);
-        let mut fom = FomKernel::with_mech(MapMech::Ranges);
+        let mut base = BaselineKernel::builder().dram(64 << 20).build();
+        let mut fom = FomKernel::builder().mech(MapMech::Ranges).build();
         for sys in [&mut base as &mut dyn MemSys, &mut fom as &mut dyn MemSys] {
-            let pid = sys.create_process();
+            let pid = sys.create_process().unwrap();
             let (va, _) = drive_alloc(sys, pid, 64, true).unwrap();
             let m = drive_access(
                 sys,
@@ -171,18 +173,18 @@ mod tests {
 
     #[test]
     fn churn_conserves_memory() {
-        let mut fom = FomKernel::with_mech(MapMech::SharedPt);
+        let mut fom = FomKernel::builder().mech(MapMech::SharedPt).build();
         let free0 = fom.free_frames();
-        let pid = MemSys::create_process(&mut fom);
+        let pid = MemSys::create_process(&mut fom).unwrap();
         drive_churn(&mut fom, pid, 3, 4, 32).unwrap();
         assert_eq!(fom.free_frames(), free0);
     }
 
     #[test]
     fn launch_storm_runs_on_both() {
-        let mut base = BaselineKernel::with_dram(64 << 20);
+        let mut base = BaselineKernel::builder().dram(64 << 20).build();
         let m1 = drive_launch_storm(&mut base, 4, 32).unwrap();
-        let mut fom = FomKernel::with_mech(MapMech::SharedPt);
+        let mut fom = FomKernel::builder().mech(MapMech::SharedPt).build();
         let m2 = drive_launch_storm(&mut fom, 4, 32).unwrap();
         assert!(m1.ns > 0 && m2.ns > 0);
         assert!(m2.ns < m1.ns, "fom launches faster: {} vs {}", m2.ns, m1.ns);

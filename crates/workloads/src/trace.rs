@@ -172,14 +172,14 @@ mod tests {
     #[test]
     fn replay_runs_on_both_kernels_without_leaks() {
         let t = Trace::server_churn(42, 600, 12, 32);
-        let mut base = BaselineKernel::with_dram(256 << 20);
-        let pid = MemSys::create_process(&mut base);
+        let mut base = BaselineKernel::builder().dram(256 << 20).build();
+        let pid = MemSys::create_process(&mut base).unwrap();
         let (mb, eff_b) = t.replay(&mut base, pid).unwrap();
         assert!(mb.ns > 0 && eff_b > 0);
 
-        let mut fom = FomKernel::with_mech(MapMech::Ranges);
+        let mut fom = FomKernel::builder().mech(MapMech::Ranges).build();
         let free0 = fom.free_frames();
-        let pid = MemSys::create_process(&mut fom);
+        let pid = MemSys::create_process(&mut fom).unwrap();
         let (mf, eff_f) = t.replay(&mut fom, pid).unwrap();
         assert_eq!(eff_b, eff_f, "same effective ops on both kernels");
         assert_eq!(fom.free_frames(), free0, "replay is leak-free");

@@ -41,7 +41,7 @@ fn main() {
         mech: MapMech::SharedPt,
         ..FomConfig::default()
     });
-    let pid = k.create_process();
+    let pid = k.create_process().unwrap();
 
     // Warm 12 caches (12 MiB of discardable data).
     for key in 0..12 {

@@ -93,8 +93,8 @@ impl KvStore {
 }
 
 fn main() {
-    let mut k = FomKernel::with_mech(MapMech::SharedPt);
-    let pid = k.create_process();
+    let mut k = FomKernel::builder().mech(MapMech::SharedPt).build();
+    let pid = k.create_process().unwrap();
     let mut kv = KvStore::open(&mut k, pid, 4 << 20);
 
     for i in 0..1000u64 {
@@ -112,7 +112,7 @@ fn main() {
         stats.persistent_files, stats.volatile_dropped, stats.records_replayed
     );
 
-    let pid = k.create_process();
+    let pid = k.create_process().unwrap();
     let mut kv = KvStore::open(&mut k, pid, 4 << 20);
     assert_eq!(kv.get(&mut k, 7).unwrap(), b"updated-seven");
     assert_eq!(kv.get(&mut k, 999).unwrap(), b"value-999");

@@ -18,7 +18,7 @@ const N: u32 = 32;
 
 fn main() {
     // Baseline: each launch builds fresh page tables for all segments.
-    let mut base = BaselineKernel::with_dram(1 << 30);
+    let mut base = BaselineKernel::builder().dram(1 << 30).build();
     let t0 = base.machine().now();
     let mut pids = Vec::new();
     for _ in 0..N {
@@ -30,7 +30,7 @@ fn main() {
     let base_ns = base.machine().now().since(t0);
 
     // File-only memory: code is one persistent file shared by all.
-    let mut fom = FomKernel::with_mech(MapMech::SharedPt);
+    let mut fom = FomKernel::builder().mech(MapMech::SharedPt).build();
     let t0 = fom.machine().now();
     let mut fpids = Vec::new();
     for _ in 0..N {

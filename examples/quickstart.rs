@@ -15,8 +15,8 @@ fn main() {
     let pages = bytes / PAGE_SIZE;
 
     // --- The status quo: demand-paged anonymous mmap. -------------------
-    let mut base = BaselineKernel::with_dram(256 << 20);
-    let pid = MemSys::create_process(&mut base);
+    let mut base = BaselineKernel::builder().dram(256 << 20).build();
+    let pid = MemSys::create_process(&mut base).unwrap();
     let t0 = base.machine().now();
     let va = base
         .mmap(
@@ -34,8 +34,8 @@ fn main() {
     let base_faults = base.machine().perf.minor_faults;
 
     // --- File-only memory: one file, one mapping, zero faults. ----------
-    let mut fom = FomKernel::with_mech(MapMech::SharedPt);
-    let pid = fom.create_process();
+    let mut fom = FomKernel::builder().mech(MapMech::SharedPt).build();
+    let pid = fom.create_process().unwrap();
     let t0 = fom.machine().now();
     let (_, va) = fom
         .falloc(pid, bytes, FileClass::Volatile)

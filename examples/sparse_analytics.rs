@@ -27,8 +27,8 @@ fn main() {
     let seq = pattern.generate(pages, 2026);
 
     // Baseline: file on tmpfs, demand-paged private mapping.
-    let mut base = BaselineKernel::with_dram(2 << 30);
-    let pid = MemSys::create_process(&mut base);
+    let mut base = BaselineKernel::builder().dram(2 << 30).build();
+    let pid = MemSys::create_process(&mut base).unwrap();
     let id = base.create_file("/data/table", DATASET).expect("create");
     let va = base
         .mmap(
@@ -47,8 +47,8 @@ fn main() {
     let base_faults = base.machine().perf.minor_faults;
 
     // File-only memory with range translations.
-    let mut fom = FomKernel::with_mech(MapMech::Ranges);
-    let pid = fom.create_process();
+    let mut fom = FomKernel::builder().mech(MapMech::Ranges).build();
+    let pid = fom.create_process().unwrap();
     let (_, va) = fom
         .falloc(pid, DATASET, FileClass::Volatile)
         .expect("falloc");

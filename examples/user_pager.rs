@@ -123,7 +123,7 @@ fn main() {
         mech: MapMech::Ranges,
         ..FomConfig::default()
     });
-    let pid = k.create_process();
+    let pid = k.create_process().unwrap();
     let mut pager = UserPager::new(pid);
 
     // Sequential scan with a stride: touches every chunk twice.

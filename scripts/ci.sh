@@ -28,6 +28,15 @@ cargo run --release -p o1-bench --bin figures -- \
 grep -q '"fig1a"' "$out/fig1a.json"
 grep -q '"schema": "o1mem/bench-figures/v1"' "$out/bench.json"
 
+echo "==> figures trace smoke (--fig fig2 --trace, conservation enforced)"
+# The binary exits nonzero if any machine's ledger fails to account
+# for every simulated nanosecond, so this line IS the conservation
+# check; the greps just confirm both exports landed.
+cargo run --release -p o1-bench --bin figures -- \
+    --fig fig2 --trace "$out/trace" --no-bench >/dev/null
+grep -q '"fig":"fig2"' "$out/trace/trace.jsonl"
+grep -q '"traceEvents"' "$out/trace/chrome_trace.json"
+
 if [ "${1:-}" = "--full" ]; then
     echo "==> full figure suite"
     cargo run --release -p o1-bench --bin figures -- \

@@ -13,8 +13,8 @@
 //! use o1mem::core::{FomKernel, MapMech};
 //! use o1mem::memfs::FileClass;
 //!
-//! let mut k = FomKernel::with_mech(MapMech::Ranges);
-//! let pid = k.create_process();
+//! let mut k = FomKernel::builder().mech(MapMech::Ranges).build();
+//! let pid = k.create_process().unwrap();
 //! // 64 MiB allocated and mapped in O(1): one extent, one range entry.
 //! let (_, va) = k.falloc(pid, 64 << 20, FileClass::Volatile).unwrap();
 //! k.store(pid, va, 42).unwrap();
@@ -25,6 +25,10 @@
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for
 //! paper-vs-measured results; run `cargo run --release -p o1-bench
 //! --bin figures` to regenerate every figure.
+
+mod error;
+
+pub use error::Error;
 
 /// Simulated hardware: machine, page tables, TLBs, range translations.
 pub mod hw {

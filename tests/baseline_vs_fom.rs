@@ -17,7 +17,7 @@ const MECHS: [MapMech; 4] = [
 /// Run the same write-then-read workload on any kernel, returning the
 /// values read back.
 fn run_workload(sys: &mut dyn MemSys, pages: u64, seed: u64) -> Vec<u64> {
-    let pid = sys.create_process();
+    let pid = sys.create_process().unwrap();
     let va = sys.alloc(pid, pages * PAGE_SIZE, false).unwrap();
     let writes = AccessPattern::RandomUniform { count: pages * 2 }.generate(pages, seed);
     for (i, &p) in writes.iter().enumerate() {
@@ -33,10 +33,10 @@ fn run_workload(sys: &mut dyn MemSys, pages: u64, seed: u64) -> Vec<u64> {
 
 #[test]
 fn identical_values_across_all_designs() {
-    let mut base = BaselineKernel::with_dram(128 << 20);
+    let mut base = BaselineKernel::builder().dram(128 << 20).build();
     let expected = run_workload(&mut base, 256, 99);
     for mech in MECHS {
-        let mut fom = FomKernel::with_mech(mech);
+        let mut fom = FomKernel::builder().mech(mech).build();
         let got = run_workload(&mut fom, 256, 99);
         assert_eq!(got, expected, "mech {mech:?} diverged from baseline");
     }
@@ -45,8 +45,8 @@ fn identical_values_across_all_designs() {
 #[test]
 fn fom_never_faults_baseline_always_does() {
     let pages = 512u64;
-    let mut base = BaselineKernel::with_dram(128 << 20);
-    let bpid = MemSys::create_process(&mut base);
+    let mut base = BaselineKernel::builder().dram(128 << 20).build();
+    let bpid = MemSys::create_process(&mut base).unwrap();
     let (bva, _) = drive_alloc(&mut base, bpid, pages, false).unwrap();
     let bm = drive_access(
         &mut base,
@@ -61,8 +61,8 @@ fn fom_never_faults_baseline_always_does() {
     assert_eq!(bm.perf.minor_faults, pages);
 
     for mech in MECHS {
-        let mut fom = FomKernel::with_mech(mech);
-        let fpid = MemSys::create_process(&mut fom);
+        let mut fom = FomKernel::builder().mech(mech).build();
+        let fpid = MemSys::create_process(&mut fom).unwrap();
         let (fva, _) = drive_alloc(&mut fom, fpid, pages, false).unwrap();
         let fm = drive_access(
             &mut fom,
@@ -82,11 +82,11 @@ fn fom_never_faults_baseline_always_does() {
 #[test]
 fn fom_wins_alloc_heavy_baseline_unaffected_on_rereads() {
     // Allocation-heavy: fom should win by a wide margin.
-    let mut base = BaselineKernel::with_dram(256 << 20);
-    let bpid = MemSys::create_process(&mut base);
+    let mut base = BaselineKernel::builder().dram(256 << 20).build();
+    let bpid = MemSys::create_process(&mut base).unwrap();
     let b = drive_churn(&mut base, bpid, 4, 4, 512).unwrap();
-    let mut fom = FomKernel::with_mech(MapMech::Ranges);
-    let fpid = MemSys::create_process(&mut fom);
+    let mut fom = FomKernel::builder().mech(MapMech::Ranges).build();
+    let fpid = MemSys::create_process(&mut fom).unwrap();
     let f = drive_churn(&mut fom, fpid, 4, 4, 512).unwrap();
     assert!(
         b.ns > 3 * f.ns,
@@ -153,9 +153,9 @@ fn fom_wins_alloc_heavy_baseline_unaffected_on_rereads() {
 #[test]
 fn memory_conserved_after_churn_on_every_design() {
     for mech in MECHS {
-        let mut fom = FomKernel::with_mech(mech);
+        let mut fom = FomKernel::builder().mech(mech).build();
         let free0 = fom.free_frames();
-        let pid = MemSys::create_process(&mut fom);
+        let pid = MemSys::create_process(&mut fom).unwrap();
         drive_churn(&mut fom, pid, 3, 8, 64).unwrap();
         MemSys::destroy_process(&mut fom, pid).unwrap();
         assert_eq!(fom.free_frames(), free0, "mech {mech:?} leaked");
@@ -167,9 +167,9 @@ fn memory_conserved_after_churn_on_every_design() {
 fn metadata_footprint_gap() {
     // The baseline pays 64 B/frame unconditionally; fom pays a bitmap
     // bit per frame plus extent records.
-    let base = BaselineKernel::with_dram(256 << 20);
+    let base = BaselineKernel::builder().dram(256 << 20).build();
     let baseline_meta = base.page_meta_bytes();
-    let fom = FomKernel::with_mech(MapMech::SharedPt);
+    let fom = FomKernel::builder().mech(MapMech::SharedPt).build();
     let fom_meta = fom.pmfs.allocator_metadata_bytes();
     assert!(
         baseline_meta > 100 * fom_meta * (256 << 20) / (1 << 30),

@@ -20,7 +20,7 @@ fn parallel_alloc_store_load_release() {
             let fom = fom.clone();
             std::thread::spawn(move || {
                 for round in 0..8u64 {
-                    let pid = fom.create_process();
+                    let pid = fom.create_process().unwrap();
                     let pages = 16 + (t + round) % 48;
                     let va = fom.alloc(pid, pages * PAGE_SIZE).unwrap();
                     for p in 0..pages {
@@ -54,7 +54,7 @@ fn crossbeam_readers_share_a_persistent_file() {
         mech: MapMech::Pbm,
         ..FomConfig::default()
     });
-    let writer = fom.create_process();
+    let writer = fom.create_process().unwrap();
     let base = fom.create_named(writer, "/shared/table", 4 << 20).unwrap();
     for i in 0..512u64 {
         fom.store(writer, base + i * 4096, i * 31).unwrap();
@@ -62,7 +62,7 @@ fn crossbeam_readers_share_a_persistent_file() {
     crossbeam::scope(|s| {
         for _ in 0..8 {
             s.spawn(|_| {
-                let pid = fom.create_process();
+                let pid = fom.create_process().unwrap();
                 let va = fom.open_map(pid, "/shared/table", Prot::Read).unwrap();
                 // PBM: every process maps at the same address.
                 assert_eq!(va, base);
@@ -83,7 +83,7 @@ fn concurrent_named_creates_never_collide() {
         .map(|t| {
             let fom = fom.clone();
             std::thread::spawn(move || {
-                let pid = fom.create_process();
+                let pid = fom.create_process().unwrap();
                 for i in 0..16u64 {
                     let name = format!("/t{t}/f{i}");
                     let va = fom.create_named(pid, &name, PAGE_SIZE).unwrap();
@@ -95,7 +95,7 @@ fn concurrent_named_creates_never_collide() {
         .collect();
     let pids: Vec<_> = threads.into_iter().map(|t| t.join().unwrap()).collect();
     // Every file exists with the right contents.
-    let checker = fom.create_process();
+    let checker = fom.create_process().unwrap();
     for t in 0..8u64 {
         for i in 0..16u64 {
             let va = fom

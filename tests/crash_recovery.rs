@@ -8,8 +8,8 @@ use o1mem::PAGE_SIZE;
 
 #[test]
 fn full_stack_crash_preserves_exactly_the_persistent_set() {
-    let mut k = FomKernel::with_mech(MapMech::SharedPt);
-    let pid = k.create_process();
+    let mut k = FomKernel::builder().mech(MapMech::SharedPt).build();
+    let pid = k.create_process().unwrap();
     // A mix of classes.
     let (_, p1) = k
         .create_named(pid, "/db/main", 4 << 20, FileClass::Persistent)
@@ -30,7 +30,7 @@ fn full_stack_crash_preserves_exactly_the_persistent_set() {
     assert_eq!(stats.persistent_files, 2);
     assert_eq!(stats.volatile_dropped, 2, "volatile + discardable both die");
 
-    let pid = k.create_process();
+    let pid = k.create_process().unwrap();
     let (_, p1r) = k.open_map(pid, "/db/main", Prot::ReadWrite).unwrap();
     assert_eq!(k.load(pid, p1r).unwrap(), 11);
     assert_eq!(k.load(pid, p1r + ((1 << 20) - 8)).unwrap(), 22);
@@ -41,8 +41,8 @@ fn full_stack_crash_preserves_exactly_the_persistent_set() {
 
 #[test]
 fn repeated_crashes_are_stable() {
-    let mut k = FomKernel::with_mech(MapMech::Ranges);
-    let pid = k.create_process();
+    let mut k = FomKernel::builder().mech(MapMech::Ranges).build();
+    let pid = k.create_process().unwrap();
     k.create_named(pid, "/survivor", 1 << 20, FileClass::Persistent)
         .unwrap();
     let va = k.mapping_base(pid, "/survivor").unwrap();
@@ -50,7 +50,7 @@ fn repeated_crashes_are_stable() {
     for round in 0..5 {
         let stats = k.crash_and_recover();
         assert_eq!(stats.persistent_files, 1, "round {round}");
-        let pid = k.create_process();
+        let pid = k.create_process().unwrap();
         let (_, va) = k.open_map(pid, "/survivor", Prot::ReadWrite).unwrap();
         assert_eq!(k.load(pid, va).unwrap(), 0xabc, "round {round}");
         k.store(pid, va, 0xabc).unwrap();
@@ -59,8 +59,8 @@ fn repeated_crashes_are_stable() {
 
 #[test]
 fn volatile_bytes_are_unreadable_after_crash() {
-    let mut k = FomKernel::with_mech(MapMech::PageTables);
-    let pid = k.create_process();
+    let mut k = FomKernel::builder().mech(MapMech::PageTables).build();
+    let pid = k.create_process().unwrap();
     let (_, va) = k.falloc(pid, 64 * PAGE_SIZE, FileClass::Volatile).unwrap();
     let secret = 0x5ec2e7_5ec2e7u64;
     for p in 0..64 {
@@ -68,7 +68,7 @@ fn volatile_bytes_are_unreadable_after_crash() {
     }
     k.crash_and_recover();
     // Allocate the whole volume and scan for the secret.
-    let pid = k.create_process();
+    let pid = k.create_process().unwrap();
     let free = k.free_frames();
     let (_, scan) = k
         .falloc(pid, free * PAGE_SIZE, FileClass::Volatile)
@@ -85,8 +85,8 @@ fn volatile_bytes_are_unreadable_after_crash() {
 #[test]
 fn torn_journal_tail_rolls_back_cleanly() {
     // Drive the Pmfs directly to cut the journal mid-transaction.
-    let mut k = FomKernel::with_mech(MapMech::SharedPt);
-    let pid = k.create_process();
+    let mut k = FomKernel::builder().mech(MapMech::SharedPt).build();
+    let pid = k.create_process().unwrap();
     k.create_named(pid, "/a", 256 * PAGE_SIZE, FileClass::Persistent)
         .unwrap();
     let span = k.pmfs.span();
@@ -122,7 +122,7 @@ fn recovery_cost_scales_with_files_not_pages() {
         mech: MapMech::SharedPt,
         ..FomConfig::default()
     });
-    let pid = few.create_process();
+    let pid = few.create_process().unwrap();
     for i in 0..4u64 {
         few.create_named(
             pid,
@@ -141,7 +141,7 @@ fn recovery_cost_scales_with_files_not_pages() {
         mech: MapMech::SharedPt,
         ..FomConfig::default()
     });
-    let pid = many.create_process();
+    let pid = many.create_process().unwrap();
     for i in 0..256u64 {
         many.create_named(
             pid,
@@ -163,8 +163,8 @@ fn recovery_cost_scales_with_files_not_pages() {
 
 #[test]
 fn checkpointed_journal_recovers_identically() {
-    let mut k = FomKernel::with_mech(MapMech::SharedPt);
-    let pid = k.create_process();
+    let mut k = FomKernel::builder().mech(MapMech::SharedPt).build();
+    let pid = k.create_process().unwrap();
     // Build up history: creates, growth, deletes, renames.
     for i in 0..20 {
         k.create_named(pid, &format!("/ckpt/{i}"), 64 * PAGE_SIZE, FileClass::Persistent)
@@ -184,7 +184,7 @@ fn checkpointed_journal_recovers_identically() {
 
     let stats = k.crash_and_recover();
     assert_eq!(stats.persistent_files, 10);
-    let pid = k.create_process();
+    let pid = k.create_process().unwrap();
     for i in 10..20u64 {
         let (_, va) = k
             .open_map(pid, &format!("/ckpt/{i}"), Prot::ReadWrite)
@@ -196,8 +196,8 @@ fn checkpointed_journal_recovers_identically() {
 
 #[test]
 fn rename_and_reopen_across_crash() {
-    let mut k = FomKernel::with_mech(MapMech::Ranges);
-    let pid = k.create_process();
+    let mut k = FomKernel::builder().mech(MapMech::Ranges).build();
+    let pid = k.create_process().unwrap();
     let (_, va) = k
         .create_named(pid, "/old/location", 1 << 20, FileClass::Persistent)
         .unwrap();
@@ -205,7 +205,7 @@ fn rename_and_reopen_across_crash() {
     k.unmap(pid, va).unwrap();
     k.rename_file("/old/location", "/new/location").unwrap();
     k.crash_and_recover();
-    let pid = k.create_process();
+    let pid = k.create_process().unwrap();
     assert!(k.open_map(pid, "/old/location", Prot::Read).is_err());
     let (_, va2) = k.open_map(pid, "/new/location", Prot::Read).unwrap();
     assert_eq!(k.load(pid, va2).unwrap(), 0xabcd);

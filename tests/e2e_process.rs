@@ -9,8 +9,8 @@ use o1mem::PAGE_SIZE;
 
 #[test]
 fn baseline_fork_chain_isolates_writes() {
-    let mut k = BaselineKernel::with_dram(128 << 20);
-    let gen0 = MemSys::create_process(&mut k);
+    let mut k = BaselineKernel::builder().dram(128 << 20).build();
+    let gen0 = MemSys::create_process(&mut k).unwrap();
     let va = k
         .mmap(
             gen0,
@@ -48,8 +48,8 @@ fn baseline_fork_chain_isolates_writes() {
 #[test]
 fn fom_many_processes_share_one_dataset() {
     for mech in [MapMech::SharedPt, MapMech::Pbm, MapMech::Ranges] {
-        let mut k = FomKernel::with_mech(mech);
-        let writer = k.create_process();
+        let mut k = FomKernel::builder().mech(mech).build();
+        let writer = k.create_process().unwrap();
         let (_, wva) = k
             .create_named(writer, "/data/set", 16 << 20, FileClass::Persistent)
             .unwrap();
@@ -58,7 +58,7 @@ fn fom_many_processes_share_one_dataset() {
         }
         let readers: Vec<_> = (0..6)
             .map(|_| {
-                let pid = k.create_process();
+                let pid = k.create_process().unwrap();
                 let (_, va) = k.open_map(pid, "/data/set", Prot::Read).unwrap();
                 (pid, va)
             })
@@ -89,14 +89,14 @@ fn fom_many_processes_share_one_dataset() {
 
 #[test]
 fn pbm_addresses_identical_across_processes() {
-    let mut k = FomKernel::with_mech(MapMech::Pbm);
-    let a = k.create_process();
+    let mut k = FomKernel::builder().mech(MapMech::Pbm).build();
+    let a = k.create_process().unwrap();
     k.create_named(a, "/pbm/x", 4 << 20, FileClass::Persistent)
         .unwrap();
     let va_a = k.mapping_base(a, "/pbm/x").unwrap();
     let mut vas = vec![va_a];
     for _ in 0..4 {
-        let pid = k.create_process();
+        let pid = k.create_process().unwrap();
         let (_, va) = k.open_map(pid, "/pbm/x", Prot::ReadWrite).unwrap();
         vas.push(va);
     }
@@ -106,8 +106,8 @@ fn pbm_addresses_identical_across_processes() {
 #[test]
 fn baseline_pinning_blocks_eviction_fom_needs_none() {
     // Baseline: explicit pinning, charged per page.
-    let mut base = BaselineKernel::with_dram(64 << 20);
-    let pid = MemSys::create_process(&mut base);
+    let mut base = BaselineKernel::builder().dram(64 << 20).build();
+    let pid = MemSys::create_process(&mut base).unwrap();
     let va = base
         .mmap(
             pid,
@@ -123,8 +123,8 @@ fn baseline_pinning_blocks_eviction_fom_needs_none() {
     assert!(pin_ns >= 64 * base.machine().cost.pin_page);
 
     // fom: DMA prep is O(1) because nothing ever moves.
-    let mut fom = FomKernel::with_mech(MapMech::SharedPt);
-    let fpid = fom.create_process();
+    let mut fom = FomKernel::builder().mech(MapMech::SharedPt).build();
+    let fpid = fom.create_process().unwrap();
     let (_, fva) = fom
         .falloc(fpid, 64 * PAGE_SIZE, FileClass::Volatile)
         .unwrap();
@@ -149,7 +149,7 @@ fn baseline_survives_heavy_overcommit_via_swap() {
             thp: ThpMode::Never,
             fault_around: 1,
         });
-        let pid = MemSys::create_process(&mut k);
+        let pid = MemSys::create_process(&mut k).unwrap();
         let pages = 400u64;
         let va = k
             .mmap(
@@ -170,8 +170,8 @@ fn baseline_survives_heavy_overcommit_via_swap() {
                 "{policy:?} p{p}"
             );
         }
-        assert!(k.machine().perf.pages_swapped_out > 0, "{policy:?}");
-        assert!(k.machine().perf.major_faults > 0, "{policy:?}");
+        assert!(k.stats().counters.pages_swapped_out > 0, "{policy:?}");
+        assert!(k.stats().counters.major_faults > 0, "{policy:?}");
     }
 }
 
@@ -180,15 +180,15 @@ fn mixed_kernels_drive_same_workload_module() {
     // The MemSys abstraction end-to-end: identical results, wildly
     // different charges.
     use o1mem::workloads::{drive_launch_storm, measure};
-    let mut base = BaselineKernel::with_dram(256 << 20);
-    let mut fom = FomKernel::with_mech(MapMech::SharedPt);
+    let mut base = BaselineKernel::builder().dram(256 << 20).build();
+    let mut fom = FomKernel::builder().mech(MapMech::SharedPt).build();
     let b = drive_launch_storm(&mut base, 8, 128).unwrap();
     let f = drive_launch_storm(&mut fom, 8, 128).unwrap();
     assert!(b.ns > f.ns);
     // And both kernels are still functional afterwards.
     for sys in [&mut base as &mut dyn MemSys, &mut fom as &mut dyn MemSys] {
         let m = measure(sys, |s| {
-            let pid = s.create_process();
+            let pid = s.create_process().unwrap();
             let va = s.alloc(pid, PAGE_SIZE, true)?;
             s.store(pid, va, 9)?;
             assert_eq!(s.load(pid, va)?, 9);

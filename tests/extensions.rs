@@ -16,9 +16,9 @@ fn virtualization_hurts_baseline_more_than_fom_ranges() {
     // translation: the baseline (page tables) slows down; fom with
     // range translations does not.
     let run_base = |mode: WalkMode| {
-        let mut k = BaselineKernel::with_dram(256 << 20);
+        let mut k = BaselineKernel::builder().dram(256 << 20).build();
         k.set_walk_mode(mode);
-        let pid = MemSys::create_process(&mut k);
+        let pid = MemSys::create_process(&mut k).unwrap();
         let va = k
             .mmap(
                 pid,
@@ -35,9 +35,9 @@ fn virtualization_hurts_baseline_more_than_fom_ranges() {
         k.machine().now().since(t0)
     };
     let run_fom = |mode: WalkMode| {
-        let mut k = FomKernel::with_mech(MapMech::Ranges);
+        let mut k = FomKernel::builder().mech(MapMech::Ranges).build();
         k.set_walk_mode(mode);
-        let pid = k.create_process();
+        let pid = k.create_process().unwrap();
         let (_, va) = k.falloc(pid, 64 << 20, FileClass::Volatile).unwrap();
         let t0 = k.machine().now();
         for i in 0..4096u64 {
@@ -68,7 +68,7 @@ fn thp_and_swap_coexist() {
         thp: ThpMode::Aligned2M,
         fault_around: 1,
     });
-    let pid = MemSys::create_process(&mut k);
+    let pid = MemSys::create_process(&mut k).unwrap();
     // One huge mapping (512 frames)...
     let huge = k
         .mmap(
@@ -93,7 +93,7 @@ fn thp_and_swap_coexist() {
     for p in 0..900u64 {
         k.store(pid, base + p * PAGE_SIZE, p).unwrap();
     }
-    assert!(k.machine().perf.pages_swapped_out > 0, "base pages swapped");
+    assert!(k.stats().counters.pages_swapped_out > 0, "base pages swapped");
     // Everything still reads correctly.
     assert_eq!(k.load(pid, huge).unwrap(), 0x4242);
     for p in 0..900u64 {
@@ -103,8 +103,8 @@ fn thp_and_swap_coexist() {
 
 #[test]
 fn dma_transfer_moves_real_bytes_and_counts_faults() {
-    let mut base = BaselineKernel::with_dram(64 << 20);
-    let pid = MemSys::create_process(&mut base);
+    let mut base = BaselineKernel::builder().dram(64 << 20).build();
+    let pid = MemSys::create_process(&mut base).unwrap();
     let va = base
         .mmap(
             pid,
@@ -129,8 +129,8 @@ fn dma_transfer_moves_real_bytes_and_counts_faults() {
     assert_eq!(dma.iommu_faults, 16, "pinned pages never fault");
 
     // fom: implicitly pinned from the start.
-    let mut fom = FomKernel::with_mech(MapMech::SharedPt);
-    let fpid = fom.create_process();
+    let mut fom = FomKernel::builder().mech(MapMech::SharedPt).build();
+    let fpid = fom.create_process().unwrap();
     let (_, fva) = fom
         .falloc(fpid, 16 * PAGE_SIZE, FileClass::Volatile)
         .unwrap();
@@ -142,8 +142,8 @@ fn dma_transfer_moves_real_bytes_and_counts_faults() {
 
 #[test]
 fn fgrow_end_to_end_with_persistence() {
-    let mut k = FomKernel::with_mech(MapMech::Ranges);
-    let pid = k.create_process();
+    let mut k = FomKernel::builder().mech(MapMech::Ranges).build();
+    let pid = k.create_process().unwrap();
     let (_, va) = k
         .create_named(pid, "/grow/db", 1 << 20, FileClass::Persistent)
         .unwrap();
@@ -152,7 +152,7 @@ fn fgrow_end_to_end_with_persistence() {
     k.store(pid, va2 + ((8 << 20) - 8), 8).unwrap();
     // Growth is journaled: the bigger file survives a crash.
     k.crash_and_recover();
-    let pid = k.create_process();
+    let pid = k.create_process().unwrap();
     let (_, va3) = k.open_map(pid, "/grow/db", Prot::ReadWrite).unwrap();
     assert_eq!(k.load(pid, va3).unwrap(), 7);
     assert_eq!(k.load(pid, va3 + ((8 << 20) - 8)).unwrap(), 8);
@@ -165,7 +165,7 @@ fn background_pool_is_crash_safe() {
         nvm_bytes: 512 * PAGE_SIZE,
         ..FomConfig::default()
     });
-    let pid = k.create_process();
+    let pid = k.create_process().unwrap();
     let (_, va) = k.falloc(pid, 256 * PAGE_SIZE, FileClass::Volatile).unwrap();
     let secret = 0x5ec2e7u64;
     for p in 0..256u64 {
@@ -174,7 +174,7 @@ fn background_pool_is_crash_safe() {
     // Crash with the secret still live: the freed space is queued
     // dirty, and any reuse must scrub before handing it out.
     k.crash_and_recover();
-    let pid = k.create_process();
+    let pid = k.create_process().unwrap();
     let free = k.free_frames();
     let (_, scan) = k
         .falloc(pid, free * PAGE_SIZE, FileClass::Volatile)
@@ -202,7 +202,7 @@ fn walk_mode_and_thp_compose() {
             fault_around: 1,
         });
         k.set_walk_mode(WalkMode::Virtualized5);
-        let pid = MemSys::create_process(&mut k);
+        let pid = MemSys::create_process(&mut k).unwrap();
         let va = k
             .mmap(
                 pid,

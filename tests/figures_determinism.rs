@@ -21,6 +21,7 @@ fn all_figures_byte_identical_sequential_vs_parallel() {
         &RunnerOptions {
             threads: 1,
             repeat: 1,
+            trace: false,
         },
     );
     // Oversubscribe relative to typical CI hosts and repeat each
@@ -30,6 +31,7 @@ fn all_figures_byte_identical_sequential_vs_parallel() {
         &RunnerOptions {
             threads: 4,
             repeat: 2,
+            trace: false,
         },
     );
 

@@ -50,7 +50,7 @@ fn generate(seed: u64, n: usize) -> Vec<Op> {
 /// Run the stream against one kernel, returning the sequence of
 /// successfully-loaded values (misses/errors recorded as None).
 fn run(sys: &mut dyn MemSys, ops: &[Op]) -> Vec<Option<u64>> {
-    let mut pid = sys.create_process();
+    let mut pid = sys.create_process().unwrap();
     // region slot -> (va, pages)
     let mut regions: Vec<Option<(VirtAddr, u64)>> = vec![None; 8];
     let mut loads = Vec::new();
@@ -92,7 +92,7 @@ fn run(sys: &mut dyn MemSys, ops: &[Op]) -> Vec<Option<u64>> {
                     }
                 }
                 sys.destroy_process(pid).unwrap();
-                pid = sys.create_process();
+                pid = sys.create_process().unwrap();
             }
         }
     }
@@ -150,7 +150,7 @@ fn all_kernels_agree_with_the_oracle() {
     for seed in [1u64, 7, 42, 1337, 9999] {
         let ops = generate(seed, 400);
         let expected = run_oracle(&ops);
-        let mut base = BaselineKernel::with_dram(256 << 20);
+        let mut base = BaselineKernel::builder().dram(256 << 20).build();
         assert_eq!(
             run(&mut base, &ops),
             expected,
@@ -162,7 +162,7 @@ fn all_kernels_agree_with_the_oracle() {
             MapMech::Pbm,
             MapMech::Ranges,
         ] {
-            let mut fom = FomKernel::with_mech(mech);
+            let mut fom = FomKernel::builder().mech(mech).build();
             let free0 = fom.free_frames();
             assert_eq!(
                 run(&mut fom, &ops),
@@ -198,7 +198,7 @@ fn long_run_with_memory_pressure_on_baseline() {
             "{policy:?} diverged under pressure"
         );
         assert!(
-            k.machine().perf.pages_swapped_out > 0,
+            k.stats().counters.pages_swapped_out > 0,
             "{policy:?} never swapped"
         );
     }
@@ -215,8 +215,8 @@ fn fom_lifecycle_fuzz_with_crashes() {
     for mech in [MapMech::SharedPt, MapMech::Ranges, MapMech::PageTables] {
         for seed in [3u64, 11, 2026] {
             let mut rng = StdRng::seed_from_u64(seed);
-            let mut k = FomKernel::with_mech(mech);
-            let mut pid = k.create_process();
+            let mut k = FomKernel::builder().mech(mech).build();
+            let mut pid = k.create_process().unwrap();
             // Live scratch mappings: (va, pages).
             let mut scratch: Vec<(VirtAddr, u64)> = Vec::new();
             // Oracle: persisted name -> first-word value.
@@ -275,7 +275,7 @@ fn fom_lifecycle_fuzz_with_crashes() {
                         // Crash: scratch dies, persisted survives.
                         k.crash_and_recover();
                         scratch.clear();
-                        pid = k.create_process();
+                        pid = k.create_process().unwrap();
                         for (name, &tag) in &persisted {
                             let (_, va) = k.open_map(pid, name, Prot::Read).unwrap();
                             assert_eq!(

@@ -1,0 +1,112 @@
+//! Conservation property over randomized workloads: whatever a seeded
+//! op stream does to a kernel — allocs, frees, stores, loads, phase
+//! switches, process churn — the machine's ledger must account for
+//! every simulated nanosecond. The figure-suite gate
+//! (`trace_determinism.rs`) checks the paths the paper exercises; this
+//! one walks the op space at random so new charge paths can't dodge
+//! the ledger by staying off the figure suite.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use o1mem::core::{FomKernel, MapMech};
+use o1mem::hw::ObsMode;
+use o1mem::vm::{BaselineKernel, MemSys};
+use o1mem::{VirtAddr, PAGE_SIZE};
+
+/// Drive one kernel through a seeded random workload, switching
+/// ledger phases along the way.
+fn churn(sys: &mut dyn MemSys, seed: u64, ops: usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pid = sys.create_process().unwrap();
+    let mut regions: Vec<Option<(VirtAddr, u64)>> = vec![None; 8];
+    for i in 0..ops {
+        if i % 64 == 0 {
+            sys.phase(["alloc", "access", "churn"][(i / 64) % 3]);
+        }
+        match rng.random_range(0..10u32) {
+            0 | 1 => {
+                if let Some(slot) = regions.iter().position(Option::is_none) {
+                    let pages = rng.random_range(1..64);
+                    let va = sys.alloc(pid, pages * PAGE_SIZE, rng.random()).unwrap();
+                    regions[slot] = Some((va, pages));
+                }
+            }
+            2 => {
+                if let Some((va, pages)) = regions[rng.random_range(0..8usize)].take() {
+                    sys.release(pid, va, pages * PAGE_SIZE).unwrap();
+                }
+            }
+            3..=6 => {
+                if let Some((va, pages)) = regions[rng.random_range(0..8usize)] {
+                    let page = rng.random_range(0..pages);
+                    sys.store(pid, va + page * PAGE_SIZE, page).unwrap();
+                }
+            }
+            7 | 8 => {
+                if let Some((va, pages)) = regions[rng.random_range(0..8usize)] {
+                    let page = rng.random_range(0..pages);
+                    let _ = sys.load(pid, va + page * PAGE_SIZE).unwrap();
+                }
+            }
+            _ => {
+                for r in regions.iter_mut() {
+                    if let Some((va, pages)) = r.take() {
+                        sys.release(pid, va, pages * PAGE_SIZE).unwrap();
+                    }
+                }
+                pid = sys.create_process().unwrap();
+            }
+        }
+    }
+}
+
+/// Close the kernel's ledger and assert it conserves the clock.
+fn assert_conserves(sys: &mut dyn MemSys, what: &str) {
+    let clock = sys.machine().now().0;
+    let report = sys
+        .machine_mut()
+        .take_trace()
+        .expect("ObsMode::On forces a ledger");
+    assert_eq!(report.clock_ns, clock, "{what}: ledger closed at the clock");
+    assert!(clock > 0, "{what}: the workload advanced simulated time");
+    assert!(
+        report.conserves(),
+        "{what}: ledger {} ns != clock {} ns",
+        report.charged_ns,
+        report.clock_ns
+    );
+}
+
+#[test]
+fn randomized_workloads_conserve_on_the_baseline_kernel() {
+    for seed in 0..4u64 {
+        let mut k = BaselineKernel::builder()
+            .dram(256 << 20)
+            .obs(ObsMode::On)
+            .build();
+        churn(&mut k, seed, 600);
+        assert_conserves(&mut k, &format!("baseline seed {seed}"));
+    }
+}
+
+#[test]
+fn randomized_workloads_conserve_on_every_fom_mechanism() {
+    for mech in [
+        MapMech::PageTables,
+        MapMech::SharedPt,
+        MapMech::Pbm,
+        MapMech::Ranges,
+    ] {
+        for seed in 0..2u64 {
+            let mut k = FomKernel::builder()
+                .dram(128 << 20)
+                .nvm(256 << 20)
+                .mech(mech)
+                .obs(ObsMode::On)
+                .build();
+            churn(&mut k, seed, 400);
+            assert_conserves(&mut k, &format!("{mech:?} seed {seed}"));
+        }
+    }
+}

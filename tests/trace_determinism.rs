@@ -1,0 +1,107 @@
+//! Regression gate for the cost-attribution ledger: traces are a pure
+//! function of the experiment definitions, exactly like the figures
+//! themselves. Two traced suite runs — one sequential, one across an
+//! oversubscribed thread pool — must serialize to byte-identical
+//! JSONL and Chrome-trace output, every machine ledger must account
+//! for every simulated nanosecond (conservation), and switching
+//! tracing on must never change a single figure byte.
+
+use o1_bench::figures_to_json_pretty;
+use o1_bench::runner::{figure_fn, run_figures, RunnerOptions, ALL_IDS};
+use o1_obs::{conservation_errors, export_chrome_trace, export_jsonl};
+
+#[test]
+fn full_suite_traces_conserve_and_are_byte_identical_across_threads() {
+    let fns: Vec<_> = ALL_IDS
+        .iter()
+        .map(|id| figure_fn(id).expect("known id"))
+        .collect();
+
+    let seq = run_figures(
+        &fns,
+        &RunnerOptions {
+            threads: 1,
+            repeat: 1,
+            trace: true,
+        },
+    );
+    let par = run_figures(
+        &fns,
+        &RunnerOptions {
+            threads: 4,
+            repeat: 1,
+            trace: true,
+        },
+    );
+
+    let ts = seq.traces();
+    let tp = par.traces();
+    assert_eq!(ts.len(), ALL_IDS.len(), "every figure produced a trace");
+    for (t, id) in ts.iter().zip(ALL_IDS) {
+        assert_eq!(t.id, id, "traces preserve request order");
+    }
+    // Analytic figures (fig_meta) build no machines; everything that
+    // simulates must show up in the ledger.
+    let machines: usize = ts.iter().map(|t| t.machines.len()).sum();
+    assert!(machines > 100, "suite built {machines} traced machines");
+
+    // Conservation: Σ ledger rows == simulated-clock delta for every
+    // machine of every figure. A violation means some charge path
+    // advanced the clock without telling the ledger.
+    let errors = conservation_errors(&ts);
+    assert!(
+        errors.is_empty(),
+        "ledger must conserve the simulated clock:\n{}",
+        errors.join("\n")
+    );
+
+    // Determinism: trace bytes are independent of the thread count.
+    assert_eq!(
+        export_jsonl(&ts),
+        export_jsonl(&tp),
+        "JSONL trace diverged across thread counts"
+    );
+    assert_eq!(
+        export_chrome_trace(&ts),
+        export_chrome_trace(&tp),
+        "Chrome trace diverged across thread counts"
+    );
+
+    // And the figures themselves still agree, traced or not.
+    assert_eq!(
+        figures_to_json_pretty(&seq.figures()),
+        figures_to_json_pretty(&par.figures()),
+        "thread count never changes figure bytes"
+    );
+}
+
+#[test]
+fn tracing_never_changes_figure_bytes() {
+    let fns: Vec<_> = ["fig1b", "fig2", "fig_meta"]
+        .iter()
+        .map(|id| figure_fn(id).expect("known id"))
+        .collect();
+    let plain = run_figures(
+        &fns,
+        &RunnerOptions {
+            threads: 1,
+            repeat: 1,
+            trace: false,
+        },
+    );
+    let traced = run_figures(
+        &fns,
+        &RunnerOptions {
+            threads: 1,
+            repeat: 1,
+            trace: true,
+        },
+    );
+    assert!(plain.traces().is_empty(), "untraced run collects nothing");
+    assert_eq!(traced.traces().len(), fns.len());
+    assert_eq!(
+        figures_to_json_pretty(&plain.figures()),
+        figures_to_json_pretty(&traced.figures()),
+        "the ledger observes charges; it must never alter them"
+    );
+}
