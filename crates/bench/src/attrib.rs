@@ -15,7 +15,6 @@ use std::fmt::Write as _;
 use o1_obs::{attribute, Attribution, FigureTrace};
 
 use crate::json;
-use crate::series::write_figures_pretty;
 use crate::Figure;
 
 /// Tenths of a percent of `total`, as integers — avoids float
@@ -66,7 +65,7 @@ pub fn attribution_table(trace: &FigureTrace) -> String {
     out
 }
 
-fn write_attribution_json(out: &mut String, a: &Attribution, level: usize) {
+pub(crate) fn write_attribution_json(out: &mut String, a: &Attribution, level: usize) {
     json::push_indent(out, level);
     out.push_str("\"attribution\": {");
     json::push_indent(out, level + 1);
@@ -124,24 +123,15 @@ fn write_attribution_json(out: &mut String, a: &Attribution, level: usize) {
     out.push('}');
 }
 
-/// [`figures_to_json_pretty`](crate::figures_to_json_pretty), plus an
-/// `"attribution"` member in every figure object that has a matching
-/// trace. Figures without a trace serialize exactly as in the plain
-/// path.
+/// [`figures_to_json_pretty`](crate::figures_to_json_pretty), plus a
+/// `"schema_version"` marker and an `"attribution"` member in every
+/// figure object that has a matching trace. Figures without a trace
+/// serialize exactly as in the plain path.
 pub fn figures_to_json_pretty_with_attribution(
     figures: &[Figure],
     traces: &[FigureTrace],
 ) -> String {
-    let attribs: Vec<Option<Attribution>> = figures
-        .iter()
-        .map(|f| traces.iter().find(|t| t.id == f.id).map(attribute))
-        .collect();
-    write_figures_pretty(figures, |out, fi| {
-        if let Some(a) = &attribs[fi] {
-            out.push(',');
-            write_attribution_json(out, a, 2);
-        }
-    })
+    crate::latency::figures_to_json_pretty_enriched(figures, traces, true, false)
 }
 
 #[cfg(test)]

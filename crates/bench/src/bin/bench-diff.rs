@@ -1,0 +1,158 @@
+//! Compare two figure-metric documents and gate on regressions.
+//!
+//! ```text
+//! bench-diff old.json new.json              # exact gate (exit 1 on any drift for the worse)
+//! bench-diff old.json new.json --lat-permille 50
+//! bench-diff BENCH_figures.json fresh.json --append BENCH_figures.json
+//! ```
+//!
+//! Either side may be a `figures --json` array or a
+//! `BENCH_figures.json` self-profile; the shared metric set (series
+//! means, point counts, latency percentiles, event counts) is
+//! extracted from both and compared under per-metric permille
+//! budgets. Exit status: 0 = within budget, 1 = regression, 2 = bad
+//! usage or unreadable input.
+
+use o1_bench::diff::{
+    append_trajectory, diff_metrics, metrics_from_value, today_utc, Thresholds, TrajectoryEntry,
+};
+use o1_bench::jsonval;
+
+const USAGE: &str = "\
+usage: bench-diff <old.json> <new.json> [options]
+
+Inputs may be `figures --json` arrays or BENCH_figures.json profiles.
+
+  --mean-permille N    allowed worsening of a series mean (default 0)
+  --lat-permille N     allowed worsening of a latency percentile (default 0)
+  --count-permille N   allowed event/point count drift, either way (default 0)
+  --append <path>      append a dated entry to <path>'s \"trajectory\"
+  --date YYYY-MM-DD    date for that entry (default: today, UTC)
+  --note <text>        note for that entry (default: gate verdict)
+  --quiet              suppress per-metric notes (regressions always print)
+  --help               print this help
+
+Exit status: 0 within budget, 1 regression, 2 usage/input error.";
+
+struct Cli {
+    old: String,
+    new: String,
+    thr: Thresholds,
+    append: Option<String>,
+    date: Option<String>,
+    note: Option<String>,
+    quiet: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
+    let mut paths: Vec<String> = Vec::new();
+    let mut thr = Thresholds::default();
+    let mut append = None;
+    let mut date = None;
+    let mut note = None;
+    let mut quiet = false;
+    let mut i = 0;
+    let value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    let permille = |args: &[String], i: &mut usize, flag: &str| -> Result<u64, String> {
+        let v = value(args, i, flag)?;
+        v.parse()
+            .map_err(|_| format!("{flag} expects a non-negative integer, got '{v}'"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(None);
+            }
+            "--mean-permille" => thr.mean_permille = permille(args, &mut i, "--mean-permille")?,
+            "--lat-permille" => thr.lat_permille = permille(args, &mut i, "--lat-permille")?,
+            "--count-permille" => thr.count_permille = permille(args, &mut i, "--count-permille")?,
+            "--append" => append = Some(value(args, &mut i, "--append")?),
+            "--date" => date = Some(value(args, &mut i, "--date")?),
+            "--note" => note = Some(value(args, &mut i, "--note")?),
+            "--quiet" => quiet = true,
+            other if other.starts_with("--") => return Err(format!("unknown option: {other}")),
+            path => paths.push(path.to_string()),
+        }
+        i += 1;
+    }
+    let [old, new] = <[String; 2]>::try_from(paths)
+        .map_err(|p| format!("expected exactly two input paths, got {}", p.len()))?;
+    Ok(Some(Cli {
+        old,
+        new,
+        thr,
+        append,
+        date,
+        note,
+        quiet,
+    }))
+}
+
+fn load_metrics(path: &str) -> Result<Vec<o1_bench::diff::FigMetrics>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let doc = jsonval::parse(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    metrics_from_value(&doc).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(Some(cli)) => cli,
+        Ok(None) => return,
+        Err(msg) => {
+            eprintln!("{msg}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    let (old, new) = match (load_metrics(&cli.old), load_metrics(&cli.new)) {
+        (Ok(old), Ok(new)) => (old, new),
+        (old, new) => {
+            for r in [old.err(), new.err()].into_iter().flatten() {
+                eprintln!("error: {r}");
+            }
+            std::process::exit(2);
+        }
+    };
+
+    let report = diff_metrics(&old, &new, &cli.thr);
+    if !cli.quiet {
+        for n in &report.notes {
+            println!("note: {n}");
+        }
+    }
+    for r in &report.regressions {
+        println!("REGRESSION: {r}");
+    }
+    let verdict = if report.passed() { "within budget" } else { "REGRESSED" };
+    println!(
+        "bench-diff: {} figures, {} comparisons, {} regressions — {verdict}",
+        old.len(),
+        report.comparisons,
+        report.regressions.len()
+    );
+
+    if let Some(path) = &cli.append {
+        let entry = TrajectoryEntry {
+            date: cli.date.clone().unwrap_or_else(today_utc),
+            old: cli.old.clone(),
+            new: cli.new.clone(),
+            comparisons: report.comparisons,
+            regressions: report.regressions.len() as u64,
+            note: cli.note.clone().unwrap_or_else(|| verdict.to_string()),
+        };
+        if let Err(e) = append_trajectory(path, &entry) {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("appended trajectory entry to {path}");
+    }
+
+    std::process::exit(if report.passed() { 0 } else { 1 });
+}

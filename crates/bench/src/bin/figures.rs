@@ -10,6 +10,7 @@
 //! figures --json out.json    # also dump machine-readable series
 //! figures --csv out_dir      # one CSV per figure
 //! figures --profile          # 1-thread vs N-thread timing comparison
+//! figures --latency          # per-operation tail-latency tables
 //! figures --list             # list figure ids
 //! ```
 //!
@@ -21,10 +22,12 @@
 
 use std::io::Write as _;
 
+use o1_bench::diff::{figure_metrics, write_metrics_json};
+use o1_bench::jsonval;
 use o1_bench::runner::{figure_fn, run_figures, RunReport, RunnerOptions, ALL_IDS};
 use o1_bench::{
-    attribution_table, figures_to_json_pretty, figures_to_json_pretty_with_attribution, json,
-    Figure,
+    attribution_table, figures_to_json_pretty, figures_to_json_pretty_enriched, json,
+    latency_table, Figure,
 };
 
 const USAGE: &str = "\
@@ -43,6 +46,9 @@ usage: figures [options]
                       <dir>/chrome_trace.json
   --attrib            print per-figure attribution tables; with --json,
                       embed an \"attribution\" section per figure
+  --latency           print per-figure tail-latency tables (p50/p90/p99/
+                      p999/max per operation and mechanism); with --json,
+                      embed a \"latency\" section per figure
   --bench-out <path>  self-profiler output path (default BENCH_figures.json)
   --no-bench          do not write the self-profiler file
   --help              print this help
@@ -60,6 +66,7 @@ struct Cli {
     profile: bool,
     trace_dir: Option<String>,
     attrib: bool,
+    latency: bool,
     bench_out: Option<String>,
     write_bench: bool,
 }
@@ -74,6 +81,7 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
         profile: false,
         trace_dir: None,
         attrib: false,
+        latency: false,
         bench_out: None,
         write_bench: true,
     };
@@ -122,6 +130,7 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
             "--profile" => cli.profile = true,
             "--trace" => cli.trace_dir = Some(value(args, &mut i, "--trace")?),
             "--attrib" => cli.attrib = true,
+            "--latency" => cli.latency = true,
             "--bench-out" => cli.bench_out = Some(value(args, &mut i, "--bench-out")?),
             "--no-bench" => cli.write_bench = false,
             other => return Err(format!("unknown argument: {other}")),
@@ -169,10 +178,38 @@ fn report_json(out: &mut String, r: &RunReport, level: usize) {
     out.push('}');
 }
 
-fn write_bench_file(path: &str, repeat: usize, runs: &[&RunReport], identical: Option<bool>) {
+/// Carry the perf trajectory forward: entries appended by `bench-diff
+/// --append` must survive every rewrite of the self-profile, so read
+/// them back (exact number text preserved) before overwriting.
+fn read_trajectory(path: &str) -> Vec<jsonval::Value> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    match jsonval::parse(&text) {
+        Ok(doc) => doc
+            .get("trajectory")
+            .and_then(jsonval::Value::as_arr)
+            .map(<[jsonval::Value]>::to_vec)
+            .unwrap_or_default(),
+        Err(e) => {
+            eprintln!("warning: {path} is not valid JSON ({e}); dropping its trajectory");
+            Vec::new()
+        }
+    }
+}
+
+fn write_bench_file(
+    path: &str,
+    repeat: usize,
+    runs: &[&RunReport],
+    identical: Option<bool>,
+    figures: &[Figure],
+    traces: &[o1_obs::FigureTrace],
+) {
+    let trajectory = read_trajectory(path);
     let mut out = String::from("{");
     json::push_indent(&mut out, 1);
-    out.push_str("\"schema\": \"o1mem/bench-figures/v1\",");
+    out.push_str("\"schema\": \"o1mem/bench-figures/v2\",");
     json::push_indent(&mut out, 1);
     out.push_str(&format!("\"repeat\": {repeat},"));
     json::push_indent(&mut out, 1);
@@ -184,10 +221,8 @@ fn write_bench_file(path: &str, repeat: usize, runs: &[&RunReport], identical: O
         report_json(&mut out, r, 2);
     }
     json::push_indent(&mut out, 1);
-    out.push(']');
+    out.push_str("],");
     if let (Some(identical), [a, b]) = (identical, runs) {
-        out.pop();
-        out.push_str("],");
         json::push_indent(&mut out, 1);
         out.push_str("\"speedup\": {");
         json::push_indent(&mut out, 2);
@@ -203,8 +238,23 @@ fn write_bench_file(path: &str, repeat: usize, runs: &[&RunReport], identical: O
         json::push_indent(&mut out, 2);
         out.push_str(&format!("\"figures_byte_identical\": {identical}"));
         json::push_indent(&mut out, 1);
-        out.push('}');
+        out.push_str("},");
     }
+    write_metrics_json(&mut out, &figure_metrics(figures, traces), 1);
+    out.push(',');
+    json::push_indent(&mut out, 1);
+    out.push_str("\"trajectory\": [");
+    for (i, entry) in trajectory.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::push_indent(&mut out, 2);
+        jsonval::write_compact(&mut out, entry);
+    }
+    if !trajectory.is_empty() {
+        json::push_indent(&mut out, 1);
+    }
+    out.push(']');
     out.push_str("\n}\n");
     std::fs::write(path, out).expect("write bench profile");
     eprintln!("wrote self-profile to {path}");
@@ -268,7 +318,7 @@ fn main() {
     let threads = cli.threads.unwrap_or_else(|| {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     });
-    let tracing = cli.trace_dir.is_some() || cli.attrib;
+    let tracing = cli.trace_dir.is_some() || cli.attrib || cli.latency;
     let opts = RunnerOptions {
         threads,
         repeat: cli.repeat,
@@ -328,6 +378,12 @@ fn main() {
         }
     }
 
+    if cli.latency {
+        for t in &traces {
+            println!("{}", latency_table(t));
+        }
+    }
+
     if let Some(dir) = &cli.trace_dir {
         std::fs::create_dir_all(dir).expect("create trace dir");
         let jsonl = format!("{dir}/trace.jsonl");
@@ -343,8 +399,8 @@ fn main() {
     }
 
     if let Some(path) = &cli.json_path {
-        let json = if cli.attrib {
-            figures_to_json_pretty_with_attribution(&figures, &traces)
+        let json = if cli.attrib || cli.latency {
+            figures_to_json_pretty_enriched(&figures, &traces, cli.attrib, cli.latency)
         } else {
             figures_to_json_pretty(&figures)
         };
@@ -356,6 +412,6 @@ fn main() {
     if cli.write_bench {
         let path = cli.bench_out.as_deref().unwrap_or("BENCH_figures.json");
         let refs: Vec<&RunReport> = reports.iter().collect();
-        write_bench_file(path, cli.repeat, &refs, identical);
+        write_bench_file(path, cli.repeat, &refs, identical, &figures, &traces);
     }
 }

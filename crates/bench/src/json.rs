@@ -6,6 +6,64 @@
 //! the tiny subset of JSON the harness needs. Numbers are formatted
 //! with `{:?}`, which round-trips `f64` exactly and always keeps a
 //! decimal point, matching what serde_json used to emit.
+//!
+//! # The `figures --json` document schema
+//!
+//! The document is an array of figure objects. A plain (untraced) run
+//! emits exactly these members — this shape is **schema version 1**
+//! and is frozen: its bytes never change across releases, which is
+//! what downstream plotting scripts and the determinism tests rely
+//! on. Versioning is by presence: v1 documents carry no
+//! `schema_version` member at all.
+//!
+//! ```json
+//! [
+//!   {
+//!     "id": "fig2",              // canonical figure id
+//!     "title": "...",            // paper caption
+//!     "x_label": "...",
+//!     "y_label": "...",
+//!     "series": [
+//!       {"label": "...", "points": [
+//!         [4, 8000.0],           // [x (u64), y (f64, simulated ns)]
+//!         [8, 16000.0]
+//!       ]}
+//!     ]
+//!   }
+//! ]
+//! ```
+//!
+//! A traced run (`--attrib` and/or `--latency`) upgrades each figure
+//! object that has a trace to **schema version 2** by appending, after
+//! `"series"`:
+//!
+//! ```json
+//!     "schema_version": 2,
+//!     "attribution": {           // with --attrib
+//!       "total_ns": 123,         // Σ over the figure's machines
+//!       "by_subsystem": [{"subsystem": "cpu", "count": 1, "ns": 500}],
+//!       "by_phase":     [{"phase": "alloc", "ns": 500}],
+//!       "by_kind":      [{"kind": "syscall", "count": 1, "ns": 500}]
+//!     },
+//!     "latency": [               // with --latency; one row per
+//!                                // (mechanism, op, phase), merged
+//!                                // over all the figure's machines
+//!       {"mech": "baseline", "op": "access_fault", "phase": "access",
+//!        "count": 2178,          // operations recorded (event count)
+//!        "sum_ns": 9061290,      // exact sum of latencies
+//!        "p50": 4095, "p90": 4095, "p99": 12287, "p999": 12619,
+//!        "max": 12619}           // percentiles are log-bucket upper
+//!                                // bounds clamped to the exact max
+//!     ]
+//! ```
+//!
+//! All enriched values are integers derived from the deterministic
+//! ledger, so v2 documents are byte-identical across `--threads`
+//! values too. `bench-diff` consumes either this document or the
+//! `BENCH_figures.json` self-profile (see `crate::diff`), whose
+//! `"metrics"` section carries the same series/latency numbers in
+//! precomputed form plus the dated `"trajectory"` array of past gate
+//! runs. The full schema is also documented in EXPERIMENTS.md.
 
 /// Escape a string per RFC 8259 and append it, quoted.
 pub fn push_str_escaped(out: &mut String, s: &str) {

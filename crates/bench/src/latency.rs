@@ -1,0 +1,210 @@
+//! Tail-latency reporting over figure traces.
+//!
+//! A traced run records every top-level kernel operation's simulated
+//! latency into a log-bucketed [`Histogram`] keyed by `(phase, op,
+//! mechanism)`. This module merges those per-machine histograms into
+//! one row per `(mechanism, op, phase)` per figure and renders the
+//! operator-facing views: aligned percentile tables for stdout
+//! (`--latency`) and a `"latency"` section inside the pretty figure
+//! JSON. Histograms are integer-only and merging is commutative, so
+//! both views are byte-identical for any `--threads` value.
+//!
+//! [`Histogram`]: o1_obs::Histogram
+
+use std::fmt::Write as _;
+
+use o1_obs::{attribute, latency_rows, Attribution, FigureTrace, LatencyRow};
+
+use crate::attrib::write_attribution_json;
+use crate::json;
+use crate::series::write_figures_pretty;
+use crate::Figure;
+
+/// Render one figure's merged latency rows as an aligned text table:
+/// one row per `(mechanism, op, phase)` with count, p50/p90/p99/p999,
+/// and the exact maximum, all in simulated ns.
+pub fn latency_table(trace: &FigureTrace) -> String {
+    let rows = latency_rows(trace);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "## latency — {} ({} machines, {} op rows, simulated ns)",
+        trace.id,
+        trace.machines.len(),
+        rows.len()
+    );
+    let _ = writeln!(
+        out,
+        "{:>12}  {:>12}  {:>14}  {:>10}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}",
+        "mech", "op", "phase", "count", "p50", "p90", "p99", "p999", "max"
+    );
+    for r in &rows {
+        let (p50, p90, p99, p999) = r.hist.percentiles();
+        let _ = writeln!(
+            out,
+            "{:>12}  {:>12}  {:>14}  {:>10}  {p50:>9}  {p90:>9}  {p99:>9}  {p999:>9}  {:>9}",
+            r.mech,
+            r.op.name(),
+            r.phase,
+            r.hist.count(),
+            r.hist.max()
+        );
+    }
+    out
+}
+
+/// Append a figure's `"latency"` JSON member: one object per merged
+/// `(mechanism, op, phase)` row.
+pub(crate) fn write_latency_json(out: &mut String, rows: &[LatencyRow], level: usize) {
+    json::push_indent(out, level);
+    out.push_str("\"latency\": [");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let (p50, p90, p99, p999) = r.hist.percentiles();
+        json::push_indent(out, level + 1);
+        let _ = write!(
+            out,
+            "{{\"mech\": \"{}\", \"op\": \"{}\", \"phase\": ",
+            r.mech,
+            r.op.name()
+        );
+        json::push_str_escaped(out, r.phase);
+        let _ = write!(
+            out,
+            ", \"count\": {}, \"sum_ns\": {}, \"p50\": {p50}, \"p90\": {p90}, \
+             \"p99\": {p99}, \"p999\": {p999}, \"max\": {}}}",
+            r.hist.count(),
+            r.hist.sum(),
+            r.hist.max()
+        );
+    }
+    if !rows.is_empty() {
+        json::push_indent(out, level);
+    }
+    out.push(']');
+}
+
+/// [`figures_to_json_pretty`](crate::figures_to_json_pretty) plus the
+/// requested enrichment sections. A figure with a matching trace gains
+/// `"schema_version": 2` followed by an `"attribution"` member (when
+/// `attrib`) and/or a `"latency"` member (when `latency`); figures
+/// without a trace — and the whole document when both flags are off —
+/// serialize byte-identically to the plain path, which is what keeps
+/// untraced output stable across releases (implicit schema version 1).
+pub fn figures_to_json_pretty_enriched(
+    figures: &[Figure],
+    traces: &[FigureTrace],
+    attrib: bool,
+    latency: bool,
+) -> String {
+    type Extra = (Option<Attribution>, Option<Vec<LatencyRow>>);
+    let extras: Vec<Extra> = figures
+        .iter()
+        .map(|f| {
+            let trace = traces.iter().find(|t| t.id == f.id);
+            (
+                trace.filter(|_| attrib).map(attribute),
+                trace.filter(|_| latency).map(latency_rows),
+            )
+        })
+        .collect();
+    write_figures_pretty(figures, |out, fi| {
+        let (a, l) = &extras[fi];
+        if a.is_none() && l.is_none() {
+            return;
+        }
+        out.push(',');
+        json::push_indent(out, 2);
+        out.push_str("\"schema_version\": 2,");
+        if let Some(a) = a {
+            write_attribution_json(out, a, 2);
+            if l.is_some() {
+                out.push(',');
+            }
+        }
+        if let Some(l) = l {
+            write_latency_json(out, l, 2);
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures_to_json_pretty;
+    use crate::runner::{figure_fn, run_figures, RunnerOptions};
+
+    fn traced(id: &str) -> (Vec<Figure>, Vec<FigureTrace>) {
+        let fns = vec![figure_fn(id).unwrap()];
+        let report = run_figures(
+            &fns,
+            &RunnerOptions {
+                threads: 1,
+                repeat: 1,
+                trace: true,
+            },
+        );
+        (report.figures(), report.traces())
+    }
+
+    #[test]
+    fn latency_table_has_both_mechanisms_and_alloc_rows() {
+        let (_, traces) = traced("fig2");
+        let table = latency_table(&traces[0]);
+        assert!(table.contains("## latency — fig2"));
+        assert!(table.contains("baseline"), "fig2 runs the baseline kernel");
+        assert!(table.contains("fom-"), "fig2 runs a fom kernel");
+        assert!(table.contains(" alloc"), "fig2 drives the alloc phase");
+    }
+
+    #[test]
+    fn fault_and_hit_accesses_separate() {
+        // fig_faults touches fresh pages on the baseline kernel: its
+        // first access per page demand-faults while fom never does.
+        let (_, traces) = traced("fig_faults");
+        let rows = latency_rows(&traces[0]);
+        let fault = rows
+            .iter()
+            .find(|r| r.mech == "baseline" && r.op == o1_obs::OpKind::AccessFault)
+            .expect("baseline access faults recorded");
+        let hit = rows
+            .iter()
+            .find(|r| r.mech.starts_with("fom") && r.op == o1_obs::OpKind::AccessHit)
+            .expect("fom access hits recorded");
+        assert!(
+            fault.hist.quantile(1, 2) > hit.hist.quantile(1, 2),
+            "a faulting access is slower than a hit at the median"
+        );
+        assert!(
+            !rows
+                .iter()
+                .any(|r| r.mech.starts_with("fom") && r.op == o1_obs::OpKind::AccessFault),
+            "fom accesses never demand-fault"
+        );
+    }
+
+    #[test]
+    fn enriched_json_is_plain_json_plus_sections() {
+        let (figures, traces) = traced("fig2");
+        let plain = figures_to_json_pretty(&figures);
+        let enriched = figures_to_json_pretty_enriched(&figures, &traces, true, true);
+        assert!(enriched.contains("\"schema_version\": 2,"));
+        assert!(enriched.contains("\"attribution\": {"));
+        assert!(enriched.contains("\"latency\": ["));
+        assert!(enriched.contains("\"p999\": "));
+        let latency_only = figures_to_json_pretty_enriched(&figures, &traces, false, true);
+        assert!(latency_only.contains("\"schema_version\": 2,"));
+        assert!(!latency_only.contains("\"attribution\""));
+        // Both flags off, or no matching traces: bytes equal plain.
+        assert_eq!(
+            figures_to_json_pretty_enriched(&figures, &traces, false, false),
+            plain
+        );
+        assert_eq!(
+            figures_to_json_pretty_enriched(&figures, &[], true, true),
+            plain
+        );
+    }
+}

@@ -2,17 +2,25 @@
 //!
 //! [`experiments`] regenerates every figure of the paper (and the
 //! ablations DESIGN.md adds) as deterministic simulated-time series;
-//! [`series`] holds the data and prints paper-style tables. The
-//! `figures` binary drives it all; Criterion benches in `benches/`
-//! measure the host-side cost of the same operations.
+//! [`series`] holds the data and prints paper-style tables; [`attrib`]
+//! and [`latency`] turn traced runs into cost-attribution and
+//! tail-latency views; [`diff`] is the perf-regression gate behind
+//! the `bench-diff` binary. The `figures` binary drives it all;
+//! Criterion benches in `benches/` measure the host-side cost of the
+//! same operations.
 
 pub mod attrib;
+pub mod diff;
 pub mod experiments;
 pub mod json;
+pub mod jsonval;
+pub mod latency;
 pub mod runner;
 pub mod series;
 
 pub use attrib::{attribution_table, figures_to_json_pretty_with_attribution};
+pub use diff::{diff_metrics, figure_metrics, metrics_from_value, DiffReport, Thresholds};
 pub use experiments::all_figures;
+pub use latency::{figures_to_json_pretty_enriched, latency_table};
 pub use runner::{run_figures, RunnerOptions};
 pub use series::{figures_to_json_pretty, Figure, Series};

@@ -22,7 +22,7 @@
 //! there is no copy-on-write and no page-granular `mprotect` — those
 //! tests live in the baseline kernel only.
 
-use o1_hw::CostKind;
+use o1_hw::{CostKind, OpKind};
 use std::collections::HashMap;
 
 use o1_hw::{
@@ -327,6 +327,17 @@ impl FomKernel {
         self.mech
     }
 
+    /// Mechanism label used for experiment output and as the latency
+    /// ledger key ([`MemSys::sys_name`] returns the same string).
+    pub fn mech_str(&self) -> &'static str {
+        match self.mech {
+            MapMech::PageTables => "fom-pt",
+            MapMech::SharedPt => "fom-shared",
+            MapMech::Pbm => "fom-pbm",
+            MapMech::Ranges => "fom-ranges",
+        }
+    }
+
     /// Free NVM frames in the volume.
     pub fn free_frames(&self) -> u64 {
         self.pmfs.free_frames()
@@ -365,6 +376,7 @@ impl FomKernel {
     /// # Errors
     /// [`VmError::ProcessLimit`] once the 16-bit ASID space is spent.
     pub fn create_process(&mut self) -> Result<Pid, VmError> {
+        let t0 = self.machine.op_start();
         self.machine.charge_syscall();
         if self.next_pid > u32::from(u16::MAX) {
             return Err(VmError::ProcessLimit);
@@ -382,6 +394,7 @@ impl FomKernel {
                 next_va: FOM_MMAP_BASE,
             },
         );
+        self.machine.op_end(t0, OpKind::Launch, self.mech_str());
         Ok(pid)
     }
 
@@ -389,6 +402,7 @@ impl FomKernel {
     /// "memory is only reclaimed in the unit of a file... or when the
     /// process terminates".
     pub fn destroy_process(&mut self, pid: Pid) -> Result<(), VmError> {
+        let t0 = self.machine.op_start();
         self.machine.charge_syscall();
         let bases: Vec<u64> = self.proc(pid)?.maps.keys().copied().collect();
         for base in bases {
@@ -397,6 +411,7 @@ impl FomKernel {
         let proc = self.procs.remove(&pid).expect("checked above");
         self.mmu.flush_asid(&mut self.machine, proc.asid);
         self.pt.release(&mut self.machine, proc.root);
+        self.machine.op_end(t0, OpKind::Teardown, self.mech_str());
         Ok(())
     }
 
@@ -494,6 +509,7 @@ impl FomKernel {
         if bytes == 0 {
             return Err(VmError::BadRange);
         }
+        let t0 = self.machine.op_start();
         self.machine.charge_syscall();
         self.proc(pid)?;
         let (machine, pmfs) = (&mut self.machine, &mut self.pmfs);
@@ -544,6 +560,7 @@ impl FomKernel {
             }
         }
         let va = self.map_file_internal(pid, id, name, bytes, Prot::ReadWrite, auto_unlink)?;
+        self.machine.op_end(t0, OpKind::Alloc, self.mech_str());
         Ok((id, va))
     }
 
@@ -760,6 +777,7 @@ impl FomKernel {
     /// O(pages) except for small per-page tails. If the mapping was a
     /// volatile scratch file, the file itself is deleted and erased.
     pub fn unmap(&mut self, pid: Pid, base: VirtAddr) -> Result<(), VmError> {
+        let t0 = self.machine.op_start();
         self.machine.charge_syscall();
         let mapping = {
             let proc = self.proc_mut(pid)?;
@@ -818,6 +836,7 @@ impl FomKernel {
         if destroyed {
             self.on_file_destroyed(mapping.file, &extents);
         }
+        self.machine.op_end(t0, OpKind::Free, self.mech_str());
         Ok(())
     }
 
@@ -1126,18 +1145,31 @@ impl FomKernel {
 
     /// User-level 8-byte load.
     pub fn load(&mut self, pid: Pid, va: VirtAddr) -> Result<u64, VmError> {
+        let traced = self.machine.traced();
+        let t0 = self.machine.op_start();
         let pa = self.resolve(pid, va, Access::Read)?;
         let tier = self.machine.phys.tier(pa.frame());
         self.machine.charge_load(tier);
-        Ok(self.machine.phys.read_u64(pa))
+        let v = self.machine.phys.read_u64(pa);
+        if traced {
+            // A fom access never demand-faults: every page is mapped at
+            // allocation time, so the hit/fault split is degenerate here.
+            self.machine.op_end(t0, OpKind::AccessHit, self.mech_str());
+        }
+        Ok(v)
     }
 
     /// User-level 8-byte store.
     pub fn store(&mut self, pid: Pid, va: VirtAddr, value: u64) -> Result<(), VmError> {
+        let traced = self.machine.traced();
+        let t0 = self.machine.op_start();
         let pa = self.resolve(pid, va, Access::Write)?;
         let tier = self.machine.phys.tier(pa.frame());
         self.machine.charge_store(tier);
         self.machine.phys.write_u64(pa, value);
+        if traced {
+            self.machine.op_end(t0, OpKind::AccessHit, self.mech_str());
+        }
         Ok(())
     }
 

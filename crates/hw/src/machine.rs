@@ -19,7 +19,7 @@
 //! disabled the machine carries no ledger, allocates nothing, and
 //! behaves bit-identically.
 
-use o1_obs::{CostKind, MachineTrace};
+use o1_obs::{CostKind, MachineTrace, OpKind};
 
 use crate::cost::CostModel;
 use crate::perf::PerfCounters;
@@ -226,6 +226,26 @@ impl Machine {
     /// True if this machine carries a cost-attribution ledger.
     pub fn traced(&self) -> bool {
         self.trace.is_some()
+    }
+
+    /// Mark the start of a top-level operation: returns the clock
+    /// value to later hand to [`Machine::op_end`]. Free — it never
+    /// advances the clock or touches the ledger.
+    #[inline]
+    pub fn op_start(&self) -> SimNs {
+        SimNs(self.clock_ns)
+    }
+
+    /// Record a completed top-level operation of `op` on mechanism
+    /// `mech` that began at `started`: its latency (current clock
+    /// minus `started`) lands in the ledger's histogram for
+    /// `(current phase, op, mech)`. No clock effect; a no-op without
+    /// a ledger — untraced runs stay bit-identical.
+    #[inline]
+    pub fn op_end(&mut self, started: SimNs, op: OpKind, mech: &'static str) {
+        if let Some(trace) = self.trace.as_mut() {
+            trace.record_op(op, mech, self.clock_ns - started.0);
+        }
     }
 
     /// Close and remove the ledger, returning the report (None if

@@ -9,6 +9,7 @@
 
 use std::collections::BTreeMap;
 
+use crate::hist::{Histogram, OpKind};
 use crate::kind::{CostKind, Subsystem};
 
 /// Phase label a machine starts in before anyone calls `set_phase`.
@@ -44,6 +45,8 @@ pub struct MachineTrace {
     rows: BTreeMap<(usize, u8), (u64, u64)>,
     /// Running sum of everything recorded.
     charged_ns: u64,
+    /// `(phase index, op discriminant, mechanism) → latency histogram`.
+    ops: BTreeMap<(usize, u8, &'static str), Histogram>,
 }
 
 impl MachineTrace {
@@ -62,6 +65,18 @@ impl MachineTrace {
         row.0 += count;
         row.1 += ns;
         self.charged_ns += ns;
+    }
+
+    /// Record one completed top-level operation of `op` on mechanism
+    /// `mech` that took `ns` simulated nanoseconds, under the current
+    /// phase. Latencies are distribution data, not charges: they never
+    /// count toward conservation (the underlying costs already did).
+    #[inline]
+    pub fn record_op(&mut self, op: OpKind, mech: &'static str, ns: u64) {
+        self.ops
+            .entry((self.current, op as u8, mech))
+            .or_default()
+            .record(ns);
     }
 
     /// Enter phase `label` at simulated time `now_ns`. Re-entering the
@@ -111,9 +126,19 @@ impl MachineTrace {
                 ns,
             })
             .collect();
+        let ops = std::mem::take(&mut self.ops)
+            .into_iter()
+            .map(|((phase, op, mech), hist)| OpRow {
+                phase: self.phases[phase],
+                op: OpKind::ALL[op as usize],
+                mech,
+                hist,
+            })
+            .collect();
         MachineReport {
             spans: self.spans,
             rows,
+            ops,
             clock_ns,
             charged_ns: self.charged_ns,
         }
@@ -133,6 +158,19 @@ pub struct TraceRow {
     pub ns: u64,
 }
 
+/// One operation's latency distribution on a finished machine.
+#[derive(Clone, Debug)]
+pub struct OpRow {
+    /// Phase the operations completed in.
+    pub phase: &'static str,
+    /// Which operation.
+    pub op: OpKind,
+    /// Mechanism label (`"baseline"`, `"fom-ranges"`, …).
+    pub mech: &'static str,
+    /// Latency distribution in simulated ns.
+    pub hist: Histogram,
+}
+
 /// A machine's closed ledger, as flushed to the collector on drop.
 #[derive(Clone, Debug)]
 pub struct MachineReport {
@@ -140,6 +178,9 @@ pub struct MachineReport {
     pub spans: Vec<PhaseSpan>,
     /// Aggregated rows, ordered by (phase first-use, kind).
     pub rows: Vec<TraceRow>,
+    /// Per-operation latency histograms, ordered by (phase first-use,
+    /// op, mechanism).
+    pub ops: Vec<OpRow>,
     /// Final simulated clock value (machines start at 0).
     pub clock_ns: u64,
     /// Sum of all recorded entries.
@@ -168,6 +209,45 @@ impl FigureTrace {
     pub fn total_ns(&self) -> u64 {
         self.machines.iter().map(|m| m.clock_ns).sum()
     }
+}
+
+/// One merged latency distribution for a whole figure: every machine's
+/// histogram for the same `(mechanism, op, phase)` key folded together.
+#[derive(Clone, Debug)]
+pub struct LatencyRow {
+    /// Mechanism label (`"baseline"`, `"fom-ranges"`, …).
+    pub mech: &'static str,
+    /// Which operation.
+    pub op: OpKind,
+    /// Phase the operations completed in.
+    pub phase: &'static str,
+    /// Merged latency distribution in simulated ns.
+    pub hist: Histogram,
+}
+
+/// Merge a figure's per-machine op histograms into one row per
+/// `(mechanism, op, phase)`, sorted by that key. Histogram merging is
+/// commutative, so the result is identical for any machine order —
+/// and therefore for any `--threads` value.
+pub fn latency_rows(trace: &FigureTrace) -> Vec<LatencyRow> {
+    let mut merged: BTreeMap<(&'static str, u8, &'static str), Histogram> = BTreeMap::new();
+    for m in &trace.machines {
+        for row in &m.ops {
+            merged
+                .entry((row.mech, row.op as u8, row.phase))
+                .or_default()
+                .merge(&row.hist);
+        }
+    }
+    merged
+        .into_iter()
+        .map(|((mech, op, phase), hist)| LatencyRow {
+            mech,
+            op: OpKind::ALL[op as usize],
+            phase,
+            hist,
+        })
+        .collect()
 }
 
 /// Check `Σ ledger == clock` for every machine of every figure.
@@ -305,6 +385,36 @@ mod tests {
         assert_eq!((count, ns), (2, 1000));
         assert_eq!(a.by_phase, vec![(INITIAL_PHASE, 2100), ("access", 30)]);
         assert!(a.by_kind.iter().any(|&(k, c, _)| k == CostKind::PteWrite && c == 20));
+    }
+
+    #[test]
+    fn ops_key_by_phase_op_and_mech_and_merge_across_machines() {
+        let mk = |n: u64| {
+            let mut t = MachineTrace::new();
+            t.record_op(OpKind::Mmap, "baseline", 100 * n);
+            t.set_phase("access", 0);
+            t.record_op(OpKind::AccessHit, "baseline", 7);
+            t.record_op(OpKind::AccessFault, "baseline", 9000);
+            t.finish(0)
+        };
+        let a = mk(1);
+        assert_eq!(a.ops.len(), 3);
+        assert_eq!(a.ops[0].phase, INITIAL_PHASE);
+        assert_eq!(a.ops[0].op, OpKind::Mmap);
+        assert_eq!(a.ops[0].mech, "baseline");
+        let trace = FigureTrace { id: "f".into(), machines: vec![mk(1), mk(2)] };
+        let rows = latency_rows(&trace);
+        assert_eq!(rows.len(), 3, "same keys merge");
+        let mmap = rows.iter().find(|r| r.op == OpKind::Mmap).unwrap();
+        assert_eq!(mmap.hist.count(), 2);
+        assert_eq!(mmap.hist.max(), 200);
+        // Merge order never matters: reversing machines is identical.
+        let rev = FigureTrace { id: "f".into(), machines: vec![mk(2), mk(1)] };
+        let rows_rev = latency_rows(&rev);
+        for (x, y) in rows.iter().zip(&rows_rev) {
+            assert_eq!((x.mech, x.op, x.phase), (y.mech, y.op, y.phase));
+            assert_eq!(x.hist, y.hist);
+        }
     }
 
     #[test]

@@ -20,7 +20,12 @@
 //!   single figure-function signature;
 //! * [`export_jsonl`] and [`export_chrome_trace`] serialize collected
 //!   traces deterministically — byte-identical across runs and thread
-//!   counts — for grepping and for `chrome://tracing` / Perfetto.
+//!   counts — for grepping and for `chrome://tracing` / Perfetto;
+//! * every top-level kernel operation additionally records its
+//!   simulated latency into an integer-only, log-bucketed
+//!   [`Histogram`] keyed by `(phase, [`OpKind`], mechanism)`, merged
+//!   per figure by [`latency_rows`] — the tail-latency view
+//!   (`figures --latency`) that means can never show.
 //!
 //! The ledger is strictly opt-in: a machine built while no collector
 //! is installed (and not forced on) carries no ledger at all, records
@@ -30,13 +35,15 @@
 
 mod collect;
 mod export;
+mod hist;
 mod kind;
 mod ledger;
 
 pub use collect::{collector_active, install_collector, submit, take_collector, with_collector};
 pub use export::{export_chrome_trace, export_jsonl, json_escape};
+pub use hist::{Histogram, OpKind};
 pub use kind::{CostKind, Subsystem};
 pub use ledger::{
-    attribute, conservation_errors, Attribution, FigureTrace, MachineReport, MachineTrace,
-    PhaseSpan, TraceRow, INITIAL_PHASE,
+    attribute, conservation_errors, latency_rows, Attribution, FigureTrace, LatencyRow,
+    MachineReport, MachineTrace, OpRow, PhaseSpan, TraceRow, INITIAL_PHASE,
 };

@@ -14,7 +14,7 @@
 //!   pinning — the page-granular features the paper concedes are hard
 //!   to keep under file-only memory.
 
-use o1_hw::CostKind;
+use o1_hw::{CostKind, OpKind};
 use std::collections::HashMap;
 
 use o1_hw::{
@@ -23,6 +23,10 @@ use o1_hw::{
 };
 use o1_memfs::{FileId, Tmpfs};
 use o1_palloc::{BuddyAllocator, FrameSource, PhysExtent};
+
+/// Mechanism label under which this kernel's operation latencies are
+/// recorded in the `o1-obs` ledger.
+const MECH: &str = "baseline";
 
 use crate::page_meta::{PageFlag, PageMetaTable};
 use crate::reclaim::{LruLists, ReclaimPolicy, ScanDecision, SwapDevice, SwapSlot};
@@ -342,6 +346,7 @@ impl BaselineKernel {
     /// # Errors
     /// [`VmError::ProcessLimit`] once the 16-bit ASID space is spent.
     pub fn create_process(&mut self) -> Result<Pid, VmError> {
+        let t0 = self.machine.op_start();
         self.machine.charge_syscall();
         let pid = self.alloc_pid()?;
         let root = self.pt.create_root(&mut self.machine);
@@ -354,12 +359,14 @@ impl BaselineKernel {
                 swapped: HashMap::new(),
             },
         );
+        self.machine.op_end(t0, OpKind::Launch, MECH);
         Ok(pid)
     }
 
     /// Tear down a process: unmap everything (page by page — the
     /// baseline's linear exit cost), free its page tables, drop swap.
     pub fn destroy_process(&mut self, pid: Pid) -> Result<(), VmError> {
+        let t0 = self.machine.op_start();
         self.machine.charge_syscall();
         let regions: Vec<(VirtAddr, u64)> = self
             .proc(pid)?
@@ -376,6 +383,7 @@ impl BaselineKernel {
         }
         self.mmu.flush_asid(&mut self.machine, proc.asid);
         self.pt.release(&mut self.machine, proc.root);
+        self.machine.op_end(t0, OpKind::Teardown, MECH);
         Ok(())
     }
 
@@ -587,6 +595,7 @@ impl BaselineKernel {
         if len == 0 {
             return Err(VmError::BadRange);
         }
+        let t0 = self.machine.op_start();
         self.machine.charge_syscall();
         self.machine.charge_kind(CostKind::MmapFixed);
         self.machine.charge_kind(CostKind::VmaCreate);
@@ -632,17 +641,21 @@ impl BaselineKernel {
                 va += PAGE_SIZE;
             }
         }
+        self.machine.op_end(t0, OpKind::Mmap, MECH);
         Ok(start)
     }
 
     /// `munmap`: remove `[va, va+len)`. Per-page teardown, as on
     /// Linux.
     pub fn munmap(&mut self, pid: Pid, va: VirtAddr, len: u64) -> Result<(), VmError> {
+        let t0 = self.machine.op_start();
         self.machine.charge_syscall();
         if len == 0 || !va.is_aligned(PAGE_SIZE) {
             return Err(VmError::BadRange);
         }
-        self.unmap_region(pid, va, o1_hw::round_up_pages(len))
+        self.unmap_region(pid, va, o1_hw::round_up_pages(len))?;
+        self.machine.op_end(t0, OpKind::Munmap, MECH);
+        Ok(())
     }
 
     fn unmap_region(&mut self, pid: Pid, va: VirtAddr, len: u64) -> Result<(), VmError> {
@@ -1250,20 +1263,53 @@ impl BaselineKernel {
         unreachable!("fault handler did not make progress at {va:?}")
     }
 
+    /// Latency bookkeeping for one access: clock at entry plus the
+    /// fault count, so the op can be classified hit vs fault at exit.
+    /// `None` when untraced, keeping the hot path a single branch.
+    #[inline]
+    fn access_op_start(&self) -> Option<(o1_hw::SimNs, u64)> {
+        if self.machine.traced() {
+            let perf = &self.machine.perf;
+            Some((self.machine.op_start(), perf.minor_faults + perf.major_faults))
+        } else {
+            None
+        }
+    }
+
+    /// Close an access op span: classify by whether [`resolve`] took
+    /// any demand fault and record the latency under the current phase.
+    #[inline]
+    fn access_op_end(&mut self, started: Option<(o1_hw::SimNs, u64)>) {
+        if let Some((t0, faults0)) = started {
+            let perf = &self.machine.perf;
+            let op = if perf.minor_faults + perf.major_faults > faults0 {
+                OpKind::AccessFault
+            } else {
+                OpKind::AccessHit
+            };
+            self.machine.op_end(t0, op, MECH);
+        }
+    }
+
     /// User-level 8-byte load.
     pub fn load(&mut self, pid: Pid, va: VirtAddr) -> Result<u64, VmError> {
+        let op = self.access_op_start();
         let pa = self.resolve(pid, va, Access::Read)?;
         let tier = self.machine.phys.tier(pa.frame());
         self.machine.charge_load(tier);
-        Ok(self.machine.phys.read_u64(pa))
+        let out = self.machine.phys.read_u64(pa);
+        self.access_op_end(op);
+        Ok(out)
     }
 
     /// User-level 8-byte store.
     pub fn store(&mut self, pid: Pid, va: VirtAddr, value: u64) -> Result<(), VmError> {
+        let op = self.access_op_start();
         let pa = self.resolve(pid, va, Access::Write)?;
         let tier = self.machine.phys.tier(pa.frame());
         self.machine.charge_store(tier);
         self.machine.phys.write_u64(pa, value);
+        self.access_op_end(op);
         Ok(())
     }
 

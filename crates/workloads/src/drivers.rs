@@ -108,13 +108,16 @@ pub fn drive_churn<S: MemSys + ?Sized>(
 }
 
 /// Process-launch storm: create `n` processes each with a working set
-/// of `pages` pages fully touched, then destroy them.
+/// of `pages` pages fully touched, then destroy them. The build-up
+/// runs under the `"launch"` phase and the destruction under
+/// `"teardown"`, so a traced run splits the two halves in both the
+/// attribution and the per-op latency views (`figures --latency`).
 pub fn drive_launch_storm<S: MemSys + ?Sized>(
     sys: &mut S,
     n: u32,
     pages: u64,
 ) -> Result<Measurement, VmError> {
-    sys.phase("launch_storm");
+    sys.phase("launch");
     measure(sys, |s| {
         let mut procs = Vec::new();
         for _ in 0..n {
@@ -125,6 +128,7 @@ pub fn drive_launch_storm<S: MemSys + ?Sized>(
             }
             procs.push(pid);
         }
+        s.phase("teardown");
         for pid in procs {
             s.destroy_process(pid)?;
         }

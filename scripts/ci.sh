@@ -3,12 +3,33 @@
 #
 #   scripts/ci.sh           # build + test + figure smoke
 #   scripts/ci.sh --full    # also regenerate every figure (slow)
+#   scripts/ci.sh --gate    # perf gate only: regenerate the suite with
+#                           # --latency and bench-diff it against the
+#                           # committed BENCH_figures.json (exit 1 on
+#                           # any mean/percentile/count regression)
 #
 # The repo builds offline: all external dev-deps resolve to the
 # in-tree shims under crates/shims/, so no network access is needed.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "--gate" ]; then
+    echo "==> perf gate (figures --latency vs committed BENCH_figures.json)"
+    out="$(mktemp -d)"
+    trap 'rm -rf "$out"' EXIT
+    cargo run --release -p o1-bench --bin figures -- \
+        --latency --json "$out/fresh.json" --no-bench >/dev/null
+    # The committed self-profile carries the reference metrics (series
+    # means, latency percentiles, event counts); the simulator is
+    # deterministic, so the budgets are zero: any drift for the worse
+    # is a real behavioural change someone must re-baseline on purpose
+    # (rerun `figures --latency` and commit BENCH_figures.json).
+    cargo run --release -p o1-bench --bin bench-diff -- \
+        BENCH_figures.json "$out/fresh.json"
+    echo "ci.sh: perf gate OK"
+    exit 0
+fi
 
 echo "==> cargo build --release"
 cargo build --release
@@ -26,7 +47,7 @@ cargo run --release -p o1-bench --bin figures -- \
 # schema (cheap sanity; byte-level determinism is enforced by
 # tests/figures_determinism.rs above).
 grep -q '"fig1a"' "$out/fig1a.json"
-grep -q '"schema": "o1mem/bench-figures/v1"' "$out/bench.json"
+grep -q '"schema": "o1mem/bench-figures/v2"' "$out/bench.json"
 
 echo "==> figures trace smoke (--fig fig2 --trace, conservation enforced)"
 # The binary exits nonzero if any machine's ledger fails to account

@@ -4,11 +4,14 @@
 //! oversubscribed thread pool — must serialize to byte-identical
 //! JSONL and Chrome-trace output, every machine ledger must account
 //! for every simulated nanosecond (conservation), and switching
-//! tracing on must never change a single figure byte.
+//! tracing on must never change a single figure byte. The same bar
+//! applies to the tail-latency view: the full-suite `--latency` JSON
+//! (log-bucketed histograms merged across machines) must be
+//! byte-identical at any thread count.
 
-use o1_bench::figures_to_json_pretty;
 use o1_bench::runner::{figure_fn, run_figures, RunnerOptions, ALL_IDS};
-use o1_obs::{conservation_errors, export_chrome_trace, export_jsonl};
+use o1_bench::{figures_to_json_pretty, figures_to_json_pretty_enriched};
+use o1_obs::{conservation_errors, export_chrome_trace, export_jsonl, latency_rows, OpKind};
 
 #[test]
 fn full_suite_traces_conserve_and_are_byte_identical_across_threads() {
@@ -73,6 +76,34 @@ fn full_suite_traces_conserve_and_are_byte_identical_across_threads() {
         figures_to_json_pretty(&par.figures()),
         "thread count never changes figure bytes"
     );
+
+    // The full-suite `--latency` document: merged op histograms are
+    // integer-only and merge order-independently, so the enriched
+    // JSON must be byte-identical too.
+    let lat_seq = figures_to_json_pretty_enriched(&seq.figures(), &ts, false, true);
+    let lat_par = figures_to_json_pretty_enriched(&par.figures(), &tp, false, true);
+    assert!(lat_seq.contains("\"schema_version\": 2,"));
+    assert!(lat_seq.contains("\"latency\": ["));
+    assert_eq!(
+        lat_seq, lat_par,
+        "latency JSON diverged across thread counts"
+    );
+
+    // Sanity on content: the suite exercises both kernels' op paths,
+    // and only the baseline ever demand-faults.
+    let rows: Vec<_> = ts.iter().flat_map(|t| latency_rows(t)).collect();
+    assert!(rows.iter().any(|r| r.mech == "baseline" && r.op == OpKind::AccessFault));
+    assert!(rows.iter().any(|r| r.mech == "baseline" && r.op == OpKind::Mmap));
+    assert!(rows.iter().any(|r| r.mech.starts_with("fom-") && r.op == OpKind::Alloc));
+    assert!(rows.iter().any(|r| r.mech.starts_with("fom-") && r.op == OpKind::AccessHit));
+    assert!(
+        !rows.iter().any(|r| r.mech.starts_with("fom-") && r.op == OpKind::AccessFault),
+        "fom accesses never demand-fault"
+    );
+    for r in &rows {
+        let (p50, _, p99, p999) = r.hist.percentiles();
+        assert!(p50 <= p99 && p99 <= p999 && p999 <= r.hist.max());
+    }
 }
 
 #[test]
