@@ -49,6 +49,10 @@ usage: figures [options]
   --latency           print per-figure tail-latency tables (p50/p90/p99/
                       p999/max per operation and mechanism); with --json,
                       embed a \"latency\" section per figure
+  --no-fastforward    disable run-compressed fast-forward execution and
+                      interpret every access individually (escape hatch;
+                      slower, but emitted bytes never differ — the CI
+                      gate byte-compares the two modes)
   --bench-out <path>  self-profiler output path (default BENCH_figures.json)
   --no-bench          do not write the self-profiler file
   --help              print this help
@@ -67,6 +71,7 @@ struct Cli {
     trace_dir: Option<String>,
     attrib: bool,
     latency: bool,
+    fastforward: bool,
     bench_out: Option<String>,
     write_bench: bool,
 }
@@ -82,6 +87,7 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
         trace_dir: None,
         attrib: false,
         latency: false,
+        fastforward: true,
         bench_out: None,
         write_bench: true,
     };
@@ -131,6 +137,7 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
             "--trace" => cli.trace_dir = Some(value(args, &mut i, "--trace")?),
             "--attrib" => cli.attrib = true,
             "--latency" => cli.latency = true,
+            "--no-fastforward" => cli.fastforward = false,
             "--bench-out" => cli.bench_out = Some(value(args, &mut i, "--bench-out")?),
             "--no-bench" => cli.write_bench = false,
             other => return Err(format!("unknown argument: {other}")),
@@ -303,6 +310,10 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    // Machines snapshot this default at construction, so setting it
+    // before any figure runs covers every kernel the suite builds.
+    o1_hw::set_fastforward_default(cli.fastforward);
 
     let fns: Vec<(&'static str, fn() -> Figure)> = match &cli.want {
         Some(id) => match figure_fn(id) {

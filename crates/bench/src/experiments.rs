@@ -1016,6 +1016,60 @@ pub fn fig_dma() -> Figure {
     fig
 }
 
+/// **Sweep figure** — 64 sequential read sweeps over a fully-resident
+/// region, under the mapping mechanisms that map large regions
+/// coarsely (2 MiB THP on the baseline, huge-page fom page tables,
+/// fom range translations; the 4K-page baseline thrashes the TLB and
+/// is already characterised by fig1b/fig_thp). After the first sweep
+/// warms the TLB/RTLB, every access is a provably uniform translation
+/// hit, so this figure is the showcase for the run-compressed
+/// fast-forward engine: simulated results are byte-identical with
+/// `--no-fastforward`, but host wall-clock collapses by the run
+/// length (an entire 2 MiB page — or the whole region under ranges —
+/// advances in one step).
+pub fn fig_sweep() -> Figure {
+    let mut fig = Figure::new(
+        "fig_sweep",
+        "64 sequential read sweeps over a resident region",
+        "pages",
+        "total ns (64 sweeps)",
+    );
+    const SWEEPS: u32 = 64;
+    let pattern = AccessPattern::Sweep { sweeps: SWEEPS };
+    let mut s_thp = Series::new("baseline THP (aligned 2M, populated)");
+    let mut s_pt = Series::new("fom page tables");
+    let mut s_ranges = Series::new("fom range translations");
+    for pages in [4096u64, 16384, 65536] {
+        let bytes = pages * PAGE_SIZE;
+        {
+            let mut k = BaselineKernel::new(BaselineConfig {
+                dram_bytes: (bytes * 2).max(256 << 20),
+                reclaim: ReclaimPolicy::Clock,
+                low_watermark_frames: 0,
+                swap_enabled: false,
+                thp: ThpMode::Aligned2M,
+                fault_around: 1,
+            });
+            let pid = Pid0::pid(&mut k);
+            let va = MemSys::alloc(&mut k, pid, bytes, true).unwrap();
+            let m = drive_access(&mut k, pid, va, pages, &pattern, 0, false).unwrap();
+            s_thp.push(pages, m.ns as f64);
+        }
+        for (series, mech) in [
+            (&mut s_pt, MapMech::PageTables),
+            (&mut s_ranges, MapMech::Ranges),
+        ] {
+            let mut k = fom(mech, (bytes * 2).max(256 << 20));
+            let pid = k.create_process().unwrap();
+            let (_, va) = k.falloc(pid, bytes, FileClass::Volatile).unwrap();
+            let m = drive_access(&mut k, pid, va, pages, &pattern, 0, false).unwrap();
+            series.push(pages, m.ns as f64);
+        }
+    }
+    fig.series = vec![s_thp, s_pt, s_ranges];
+    fig
+}
+
 /// All figures, in presentation order.
 pub fn all_figures() -> Vec<Figure> {
     vec![
@@ -1038,6 +1092,7 @@ pub fn all_figures() -> Vec<Figure> {
         fig_frag(),
         fig_churn(),
         fig_dma(),
+        fig_sweep(),
     ]
 }
 

@@ -21,7 +21,7 @@ use crate::experiments;
 use crate::Figure;
 
 /// Canonical ids of every figure, in output order.
-pub const ALL_IDS: [&str; 19] = [
+pub const ALL_IDS: [&str; 20] = [
     "fig1a",
     "fig1b",
     "fig2",
@@ -41,6 +41,7 @@ pub const ALL_IDS: [&str; 19] = [
     "fig_frag",
     "fig_churn",
     "fig_dma",
+    "fig_sweep",
 ];
 
 /// Resolve a figure id (canonical name, paper number, or short alias)
@@ -66,6 +67,7 @@ pub fn figure_fn(id: &str) -> Option<(&'static str, fn() -> Figure)> {
         "frag" | "fig_frag" => ("fig_frag", experiments::fig_frag),
         "churn" | "fig_churn" => ("fig_churn", experiments::fig_churn),
         "dma" | "fig_dma" => ("fig_dma", experiments::fig_dma),
+        "sweep" | "fig_sweep" => ("fig_sweep", experiments::fig_sweep),
         _ => return None,
     };
     Some(entry)

@@ -31,6 +31,7 @@ use o1_hw::{
 };
 use o1_memfs::{FileClass, FileId, FsError, Pmfs, RecoveryStats};
 use o1_palloc::PhysExtent;
+use o1_vm::runs::{bulk_memory, AccessRun};
 use o1_vm::{MemSys, Pid, Prot, VmError};
 
 /// Base of the per-process bump region for file mappings.
@@ -1173,6 +1174,131 @@ impl FomKernel {
         Ok(())
     }
 
+    /// Run-compressed span execution: the file-only-memory twin of
+    /// `BaselineKernel::access_span`. Translation-uniform prefixes are
+    /// fast-forwarded through [`Mmu::translate_run`]; everything else
+    /// is interpreted per access, so output is identical either way.
+    pub fn access_span(
+        &mut self,
+        pid: Pid,
+        va: VirtAddr,
+        stride: i64,
+        len: u64,
+        write: bool,
+        first_value: u64,
+    ) -> Result<(), VmError> {
+        let access = if write { Access::Write } else { Access::Read };
+        let mut k = 0u64;
+        while k < len {
+            let a = VirtAddr(va.0.wrapping_add_signed(stride.wrapping_mul(k as i64)));
+            if self.machine.fastforward() && len - k >= 2 {
+                let (root, asid) = {
+                    let p = self.proc(pid)?;
+                    (p.root, p.asid)
+                };
+                let t0 = self.machine.op_start();
+                if let Some((pa, span)) = self.mmu.translate_run(
+                    &mut self.machine,
+                    &mut self.pt,
+                    root,
+                    asid,
+                    a,
+                    stride,
+                    len - k,
+                    access,
+                ) {
+                    bulk_memory(&mut self.machine, pa, stride, span, write, first_value + k);
+                    self.machine
+                        .op_end_n(t0, OpKind::AccessHit, self.mech_str(), span);
+                    k += span;
+                    continue;
+                }
+            }
+            if write {
+                self.store(pid, a, first_value + k)?;
+            } else {
+                self.load(pid, a)?;
+            }
+            k += 1;
+        }
+        Ok(())
+    }
+
+    /// Whole-batch fast-forward for range translations: when *every*
+    /// access of a run batch lands inside one resident range-TLB entry
+    /// (checked via the bounding box of the batch's page indexes, in
+    /// O(runs)), with uniform protection outcome and memory tier, the
+    /// entire batch — arbitrary access order included, e.g. a random
+    /// pattern — is one uniform run: charge `total × (RtlbHit + mem)`
+    /// in O(runs) charge calls. Returns `Ok(None)` without charging or
+    /// mutating anything when the proof fails, and the caller falls
+    /// back to per-run spans.
+    fn try_bulk_runs(
+        &mut self,
+        pid: Pid,
+        base: VirtAddr,
+        runs: &[AccessRun],
+        write: bool,
+        first_value: u64,
+    ) -> Result<Option<u64>, VmError> {
+        let total: u64 = runs.iter().map(|r| r.len).sum();
+        if total < 2 {
+            return Ok(None);
+        }
+        // Bounding box over accessed page indexes.
+        let (mut lo, mut hi) = (u64::MAX, 0u64);
+        for r in runs {
+            let Ok(steps) = i64::try_from(r.len - 1) else {
+                return Ok(None);
+            };
+            let Some(delta) = r.stride.checked_mul(steps) else {
+                return Ok(None);
+            };
+            let last = r.start_page as i64 + delta;
+            if last < 0 {
+                return Ok(None);
+            }
+            let (a, b) = if r.stride >= 0 {
+                (r.start_page, last as u64)
+            } else {
+                (last as u64, r.start_page)
+            };
+            lo = lo.min(a);
+            hi = hi.max(b);
+        }
+        let asid = self.proc(pid)?.asid;
+        let va_lo = base + lo * PAGE_SIZE;
+        let va_hi = base + hi * PAGE_SIZE;
+        let Some(entry) = self.mmu.rtlb.peek(asid, va_lo) else {
+            return Ok(None);
+        };
+        if !entry.covers(va_hi) || (write && !entry.prot.contains(PteFlags::WRITE)) {
+            return Ok(None);
+        }
+        let (pa_lo, pa_hi) = (entry.translate(va_lo), entry.translate(va_hi));
+        if self.machine.phys.tier(pa_lo.frame()) != self.machine.phys.tier(pa_hi.frame()) {
+            return Ok(None);
+        }
+        // Commit: one LRU refresh of the hit entry stands in for
+        // `total` refreshes of the same entry (relative stamp order,
+        // and therefore future evictions, are unchanged).
+        let t0 = self.machine.op_start();
+        let looked = self.mmu.rtlb.lookup(asid, va_lo);
+        debug_assert_eq!(looked, Some(entry));
+        self.machine.perf.rtlb_hits += total;
+        self.machine.charge_opn(CostKind::RtlbHit, total);
+        let mut value = first_value;
+        for r in runs {
+            let pa = entry.translate(base + r.start_page * PAGE_SIZE);
+            let stride_bytes = r.stride.wrapping_mul(PAGE_SIZE as i64);
+            bulk_memory(&mut self.machine, pa, stride_bytes, r.len, write, value);
+            value += r.len;
+        }
+        self.machine
+            .op_end_n(t0, OpKind::AccessHit, self.mech_str(), total);
+        Ok(Some(value))
+    }
+
     /// Bulk write through a mapping (charged per page copy).
     pub fn write_bytes(&mut self, pid: Pid, va: VirtAddr, data: &[u8]) -> Result<(), VmError> {
         let mut off = 0usize;
@@ -1356,17 +1482,41 @@ impl MemSys for FomKernel {
         self.store(pid, va, value)
     }
 
-    fn access_batch(&mut self, pid: Pid, addrs: &[VirtAddr], write: bool) -> Result<(), VmError> {
-        // Same loop as the trait default, but against the inherent
-        // methods: one virtual call per batch, not per access.
-        for (i, &va) in addrs.iter().enumerate() {
-            if write {
-                self.store(pid, va, i as u64)?;
-            } else {
-                self.load(pid, va)?;
+    fn access_span(
+        &mut self,
+        pid: Pid,
+        va: VirtAddr,
+        stride: i64,
+        len: u64,
+        write: bool,
+        first_value: u64,
+    ) -> Result<(), VmError> {
+        self.access_span(pid, va, stride, len, write, first_value)
+    }
+
+    fn access_runs(
+        &mut self,
+        pid: Pid,
+        base: VirtAddr,
+        runs: &[AccessRun],
+        write: bool,
+        first_value: u64,
+    ) -> Result<u64, VmError> {
+        // Range translations can often swallow a whole batch — even a
+        // random one — in one uniformity proof; everything else runs
+        // the per-run engine (same result, proven per prefix).
+        if self.machine.fastforward() && self.mmu.ranges_enabled && !runs.is_empty() {
+            if let Some(value) = self.try_bulk_runs(pid, base, runs, write, first_value)? {
+                return Ok(value);
             }
         }
-        Ok(())
+        let mut value = first_value;
+        for r in runs {
+            let va = base + r.start_page * PAGE_SIZE;
+            self.access_span(pid, va, r.stride.wrapping_mul(PAGE_SIZE as i64), r.len, write, value)?;
+            value += r.len;
+        }
+        Ok(value)
     }
 }
 

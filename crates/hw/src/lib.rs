@@ -38,7 +38,9 @@ pub use addr::{
 };
 pub use cost::CostModel;
 pub use dma::{DmaEngine, DmaMode, DMA_PAGE_NS, IOMMU_FAULT_NS, IOTLB_ENTRIES};
-pub use machine::{Machine, MachineConfig, ObsMode, SimNs};
+pub use machine::{
+    fastforward_default, set_fastforward_default, Machine, MachineConfig, ObsMode, SimNs,
+};
 pub use mmu::{Access, Mmu, Satisfied, TranslateError, Translated, WalkMode};
 pub use o1_obs::{CostKind, OpKind, Subsystem};
 pub use pagetable::{Entry, MapError, PageTables, PtNodeId, PteFlags, Translation};

@@ -19,11 +19,30 @@
 //! disabled the machine carries no ledger, allocates nothing, and
 //! behaves bit-identically.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use o1_obs::{CostKind, MachineTrace, OpKind};
 
 use crate::cost::CostModel;
 use crate::perf::PerfCounters;
 use crate::phys::{MemTier, PhysicalMemory};
+
+/// Process-wide default for the run-compressed fast-forward engine.
+/// Snapshotted into each [`Machine`] at construction, so flipping it
+/// mid-run never changes a live machine's behaviour.
+static FASTFORWARD_DEFAULT: AtomicBool = AtomicBool::new(true);
+
+/// Set the process-wide fast-forward default (what `figures
+/// --no-fastforward` flips before any machine is built). Affects only
+/// machines constructed afterwards.
+pub fn set_fastforward_default(enabled: bool) {
+    FASTFORWARD_DEFAULT.store(enabled, Ordering::SeqCst);
+}
+
+/// Current process-wide fast-forward default.
+pub fn fastforward_default() -> bool {
+    FASTFORWARD_DEFAULT.load(Ordering::SeqCst)
+}
 
 /// A timestamp on the simulated clock, in nanoseconds since boot.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Default, Hash)]
@@ -105,6 +124,10 @@ pub struct Machine {
     cpus: u32,
     /// Cost-attribution ledger; `None` when observability is off.
     trace: Option<Box<MachineTrace>>,
+    /// Whether kernels may fast-forward provably uniform access runs
+    /// on this machine (simulated output is identical either way; the
+    /// flag exists so CI can diff the two execution modes).
+    fastforward: bool,
 }
 
 impl Machine {
@@ -123,7 +146,20 @@ impl Machine {
             clock_ns: 0,
             cpus: config.cpus,
             trace: traced.then(|| Box::new(MachineTrace::new())),
+            fastforward: fastforward_default(),
         }
+    }
+
+    /// Whether fast-forwarding uniform access runs is allowed here.
+    #[inline]
+    pub fn fastforward(&self) -> bool {
+        self.fastforward
+    }
+
+    /// Enable or disable fast-forwarding on this machine only (tests
+    /// compare the two modes without touching the process default).
+    pub fn set_fastforward(&mut self, enabled: bool) {
+        self.fastforward = enabled;
     }
 
     /// Build a machine with the given memory geometry and cost model.
@@ -245,6 +281,24 @@ impl Machine {
     pub fn op_end(&mut self, started: SimNs, op: OpKind, mech: &'static str) {
         if let Some(trace) = self.trace.as_mut() {
             trace.record_op(op, mech, self.clock_ns - started.0);
+        }
+    }
+
+    /// Record `count` identical completed operations that together
+    /// span `started`..now — the fast-forward path's latency record.
+    /// Each op is logged at `total / count` ns, which must divide
+    /// exactly (a uniform run charges `count` identical per-access
+    /// costs, so it does by construction). No clock effect; a no-op
+    /// without a ledger.
+    #[inline]
+    pub fn op_end_n(&mut self, started: SimNs, op: OpKind, mech: &'static str, count: u64) {
+        if count == 0 {
+            return;
+        }
+        if let Some(trace) = self.trace.as_mut() {
+            let total = self.clock_ns - started.0;
+            debug_assert_eq!(total % count, 0, "fast-forwarded run must be uniform");
+            trace.record_op_n(op, mech, total / count, count);
         }
     }
 

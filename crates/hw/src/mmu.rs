@@ -268,6 +268,98 @@ impl Mmu {
         }
     }
 
+    /// Fast-forward probe + commit: try to prove that the next `len`
+    /// accesses of an arithmetic run (`va`, `va + stride`, …, byte
+    /// stride) are *uniform* — every one hits the same resident
+    /// range-TLB entry or the same resident page-TLB entry, with the
+    /// same protection outcome and the same memory tier — and, if at
+    /// least 2 qualify, charge them all in one step.
+    ///
+    /// On success returns `(translation of va, span)` where `span ≥ 2`
+    /// is how many leading accesses were charged: `span ×` the exact
+    /// per-access hit cost (`RtlbHit` or `TlbHit`), the matching
+    /// hit/miss counters bumped by `span`, one LRU refresh of the hit
+    /// entry (relative stamp order — and therefore every future
+    /// eviction — is identical to `span` refreshes of the same entry),
+    /// and for page-TLB writes the single idempotent A/D update the
+    /// interpreter would redo per access. The caller still owes the
+    /// per-access memory charge for each of the `span` accesses.
+    ///
+    /// Returns `None` — charging nothing and mutating nothing — when
+    /// the run cannot be proven uniform (TLB miss, protection fault,
+    /// tier boundary, entry boundary): the caller falls back to the
+    /// per-access interpreter for at least one access.
+    #[allow(clippy::too_many_arguments)] // mirrors `translate`
+    pub fn translate_run(
+        &mut self,
+        m: &mut Machine,
+        pt: &mut PageTables,
+        root: PtNodeId,
+        asid: Asid,
+        va: VirtAddr,
+        stride: i64,
+        len: u64,
+        access: Access,
+    ) -> Option<(PhysAddr, u64)> {
+        if len < 2 {
+            return None;
+        }
+        // Range-TLB-resident span (only reachable when the extension
+        // is enabled; a resident entry always wins over the page TLB,
+        // exactly as in `translate`).
+        if self.ranges_enabled {
+            if let Some(entry) = self.rtlb.peek(asid, va) {
+                check_prot(entry.prot, access).ok()?;
+                let span = span_within(va.0, stride, len, entry.base.0, entry.limit.0);
+                if span < 2 {
+                    return None;
+                }
+                let pa0 = entry.translate(va);
+                let pa_last = run_end(pa0, stride, span)?;
+                if m.phys.tier(pa0.frame()) != m.phys.tier(pa_last.frame()) {
+                    return None;
+                }
+                // Commit. One real lookup refreshes the entry's LRU
+                // stamp to the newest tick, as `span` hits would.
+                let looked = self.rtlb.lookup(asid, va);
+                debug_assert_eq!(looked, Some(entry));
+                m.perf.rtlb_hits += span;
+                m.charge_opn(CostKind::RtlbHit, span);
+                return Some((pa0, span));
+            }
+            // Every fast-forwarded page-TLB hit below would first miss
+            // the range TLB, which costs nothing but is counted.
+        }
+        // Page-TLB-resident span, confined to one mapping region.
+        let (frame, size, flags) = self.tlb.peek(asid, va)?;
+        check_prot(flags, access).ok()?;
+        let region = va.align_down(size.bytes()).0;
+        let span = span_within(va.0, stride, len, region, region + size.bytes());
+        if span < 2 {
+            return None;
+        }
+        let pa0 = PhysAddr(frame.base().0 + (va.0 & (size.bytes() - 1)));
+        let pa_last = run_end(pa0, stride, span)?;
+        if m.phys.tier(pa0.frame()) != m.phys.tier(pa_last.frame()) {
+            return None;
+        }
+        // Commit.
+        let looked = self.tlb.lookup(asid, va);
+        debug_assert!(looked.is_some());
+        if self.ranges_enabled {
+            m.perf.rtlb_misses += span;
+        }
+        m.perf.tlb_hits += span;
+        m.charge_opn(CostKind::TlbHit, span);
+        if access == Access::Write {
+            // The interpreter re-marks A/D on every write through the
+            // TLB entry; the update is idempotent and free, so once
+            // per run is the identical outcome.
+            pt.mark_accessed(root, va, true);
+        }
+        Some((pa0, span))
+    }
+
     /// Hardware page walk through the software page-walk cache.
     ///
     /// Returns the same [`Translation`] the raw [`PageTables::walk`]
@@ -354,6 +446,29 @@ impl Mmu {
         self.tlb.flush_asid(asid);
         self.rtlb.flush_asid(asid);
     }
+}
+
+/// How many leading accesses of the arithmetic run `va, va+stride, …`
+/// (at most `len`) stay inside `[lo, hi)`. `va` itself must be inside.
+fn span_within(va: u64, stride: i64, len: u64, lo: u64, hi: u64) -> u64 {
+    debug_assert!(lo <= va && va < hi);
+    if stride == 0 {
+        return len;
+    }
+    let steps = if stride > 0 {
+        (hi - 1 - va) / stride.unsigned_abs()
+    } else {
+        (va - lo) / stride.unsigned_abs()
+    };
+    steps.saturating_add(1).min(len)
+}
+
+/// Address of the run's last access: `start + stride·(span−1)`, or
+/// `None` if the offset arithmetic would overflow (no such run can be
+/// uniform, so the caller just falls back).
+fn run_end(start: PhysAddr, stride: i64, span: u64) -> Option<PhysAddr> {
+    let delta = stride.checked_mul(i64::try_from(span - 1).ok()?)?;
+    Some(PhysAddr(start.0.wrapping_add_signed(delta)))
 }
 
 fn check_prot(flags: PteFlags, access: Access) -> Result<(), TranslateError> {
@@ -654,6 +769,176 @@ mod tests {
         f.mmu.flush_asid(&mut f.m, A);
         assert_eq!(f.mmu.tlb.occupancy(), 0);
         assert_eq!(f.mmu.rtlb.occupancy(), 0);
+    }
+
+    #[test]
+    fn fast_forward_page_tlb_matches_interpreter() {
+        let mut interp = fix(false);
+        let mut ff = fix(false);
+        let va = VirtAddr(0x10_0000);
+        for f in [&mut interp, &mut ff] {
+            f.pt.map(
+                &mut f.m,
+                f.root,
+                va,
+                FrameNo(77),
+                PageSize::Base,
+                PteFlags::user_rw(),
+            )
+            .unwrap();
+            // Warm the TLB (a cold entry can never fast-forward).
+            f.mmu
+                .translate(&mut f.m, &mut f.pt, f.root, &f.rt, A, va, Access::Write)
+                .unwrap();
+        }
+        let n = 100u64;
+        for k in 0..n {
+            interp
+                .mmu
+                .translate(
+                    &mut interp.m,
+                    &mut interp.pt,
+                    interp.root,
+                    &interp.rt,
+                    A,
+                    va + k * 8,
+                    Access::Write,
+                )
+                .unwrap();
+        }
+        let (pa, span) = ff
+            .mmu
+            .translate_run(&mut ff.m, &mut ff.pt, ff.root, A, va, 8, n, Access::Write)
+            .unwrap();
+        assert_eq!(span, n, "whole run fits the one base page");
+        assert_eq!(pa, PhysAddr(77 * PAGE_SIZE));
+        assert_eq!(ff.m.now(), interp.m.now(), "identical simulated cost");
+        assert_eq!(ff.m.perf.tlb_hits, interp.m.perf.tlb_hits);
+        assert_eq!(ff.m.perf.tlb_misses, interp.m.perf.tlb_misses);
+        assert_eq!(ff.m.perf.page_walks, interp.m.perf.page_walks);
+        // DIRTY set exactly as the interpreter's writes left it.
+        assert_eq!(
+            ff.pt.lookup(ff.root, va).unwrap().flags,
+            interp.pt.lookup(interp.root, va).unwrap().flags
+        );
+    }
+
+    #[test]
+    fn fast_forward_range_matches_interpreter() {
+        let mut interp = fix(true);
+        let mut ff = fix(true);
+        let base = VirtAddr(0x100_0000);
+        for f in [&mut interp, &mut ff] {
+            f.rt.insert(RangeEntry::new(
+                base,
+                1 << 20,
+                PhysAddr(0x40_0000),
+                PteFlags::user_rw(),
+            ))
+            .unwrap();
+            f.mmu
+                .translate(&mut f.m, &mut f.pt, f.root, &f.rt, A, base, Access::Read)
+                .unwrap();
+        }
+        let n = 200u64;
+        let stride = PAGE_SIZE as i64;
+        for k in 1..=n {
+            interp
+                .mmu
+                .translate(
+                    &mut interp.m,
+                    &mut interp.pt,
+                    interp.root,
+                    &interp.rt,
+                    A,
+                    base + k * PAGE_SIZE,
+                    Access::Read,
+                )
+                .unwrap();
+        }
+        let (pa, span) = ff
+            .mmu
+            .translate_run(
+                &mut ff.m,
+                &mut ff.pt,
+                ff.root,
+                A,
+                base + PAGE_SIZE,
+                stride,
+                n,
+                Access::Read,
+            )
+            .unwrap();
+        assert_eq!(span, n, "megabyte entry covers the whole run");
+        assert_eq!(pa, PhysAddr(0x40_0000 + PAGE_SIZE));
+        assert_eq!(ff.m.now(), interp.m.now());
+        assert_eq!(ff.m.perf.rtlb_hits, interp.m.perf.rtlb_hits);
+        assert_eq!(ff.m.perf.rtlb_misses, interp.m.perf.rtlb_misses);
+    }
+
+    #[test]
+    fn fast_forward_refuses_what_it_cannot_prove() {
+        let mut f = fix(false);
+        let va = VirtAddr(0x10_0000);
+        // Cold TLB: nothing resident, no fast-forward.
+        assert!(f
+            .mmu
+            .translate_run(&mut f.m, &mut f.pt, f.root, A, va, 8, 10, Access::Read)
+            .is_none());
+        f.pt.map(
+            &mut f.m,
+            f.root,
+            va,
+            FrameNo(7),
+            PageSize::Base,
+            PteFlags::user_ro(),
+        )
+        .unwrap();
+        f.mmu
+            .translate(&mut f.m, &mut f.pt, f.root, &f.rt, A, va, Access::Read)
+            .unwrap();
+        let t0 = f.m.now();
+        // Write through a read-only entry: protection is not uniform-ok.
+        assert!(f
+            .mmu
+            .translate_run(&mut f.m, &mut f.pt, f.root, A, va, 8, 10, Access::Write)
+            .is_none());
+        // Page-crossing stride: only the in-page prefix fast-forwards.
+        let (_, span) = f
+            .mmu
+            .translate_run(
+                &mut f.m,
+                &mut f.pt,
+                f.root,
+                A,
+                va,
+                (PAGE_SIZE / 2) as i64,
+                10,
+                Access::Read,
+            )
+            .unwrap();
+        assert_eq!(span, 2, "third access leaves the page");
+        // A single-access remainder is not worth a fast-forward.
+        assert!(f
+            .mmu
+            .translate_run(&mut f.m, &mut f.pt, f.root, A, va, 8, 1, Access::Read)
+            .is_none());
+        // Refusals charge nothing (the successful span charged 2 hits).
+        assert_eq!(f.m.now().since(t0), 2 * f.m.cost.tlb_hit);
+    }
+
+    #[test]
+    fn span_within_clips_at_bounds() {
+        // Forward stride inside [0, 100): from 10 by 30 → 10, 40, 70.
+        assert_eq!(span_within(10, 30, 100, 0, 100), 3);
+        // Backward stride: 70, 40, 10 then out.
+        assert_eq!(span_within(70, -30, 100, 0, 100), 3);
+        // Zero stride never leaves.
+        assert_eq!(span_within(50, 0, 1000, 0, 100), 1000);
+        // Len caps the span.
+        assert_eq!(span_within(0, 1, 5, 0, 100), 5);
+        // Exactly at the upper edge.
+        assert_eq!(span_within(99, 1, 10, 0, 100), 1);
     }
 
     #[test]

@@ -228,6 +228,16 @@ impl RangeTlb {
             })
     }
 
+    /// Non-mutating probe: would [`lookup`](Self::lookup) hit, and
+    /// with what entry? Refreshes no LRU stamp, so fast-forward
+    /// uniformity checks are free of side effects.
+    pub fn peek(&self, asid: Asid, va: VirtAddr) -> Option<RangeEntry> {
+        self.slots
+            .iter()
+            .find(|s| s.asid == asid && s.entry.covers(va))
+            .map(|s| s.entry)
+    }
+
     /// Insert an entry, evicting LRU when full.
     pub fn insert(&mut self, asid: Asid, entry: RangeEntry) {
         self.tick += 1;

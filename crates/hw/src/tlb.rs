@@ -170,6 +170,22 @@ impl Tlb {
         None
     }
 
+    /// Non-mutating probe: would [`lookup`](Self::lookup) hit, and
+    /// with what? Probes the same size order but refreshes no LRU
+    /// stamp and touches no accelerator state, so the uniformity check
+    /// of a fast-forwarded run is free of side effects.
+    pub fn peek(&self, asid: Asid, va: VirtAddr) -> Option<(FrameNo, PageSize, PteFlags)> {
+        for size in [PageSize::Base, PageSize::Huge2M, PageSize::Huge1G] {
+            let vpn = Self::region_vpn(va, size);
+            if let Some(&(set, way)) = self.index.get(&(asid, vpn, size)) {
+                let e = &self.sets[set as usize][way as usize];
+                debug_assert!(e.asid == asid && e.vpn == vpn && e.size == size);
+                return Some((e.frame, e.size, e.flags));
+            }
+        }
+        None
+    }
+
     /// Insert a translation, evicting the LRU way of the set if full.
     pub fn insert(
         &mut self,

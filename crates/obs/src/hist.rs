@@ -131,6 +131,26 @@ impl Histogram {
         self.max = self.max.max(v);
     }
 
+    /// Record `n` identical values in O(1): exactly equivalent to
+    /// calling [`record`](Self::record) `n` times — same bucket
+    /// vector, count, sum and max — which is what lets run-compressed
+    /// execution keep histograms byte-identical to the per-access
+    /// interpreter.
+    #[inline]
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let b = bucket_of(v);
+        if b >= self.counts.len() {
+            self.counts.resize(b + 1, 0);
+        }
+        self.counts[b] += n;
+        self.count += n;
+        self.sum += v * n;
+        self.max = self.max.max(v);
+    }
+
     /// Values recorded.
     pub fn count(&self) -> u64 {
         self.count
@@ -260,6 +280,23 @@ mod tests {
         }
         a.merge(&b);
         assert_eq!(a, all);
+    }
+
+    #[test]
+    fn record_n_equals_n_records() {
+        for v in [0u64, 1, 7, 700, 40_000, 1 << 40] {
+            for n in [0u64, 1, 3, 1000] {
+                let mut bulk = Histogram::new();
+                bulk.record(5); // nonempty prefix, exercises resize paths
+                bulk.record_n(v, n);
+                let mut looped = Histogram::new();
+                looped.record(5);
+                for _ in 0..n {
+                    looped.record(v);
+                }
+                assert_eq!(bulk, looped, "v={v} n={n}");
+            }
+        }
     }
 
     #[test]

@@ -5,8 +5,9 @@
 //! and the file-only-memory kernel and differs only in what the two
 //! designs charge.
 
-use o1_hw::{Machine, PerfSnapshot, VirtAddr};
+use o1_hw::{Machine, PerfSnapshot, VirtAddr, PAGE_SIZE};
 
+use crate::runs::AccessRun;
 use crate::types::{Pid, VmError};
 
 /// A memory-management system under test.
@@ -59,20 +60,85 @@ pub trait MemSys {
     /// 8-byte store at `va`.
     fn store(&mut self, pid: Pid, va: VirtAddr, value: u64) -> Result<(), VmError>;
 
+    /// Drive `len` accesses at `va, va+stride, …` (byte stride): at
+    /// access `k`, a [`store`](Self::store) of `first_value + k` when
+    /// `write`, else a [`load`](Self::load). This per-access loop is
+    /// the *semantics of record*; kernels override it with the
+    /// run-compressed fast-forward engine, which is proven to produce
+    /// identical charges, counters and data.
+    fn access_span(
+        &mut self,
+        pid: Pid,
+        va: VirtAddr,
+        stride: i64,
+        len: u64,
+        write: bool,
+        first_value: u64,
+    ) -> Result<(), VmError> {
+        for k in 0..len {
+            let a = VirtAddr(va.0.wrapping_add_signed(stride.wrapping_mul(k as i64)));
+            if write {
+                self.store(pid, a, first_value + k)?;
+            } else {
+                self.load(pid, a)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Drive a run-length-encoded access sequence against the region
+    /// based at `base`: each [`AccessRun`] expands to `len` accesses
+    /// at `base + page·PAGE_SIZE`, stores writing a running sequence
+    /// value starting at `first_value`. Returns the value counter
+    /// after the last access, so chunked callers can stream runs
+    /// without materialising the sequence. Routed through
+    /// [`access_span`](Self::access_span), which kernels override
+    /// with the fast-forward engine.
+    fn access_runs(
+        &mut self,
+        pid: Pid,
+        base: VirtAddr,
+        runs: &[AccessRun],
+        write: bool,
+        first_value: u64,
+    ) -> Result<u64, VmError> {
+        let mut value = first_value;
+        for r in runs {
+            let va = base + r.start_page * PAGE_SIZE;
+            self.access_span(pid, va, r.stride.wrapping_mul(PAGE_SIZE as i64), r.len, write, value)?;
+            value += r.len;
+        }
+        Ok(value)
+    }
+
     /// Drive a whole access sequence in one call: for each address,
     /// a [`store`](Self::store) of its sequence index when `write`,
     /// else a [`load`](Self::load). Semantically identical to the
-    /// per-element loop (same order, same values, same charges) — the
-    /// batch exists so drivers cross the `dyn MemSys` boundary once
-    /// per sequence instead of once per access; kernels override it
-    /// with a statically dispatched inner loop.
+    /// per-element loop (same order, same values, same charges). The
+    /// addresses are greedily run-length encoded on the fly and fed
+    /// to [`access_span`](Self::access_span), so every implementor —
+    /// trait default and kernel overrides alike — shares one loop and
+    /// kernels get their fast-forward engine for free.
     fn access_batch(&mut self, pid: Pid, addrs: &[VirtAddr], write: bool) -> Result<(), VmError> {
-        for (i, &va) in addrs.iter().enumerate() {
-            if write {
-                self.store(pid, va, i as u64)?;
-            } else {
-                self.load(pid, va)?;
+        let mut i = 0usize;
+        while i < addrs.len() {
+            let start = addrs[i];
+            let mut stride = 0i64;
+            let mut len = 1u64;
+            if i + 1 < addrs.len() {
+                stride = addrs[i + 1].0.wrapping_sub(start.0) as i64;
+                len = 2;
+                while i + (len as usize) < addrs.len()
+                    && addrs[i + len as usize]
+                        .0
+                        .wrapping_sub(addrs[i + len as usize - 1].0) as i64
+                        == stride
+                {
+                    len += 1;
+                }
             }
+            self.access_span(pid, start, stride, len, write, i as u64)?;
+            i += len as usize;
         }
         Ok(())
     }
@@ -126,17 +192,16 @@ impl MemSys for crate::kernel::BaselineKernel {
         self.store(pid, va, value)
     }
 
-    fn access_batch(&mut self, pid: Pid, addrs: &[VirtAddr], write: bool) -> Result<(), VmError> {
-        // Same loop as the trait default, but against the inherent
-        // methods: one virtual call per batch, not per access.
-        for (i, &va) in addrs.iter().enumerate() {
-            if write {
-                self.store(pid, va, i as u64)?;
-            } else {
-                self.load(pid, va)?;
-            }
-        }
-        Ok(())
+    fn access_span(
+        &mut self,
+        pid: Pid,
+        va: VirtAddr,
+        stride: i64,
+        len: u64,
+        write: bool,
+        first_value: u64,
+    ) -> Result<(), VmError> {
+        self.access_span(pid, va, stride, len, write, first_value)
     }
 }
 

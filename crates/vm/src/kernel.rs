@@ -1313,6 +1313,71 @@ impl BaselineKernel {
         Ok(())
     }
 
+    /// Run-compressed span execution: `len` accesses at `va`,
+    /// `va + stride`, … (byte stride), stores writing `first_value + k`
+    /// at access `k`. Translation-uniform prefixes are fast-forwarded
+    /// — the MMU proves every access in the prefix hits the same
+    /// resident TLB entry with the same outcome
+    /// ([`Mmu::translate_run`]), the whole prefix is charged in O(1)
+    /// charge calls, and only data stores run per element. Anything it
+    /// cannot prove (cold TLB, faults, boundaries) is interpreted one
+    /// access at a time through [`load`](Self::load) /
+    /// [`store`](Self::store), so simulated clock, counters, ledger
+    /// and memory contents are identical to the plain loop.
+    pub fn access_span(
+        &mut self,
+        pid: Pid,
+        va: VirtAddr,
+        stride: i64,
+        len: u64,
+        write: bool,
+        first_value: u64,
+    ) -> Result<(), VmError> {
+        let access = if write { Access::Write } else { Access::Read };
+        let mut k = 0u64;
+        while k < len {
+            let a = VirtAddr(va.0.wrapping_add_signed(stride.wrapping_mul(k as i64)));
+            if self.machine.fastforward() && len - k >= 2 {
+                let (root, asid) = {
+                    let p = self.proc(pid)?;
+                    (p.root, p.asid)
+                };
+                let t0 = self.machine.op_start();
+                if let Some((pa, span)) = self.mmu.translate_run(
+                    &mut self.machine,
+                    &mut self.pt,
+                    root,
+                    asid,
+                    a,
+                    stride,
+                    len - k,
+                    access,
+                ) {
+                    crate::runs::bulk_memory(
+                        &mut self.machine,
+                        pa,
+                        stride,
+                        span,
+                        write,
+                        first_value + k,
+                    );
+                    // Every access in the span hit — `span` AccessHit
+                    // latencies, each of the identical per-access cost.
+                    self.machine.op_end_n(t0, OpKind::AccessHit, MECH, span);
+                    k += span;
+                    continue;
+                }
+            }
+            if write {
+                self.store(pid, a, first_value + k)?;
+            } else {
+                self.load(pid, a)?;
+            }
+            k += 1;
+        }
+        Ok(())
+    }
+
     // ---- file I/O syscalls ---------------------------------------------------
 
     /// `read()`-style syscall: copy `buf.len()` bytes from a tmpfs

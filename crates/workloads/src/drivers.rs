@@ -2,7 +2,7 @@
 //! simulated time plus the perf-counter delta.
 
 use o1_hw::{PerfCounters, VirtAddr, PAGE_SIZE};
-use o1_vm::{MemSys, Pid, VmError};
+use o1_vm::{AccessRun, MemSys, Pid, VmError};
 
 use crate::patterns::AccessPattern;
 
@@ -65,17 +65,28 @@ pub fn drive_access<S: MemSys + ?Sized>(
     seed: u64,
     write: bool,
 ) -> Result<Measurement, VmError> {
-    // Materialize the address sequence once and hand it to the kernel
-    // as a single batch: identical accesses in identical order (the
-    // batched store value is the sequence index, as the old per-call
-    // loop charged), but the `dyn MemSys` boundary is crossed once.
-    let addrs: Vec<VirtAddr> = pattern
-        .generate(pages, seed)
-        .iter()
-        .map(|page| va + page * PAGE_SIZE)
-        .collect();
+    // Stream the pattern as run-length-encoded chunks instead of
+    // materialising a Vec<VirtAddr>: identical accesses in identical
+    // order (store values are the sequence index, threaded across
+    // chunks by `access_runs`), but peak memory is O(RUN_CHUNK)
+    // regardless of access count, and uniform runs fast-forward.
+    const RUN_CHUNK: usize = 1024;
     sys.phase("access");
-    measure(sys, |s| s.access_batch(pid, &addrs, write))
+    measure(sys, |s| {
+        let mut buf: Vec<AccessRun> = Vec::with_capacity(RUN_CHUNK);
+        let mut value = 0u64;
+        for run in pattern.runs(pages, seed) {
+            buf.push(run);
+            if buf.len() == RUN_CHUNK {
+                value = s.access_runs(pid, va, &buf, write, value)?;
+                buf.clear();
+            }
+        }
+        if !buf.is_empty() {
+            s.access_runs(pid, va, &buf, write, value)?;
+        }
+        Ok(())
+    })
 }
 
 /// Allocation/free churn: `rounds` of allocating `live_regions`
@@ -94,9 +105,14 @@ pub fn drive_churn<S: MemSys + ?Sized>(
             let mut regions = Vec::new();
             for _ in 0..live_regions {
                 let va = s.alloc(pid, pages * PAGE_SIZE, false)?;
-                for p in 0..pages {
-                    s.store(pid, va + p * PAGE_SIZE, p)?;
-                }
+                // One sequential write run per region: page p gets
+                // value p, exactly as the old per-page store loop.
+                let touch = [AccessRun {
+                    start_page: 0,
+                    stride: 1,
+                    len: pages,
+                }];
+                s.access_runs(pid, va, &touch, true, 0)?;
                 regions.push(va);
             }
             for va in regions {
@@ -123,9 +139,16 @@ pub fn drive_launch_storm<S: MemSys + ?Sized>(
         for _ in 0..n {
             let pid = s.create_process()?;
             let va = s.alloc(pid, pages * PAGE_SIZE, true)?;
-            for p in (0..pages).step_by(8) {
-                s.store(pid, va + p * PAGE_SIZE, p)?;
-            }
+            // Touch every 8th page as one stride-8 run. The stored
+            // values become the run index k instead of the page index
+            // 8k; nothing ever reads them back, and the charges and
+            // counters are identical to the old per-page store loop.
+            let touch = [AccessRun {
+                start_page: 0,
+                stride: 8,
+                len: pages.div_ceil(8),
+            }];
+            s.access_runs(pid, va, &touch, true, 0)?;
             procs.push(pid);
         }
         s.phase("teardown");

@@ -6,6 +6,7 @@
 //! the motivation section's "sparse access to large data sets" is
 //! [`AccessPattern::Zipf`] or [`AccessPattern::RandomUniform`].
 
+use o1_vm::AccessRun;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -97,6 +98,69 @@ impl AccessPattern {
         }
     }
 
+    /// Stream the page-index sequence of [`generate`](Self::generate)
+    /// as run-length-encoded [`AccessRun`] chunks — the same accesses
+    /// in the same order (concatenating the runs reproduces
+    /// `generate` exactly; see the equivalence tests), but in O(1)
+    /// peak memory regardless of access count. Sequential patterns
+    /// compress analytically (`OnePerPage` is a single run, `Sweep`
+    /// one run per pass, `Strided` one run per wrap-around); random
+    /// patterns stream through a greedy arithmetic run-length encoder
+    /// that still collapses repeats and local sequential stretches.
+    pub fn runs(&self, pages: u64, seed: u64) -> Box<dyn Iterator<Item = AccessRun>> {
+        assert!(pages > 0, "empty region");
+        match *self {
+            AccessPattern::OnePerPage => Box::new(std::iter::once(AccessRun {
+                start_page: 0,
+                stride: 1,
+                len: pages,
+            })),
+            AccessPattern::Sweep { sweeps } => {
+                Box::new((0..u64::from(sweeps)).map(move |_| AccessRun {
+                    start_page: 0,
+                    stride: 1,
+                    len: pages,
+                }))
+            }
+            AccessPattern::Strided { stride, count } => {
+                assert!(stride > 0, "zero stride");
+                Box::new(StridedRuns {
+                    pages,
+                    eff: stride % pages,
+                    cur: 0,
+                    remaining: count,
+                })
+            }
+            AccessPattern::RandomUniform { count } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                Box::new(Rle::new(
+                    (0..count).map(move |_| rng.random_range(0..pages)),
+                ))
+            }
+            AccessPattern::Zipf { count, theta } => {
+                let z = Zipf::new(pages, theta);
+                let mut rng = StdRng::seed_from_u64(seed);
+                Box::new(Rle::new((0..count).map(move |_| z.sample(&mut rng))))
+            }
+            AccessPattern::HotCold {
+                count,
+                hot_pct,
+                hot_fraction_pct,
+            } => {
+                assert!(hot_pct <= 100 && (1..=100).contains(&hot_fraction_pct));
+                let hot_pages = (pages * u64::from(hot_fraction_pct) / 100).max(1);
+                let mut rng = StdRng::seed_from_u64(seed);
+                Box::new(Rle::new((0..count).map(move |_| {
+                    if rng.random_range(0..100u32) < hot_pct {
+                        rng.random_range(0..hot_pages)
+                    } else {
+                        rng.random_range(0..pages)
+                    }
+                })))
+            }
+        }
+    }
+
     /// Number of accesses this pattern performs on a region of
     /// `pages` pages.
     pub fn access_count(&self, pages: u64) -> u64 {
@@ -108,6 +172,86 @@ impl AccessPattern {
             | AccessPattern::Strided { count, .. }
             | AccessPattern::HotCold { count, .. } => count,
         }
+    }
+}
+
+/// Analytic runs for `Strided`: the sequence `(i·stride) mod pages`
+/// advances by `eff = stride mod pages` until it would cross `pages`,
+/// so each maximal non-wrapping prefix is one arithmetic run. `eff == 0`
+/// degenerates to a single stride-0 run on page 0.
+struct StridedRuns {
+    pages: u64,
+    eff: u64,
+    cur: u64,
+    remaining: u64,
+}
+
+impl Iterator for StridedRuns {
+    type Item = AccessRun;
+
+    fn next(&mut self) -> Option<AccessRun> {
+        if self.remaining == 0 {
+            return None;
+        }
+        if self.eff == 0 {
+            let run = AccessRun {
+                start_page: self.cur,
+                stride: 0,
+                len: self.remaining,
+            };
+            self.remaining = 0;
+            return Some(run);
+        }
+        let len = (self.pages - self.cur).div_ceil(self.eff).min(self.remaining);
+        let run = AccessRun {
+            start_page: self.cur,
+            stride: self.eff as i64,
+            len,
+        };
+        self.cur = (self.cur + len * self.eff) % self.pages;
+        self.remaining -= len;
+        Some(run)
+    }
+}
+
+/// Greedy streaming arithmetic run-length encoder: fixes the stride at
+/// the second element of each run and extends while consecutive
+/// differences match, holding back at most one look-ahead element.
+/// Concatenating the emitted runs reproduces the input exactly.
+struct Rle<I: Iterator<Item = u64>> {
+    inner: I,
+    carry: Option<u64>,
+}
+
+impl<I: Iterator<Item = u64>> Rle<I> {
+    fn new(inner: I) -> Self {
+        Rle { inner, carry: None }
+    }
+}
+
+impl<I: Iterator<Item = u64>> Iterator for Rle<I> {
+    type Item = AccessRun;
+
+    fn next(&mut self) -> Option<AccessRun> {
+        let first = self.carry.take().or_else(|| self.inner.next())?;
+        let mut run = AccessRun {
+            start_page: first,
+            stride: 0,
+            len: 1,
+        };
+        let mut last = first;
+        for e in self.inner.by_ref() {
+            let diff = (e as i64).wrapping_sub(last as i64);
+            if run.len == 1 {
+                run.stride = diff;
+            } else if diff != run.stride {
+                self.carry = Some(e);
+                break;
+            }
+            last = e;
+            run.len += 1;
+        }
+        Some(run)
     }
 }
 
@@ -186,5 +330,88 @@ mod tests {
             AccessPattern::RandomUniform { count: 7 }.access_count(10),
             7
         );
+    }
+
+    fn all_variants() -> Vec<AccessPattern> {
+        vec![
+            AccessPattern::OnePerPage,
+            AccessPattern::Sweep { sweeps: 3 },
+            AccessPattern::RandomUniform { count: 2000 },
+            AccessPattern::Zipf {
+                count: 2000,
+                theta: 0.9,
+            },
+            AccessPattern::Strided {
+                stride: 7,
+                count: 500,
+            },
+            AccessPattern::Strided {
+                stride: 100,
+                count: 500,
+            },
+            AccessPattern::Strided {
+                stride: 1,
+                count: 137,
+            },
+            // stride ≡ 0 (mod pages): every access hits page 0.
+            AccessPattern::Strided {
+                stride: 100,
+                count: 64,
+            },
+            AccessPattern::HotCold {
+                count: 2000,
+                hot_pct: 90,
+                hot_fraction_pct: 10,
+            },
+        ]
+    }
+
+    #[test]
+    fn runs_concatenated_equal_generate_for_every_variant() {
+        for pattern in all_variants() {
+            for pages in [1u64, 50, 100] {
+                for seed in [0u64, 7, 12345] {
+                    let expect = pattern.generate(pages, seed);
+                    let mut got = Vec::with_capacity(expect.len());
+                    for r in pattern.runs(pages, seed) {
+                        assert!(r.len >= 1, "empty run from {pattern:?}");
+                        for k in 0..r.len {
+                            got.push(r.page(k));
+                        }
+                    }
+                    assert_eq!(
+                        got, expect,
+                        "runs ≠ generate for {pattern:?} pages={pages} seed={seed}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn runs_total_len_equals_access_count() {
+        for pattern in all_variants() {
+            let pages = 64;
+            let total: u64 = pattern.runs(pages, 9).map(|r| r.len).sum();
+            assert_eq!(total, pattern.access_count(pages), "{pattern:?}");
+        }
+    }
+
+    #[test]
+    fn sequential_patterns_compress_to_o1_runs() {
+        // The figure hot paths must stream O(1) runs, not O(n).
+        assert_eq!(AccessPattern::OnePerPage.runs(1 << 20, 0).count(), 1);
+        assert_eq!(
+            AccessPattern::Sweep { sweeps: 8 }.runs(1 << 20, 0).count(),
+            8
+        );
+        // Strided emits one run per wrap-around: gcd(7, pages)=1 ⇒ ≤ stride runs per full cycle.
+        let n = AccessPattern::Strided {
+            stride: 7,
+            count: 1 << 20,
+        }
+        .runs(1 << 10, 0)
+        .count();
+        assert!(n <= (1 << 20) / ((1 << 10) / 7) + 2, "got {n} runs");
     }
 }

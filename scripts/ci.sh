@@ -27,6 +27,17 @@ if [ "${1:-}" = "--gate" ]; then
     # (rerun `figures --latency` and commit BENCH_figures.json).
     cargo run --release -p o1-bench --bin bench-diff -- \
         BENCH_figures.json "$out/fresh.json"
+    echo "==> fast-forward gate (fig_sweep bytes, --no-fastforward vs default)"
+    # Run-compressed execution is an escape-hatched optimisation: the
+    # interpreted run must produce byte-identical enriched JSON. Any
+    # difference means the fast path changed a simulated number.
+    cargo run --release -p o1-bench --bin figures -- \
+        --fig fig_sweep --latency --attrib --json "$out/ff.json" \
+        --no-bench >/dev/null
+    cargo run --release -p o1-bench --bin figures -- \
+        --fig fig_sweep --latency --attrib --no-fastforward \
+        --json "$out/noff.json" --no-bench >/dev/null
+    cmp "$out/ff.json" "$out/noff.json"
     echo "ci.sh: perf gate OK"
     exit 0
 fi

@@ -1,0 +1,214 @@
+//! Run-compressed fast-forward equivalence: for random access
+//! patterns against every kernel, executing through `access_runs`
+//! with fast-forward ON must be indistinguishable — simulated clock,
+//! every perf counter, every ledger row, every latency histogram
+//! bucket — from the per-access interpreter (fast-forward OFF on the
+//! same machine via [`Machine::set_fastforward`]). The fast path is
+//! an *execution* optimisation, never a *semantics* change.
+//!
+//! Each comparison builds two identical kernels, drives the identical
+//! workload, and diffs the closed ledgers field by field. Per-machine
+//! toggling keeps this file safe to run in parallel with other tests:
+//! the process-global default is never touched here.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use o1mem::core::{FomKernel, MapMech};
+use o1mem::hw::ObsMode;
+use o1mem::vm::{BaselineKernel, MemSys, ThpMode};
+use o1mem::workloads::{drive_access, drive_churn, drive_launch_storm, AccessPattern};
+use o1mem::PAGE_SIZE;
+
+fn patterns() -> Vec<(AccessPattern, u64)> {
+    vec![
+        (AccessPattern::OnePerPage, 128),
+        (AccessPattern::Sweep { sweeps: 4 }, 96),
+        (AccessPattern::RandomUniform { count: 400 }, 64),
+        (
+            AccessPattern::Zipf {
+                count: 300,
+                theta: 0.9,
+            },
+            64,
+        ),
+        (
+            AccessPattern::Strided {
+                stride: 7,
+                count: 500,
+            },
+            64,
+        ),
+        (
+            AccessPattern::HotCold {
+                count: 300,
+                hot_pct: 90,
+                hot_fraction_pct: 10,
+            },
+            64,
+        ),
+    ]
+}
+
+/// Drive the same workload on both kernels (`a` fast-forwards, `b`
+/// interprets) and assert the observable universes are identical.
+fn assert_equivalent(
+    mut a: Box<dyn MemSys>,
+    mut b: Box<dyn MemSys>,
+    what: &str,
+    drive: &dyn Fn(&mut dyn MemSys),
+) {
+    assert!(a.machine().fastforward(), "{what}: default is on");
+    b.machine_mut().set_fastforward(false);
+    drive(a.as_mut());
+    drive(b.as_mut());
+    assert_eq!(a.stats(), b.stats(), "{what}: clock + perf counters");
+    let ra = a.machine_mut().take_trace().expect("ledger on");
+    let rb = b.machine_mut().take_trace().expect("ledger on");
+    assert_eq!(ra.clock_ns, rb.clock_ns, "{what}: clock");
+    assert_eq!(ra.charged_ns, rb.charged_ns, "{what}: charged");
+    assert!(ra.conserves(), "{what}: fast-forward ledger conserves");
+    assert_eq!(ra.spans, rb.spans, "{what}: phase timeline");
+    assert_eq!(ra.rows, rb.rows, "{what}: ledger rows");
+    assert_eq!(ra.ops.len(), rb.ops.len(), "{what}: op-histogram keys");
+    for (oa, ob) in ra.ops.iter().zip(&rb.ops) {
+        assert_eq!(
+            (oa.phase, oa.op, oa.mech),
+            (ob.phase, ob.op, ob.mech),
+            "{what}: op row key"
+        );
+        assert_eq!(
+            oa.hist, ob.hist,
+            "{what}: latency buckets for {:?}/{}",
+            oa.op, oa.mech
+        );
+    }
+}
+
+fn baseline_pair(thp: ThpMode) -> (Box<dyn MemSys>, Box<dyn MemSys>) {
+    let mk = || {
+        Box::new(
+            BaselineKernel::builder()
+                .dram(256 << 20)
+                .thp(thp)
+                .obs(ObsMode::On)
+                .build(),
+        ) as Box<dyn MemSys>
+    };
+    (mk(), mk())
+}
+
+fn fom_pair(mech: MapMech) -> (Box<dyn MemSys>, Box<dyn MemSys>) {
+    let mk = || {
+        Box::new(
+            FomKernel::builder()
+                .dram(128 << 20)
+                .nvm(256 << 20)
+                .mech(mech)
+                .obs(ObsMode::On)
+                .build(),
+        ) as Box<dyn MemSys>
+    };
+    (mk(), mk())
+}
+
+fn all_kernel_pairs() -> Vec<(String, (Box<dyn MemSys>, Box<dyn MemSys>))> {
+    let mut pairs: Vec<(String, (Box<dyn MemSys>, Box<dyn MemSys>))> = vec![
+        ("baseline".into(), baseline_pair(ThpMode::Never)),
+        ("baseline-thp".into(), baseline_pair(ThpMode::Aligned2M)),
+    ];
+    for mech in [
+        MapMech::PageTables,
+        MapMech::SharedPt,
+        MapMech::Pbm,
+        MapMech::Ranges,
+    ] {
+        pairs.push((format!("fom-{mech:?}"), fom_pair(mech)));
+    }
+    pairs
+}
+
+#[test]
+fn access_patterns_match_the_interpreter_on_every_kernel() {
+    for (pattern, pages) in patterns() {
+        for populate in [false, true] {
+            for write in [false, true] {
+                for (name, (a, b)) in all_kernel_pairs() {
+                    let what =
+                        format!("{name} {pattern:?} populate={populate} write={write}");
+                    let p = pattern.clone();
+                    assert_equivalent(a, b, &what, &move |sys: &mut dyn MemSys| {
+                        let pid = sys.create_process().unwrap();
+                        let va = sys.alloc(pid, pages * PAGE_SIZE, populate).unwrap();
+                        drive_access(sys, pid, va, pages, &p, 42, write).unwrap();
+                        // A second pass runs fully warm, so the fast
+                        // path actually engages on every kernel.
+                        drive_access(sys, pid, va, pages, &p, 43, write).unwrap();
+                        sys.destroy_process(pid).unwrap();
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn random_spans_match_the_interpreter() {
+    // Raw access_span calls with adversarial strides: negative,
+    // page-crossing, sub-page, zero — plus random starting offsets.
+    for (name, (a, b)) in all_kernel_pairs() {
+        let what = format!("{name} random spans");
+        assert_equivalent(a, b, &what, &|sys: &mut dyn MemSys| {
+            let mut rng = StdRng::seed_from_u64(7);
+            let pid = sys.create_process().unwrap();
+            let pages = 64u64;
+            let va = sys.alloc(pid, pages * PAGE_SIZE, true).unwrap();
+            for i in 0..200u64 {
+                let start = rng.random_range(0..pages * PAGE_SIZE - 8) & !7;
+                let stride = [
+                    0i64,
+                    8,
+                    -8,
+                    64,
+                    PAGE_SIZE as i64,
+                    -(PAGE_SIZE as i64),
+                    2048,
+                    3 * PAGE_SIZE as i64,
+                ][rng.random_range(0..8usize)];
+                let max_len = if stride == 0 {
+                    16
+                } else {
+                    let room = if stride > 0 {
+                        (pages * PAGE_SIZE - 8 - start) / stride as u64
+                    } else {
+                        start / stride.unsigned_abs()
+                    };
+                    room.min(64)
+                };
+                let len = rng.random_range(1..=max_len.max(1));
+                let write = rng.random();
+                sys.access_span(pid, va + start, stride, len, write, i * 1000)
+                    .unwrap();
+            }
+            sys.destroy_process(pid).unwrap();
+        });
+    }
+}
+
+#[test]
+fn churn_and_launch_storm_drivers_match_the_interpreter() {
+    for (name, (a, b)) in all_kernel_pairs() {
+        let what = format!("{name} churn");
+        assert_equivalent(a, b, &what, &|sys: &mut dyn MemSys| {
+            let pid = sys.create_process().unwrap();
+            drive_churn(sys, pid, 2, 3, 32).unwrap();
+            sys.destroy_process(pid).unwrap();
+        });
+    }
+    for (name, (a, b)) in all_kernel_pairs() {
+        let what = format!("{name} launch storm");
+        assert_equivalent(a, b, &what, &|sys: &mut dyn MemSys| {
+            drive_launch_storm(sys, 3, 64).unwrap();
+        });
+    }
+}

@@ -1,0 +1,64 @@
+//! Suite-level fast-forward gate: a representative slice of the
+//! figure suite — the fast-forward showcase plus the access-heavy
+//! paper figures — must serialize to byte-identical enriched JSON
+//! (series + attribution + latency sections) and byte-identical trace
+//! exports with run-compressed execution on and off.
+//!
+//! This file toggles the *process-global* fast-forward default, which
+//! every machine snapshots at construction — so it lives alone in its
+//! own integration-test binary (its own process) and runs both
+//! configurations inside a single `#[test]`, never racing another
+//! test's kernels. The per-kernel equivalence properties (clock,
+//! counters, ledger rows, histogram buckets) are in
+//! `fastforward_equiv.rs`, which only uses per-machine toggles. The
+//! release CI gate (`scripts/ci.sh --gate`) byte-compares the *full*
+//! suite across a real `--no-fastforward` run of the binary.
+
+use o1_bench::runner::{figure_fn, run_figures, RunnerOptions};
+use o1_bench::figures_to_json_pretty_enriched;
+use o1mem::hw::{fastforward_default, set_fastforward_default};
+
+#[test]
+fn suite_bytes_identical_with_and_without_fastforward() {
+    let ids = ["fig_sweep", "fig1b", "fig3", "fig4_access", "fig_churn"];
+    let fns: Vec<_> = ids
+        .iter()
+        .map(|id| figure_fn(id).expect("known id"))
+        .collect();
+    let opts = RunnerOptions {
+        threads: 2,
+        repeat: 1,
+        trace: true,
+    };
+
+    assert!(fastforward_default(), "fast-forward ships enabled");
+    let on = run_figures(&fns, &opts);
+    set_fastforward_default(false);
+    let off = run_figures(&fns, &opts);
+    set_fastforward_default(true);
+
+    for run in [&on, &off] {
+        let errors = o1_obs::conservation_errors(&run.traces());
+        assert!(errors.is_empty(), "ledger conserves: {errors:?}");
+    }
+
+    let a = figures_to_json_pretty_enriched(&on.figures(), &on.traces(), true, true);
+    let b = figures_to_json_pretty_enriched(&off.figures(), &off.traces(), true, true);
+    assert!(
+        a == b,
+        "fast-forward changed enriched figure JSON (lengths {} vs {})",
+        a.len(),
+        b.len()
+    );
+
+    assert_eq!(
+        o1_obs::export_jsonl(&on.traces()),
+        o1_obs::export_jsonl(&off.traces()),
+        "fast-forward changed the trace JSONL export"
+    );
+    assert_eq!(
+        o1_obs::export_chrome_trace(&on.traces()),
+        o1_obs::export_chrome_trace(&off.traces()),
+        "fast-forward changed the chrome trace export"
+    );
+}

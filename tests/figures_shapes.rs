@@ -390,3 +390,48 @@ fn fig_persist_flat_in_size_linear_in_files() {
         "recovery linear in file count: {c0} → {c_last}"
     );
 }
+
+#[test]
+fn fig_sweep_linear_in_pages_and_ranges_cheapest_translation() {
+    let f = exp::fig_sweep();
+    for label in [
+        "baseline THP (aligned 2M, populated)",
+        "fom page tables",
+        "fom range translations",
+    ] {
+        let s = f.series(label).unwrap();
+        let (y0, y_last) = s.ends().unwrap();
+        // 4096 → 65536 pages is 16x the accesses; warm sweeps are
+        // translation hits, so total time scales linearly.
+        let growth = y_last / y0;
+        assert!(
+            (15.0..17.0).contains(&growth),
+            "{label}: linear in pages, got {growth}x"
+        );
+    }
+    for pages in [4096u64, 16384, 65536] {
+        let thp = f
+            .series("baseline THP (aligned 2M, populated)")
+            .unwrap()
+            .y_at(pages)
+            .unwrap();
+        let pt = f.series("fom page tables").unwrap().y_at(pages).unwrap();
+        let ranges = f
+            .series("fom range translations")
+            .unwrap()
+            .y_at(pages)
+            .unwrap();
+        // Range translation never loses to huge-page walks on the
+        // same data tier...
+        assert!(
+            ranges <= pt,
+            "at {pages} pages: ranges {ranges} vs page tables {pt}"
+        );
+        // ...but fom keeps this working set in NVM, so DRAM-resident
+        // THP wins on raw memory latency.
+        assert!(
+            thp < ranges,
+            "at {pages} pages: THP-on-DRAM {thp} vs ranges-on-NVM {ranges}"
+        );
+    }
+}
