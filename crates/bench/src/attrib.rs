@@ -20,11 +20,7 @@ use crate::Figure;
 /// Tenths of a percent of `total`, as integers — avoids float
 /// formatting in deterministic output.
 fn permille(ns: u64, total: u64) -> u64 {
-    if total == 0 {
-        0
-    } else {
-        ns * 1000 / total
-    }
+    (ns * 1000).checked_div(total).unwrap_or(0)
 }
 
 fn push_pct(out: &mut String, ns: u64, total: u64) {

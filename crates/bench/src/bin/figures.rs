@@ -154,7 +154,7 @@ fn ms(ns: u64) -> f64 {
 
 fn report_json(out: &mut String, r: &RunReport, level: usize) {
     json::push_indent(out, level);
-    out.push_str("{");
+    out.push('{');
     json::push_indent(out, level + 1);
     out.push_str(&format!("\"threads\": {},", r.threads));
     json::push_indent(out, level + 1);
@@ -315,7 +315,7 @@ fn main() {
     // before any figure runs covers every kernel the suite builds.
     o1_hw::set_fastforward_default(cli.fastforward);
 
-    let fns: Vec<(&'static str, fn() -> Figure)> = match &cli.want {
+    let fns: Vec<o1_bench::runner::FigureEntry> = match &cli.want {
         Some(id) => match figure_fn(id) {
             Some(entry) => vec![entry],
             None => {

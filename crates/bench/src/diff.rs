@@ -107,7 +107,7 @@ pub fn figure_metrics(figures: &[Figure], traces: &[FigureTrace]) -> Vec<FigMetr
                 .unwrap_or_default();
             FigMetrics {
                 id: f.id.clone(),
-                series: f.series.iter().map(|s| series_metric(s)).collect(),
+                series: f.series.iter().map(series_metric).collect(),
                 latency,
             }
         })

@@ -44,10 +44,14 @@ pub const ALL_IDS: [&str; 20] = [
     "fig_sweep",
 ];
 
+/// A canonical figure id plus its generator function, as resolved by
+/// [`figure_fn`] and consumed by [`run_figures`].
+pub type FigureEntry = (&'static str, fn() -> Figure);
+
 /// Resolve a figure id (canonical name, paper number, or short alias)
 /// to `(canonical_id, generator)`.
-pub fn figure_fn(id: &str) -> Option<(&'static str, fn() -> Figure)> {
-    let entry: (&'static str, fn() -> Figure) = match id {
+pub fn figure_fn(id: &str) -> Option<FigureEntry> {
+    let entry: FigureEntry = match id {
         "1a" | "fig1a" | "6a" => ("fig1a", experiments::fig1a),
         "1b" | "fig1b" | "6b" => ("fig1b", experiments::fig1b),
         "2" | "fig2" | "7" => ("fig2", experiments::fig2),
@@ -148,7 +152,7 @@ impl RunReport {
 /// scoped thread pool. Results land in per-figure slots indexed by
 /// request position, so the report order is deterministic no matter
 /// which worker finishes first.
-pub fn run_figures(fns: &[(&'static str, fn() -> Figure)], opts: &RunnerOptions) -> RunReport {
+pub fn run_figures(fns: &[FigureEntry], opts: &RunnerOptions) -> RunReport {
     let repeat = opts.repeat.max(1);
     let n_tasks = fns.len() * repeat;
     let threads = opts.threads.max(1).min(n_tasks.max(1));

@@ -23,16 +23,15 @@
 //! tests live in the baseline kernel only.
 
 use o1_hw::{CostKind, OpKind};
-use std::collections::HashMap;
 
 use o1_hw::{
-    Access, Asid, FrameNo, Machine, MachineConfig, Mmu, PageTables, PhysAddr, PtNodeId, PteFlags,
-    RangeEntry, RangeTable, RangeTlb, Tlb, TranslateError, VirtAddr, HUGE_2M, PAGE_SIZE,
+    Access, Asid, FastMap, FrameNo, Machine, MachineConfig, Mmu, PageTables, PhysAddr, PtNodeId,
+    PteFlags, RangeEntry, RangeTable, RangeTlb, Tlb, TranslateError, VirtAddr, HUGE_2M, PAGE_SIZE,
 };
 use o1_memfs::{FileClass, FileId, FsError, Pmfs, RecoveryStats};
 use o1_palloc::PhysExtent;
 use o1_vm::runs::{bulk_memory, AccessRun};
-use o1_vm::{MemSys, Pid, Prot, VmError};
+use o1_vm::{MemSys, Pid, ProcTable, Prot, VmError};
 
 /// Base of the per-process bump region for file mappings.
 pub const FOM_MMAP_BASE: u64 = 0x2000_0000;
@@ -126,7 +125,10 @@ struct FomProc {
     asid: Asid,
     root: PtNodeId,
     ranges: RangeTable,
-    maps: HashMap<u64, Mapping>,
+    /// Keyed by mapping base VA — kernel-chosen fixed-width values,
+    /// probed on every map/unmap/protect call, so the fast hasher is
+    /// safe.
+    maps: FastMap<u64, Mapping>,
     next_va: u64,
 }
 
@@ -135,7 +137,9 @@ struct FomProc {
 /// every mapping adds its own.
 #[derive(Debug, Default)]
 struct FilePts {
-    chunks: HashMap<(u64, bool), PtNodeId>,
+    /// Keyed by (chunk index, writability) — trusted fixed-width ids
+    /// probed per mapped 2 MiB chunk, so the fast hasher is safe.
+    chunks: FastMap<(u64, bool), PtNodeId>,
 }
 
 /// The file-only memory kernel.
@@ -146,8 +150,10 @@ pub struct FomKernel {
     mmu: Mmu,
     /// The persistent-memory file system backing all memory.
     pub pmfs: Pmfs,
-    procs: HashMap<Pid, FomProc>,
-    file_pts: HashMap<FileId, FilePts>,
+    procs: ProcTable<FomProc>,
+    /// Keyed by [`FileId`] — a kernel-issued fixed-width id probed on
+    /// every shared-subtree map, so the fast hasher is safe.
+    file_pts: FastMap<FileId, FilePts>,
     mech: MapMech,
     erase: ErasePolicy,
     next_pid: u32,
@@ -175,23 +181,12 @@ const KEY_DROP_NS: u64 = 90;
 ///     .build();
 /// assert!(k.free_frames() > 0);
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct FomBuilder {
     config: FomConfig,
     machine: MachineConfig,
     tlb: Option<(usize, usize)>,
     rtlb_entries: Option<usize>,
-}
-
-impl Default for FomBuilder {
-    fn default() -> Self {
-        FomBuilder {
-            config: FomConfig::default(),
-            machine: MachineConfig::default(),
-            tlb: None,
-            rtlb_entries: None,
-        }
-    }
 }
 
 impl FomBuilder {
@@ -296,8 +291,8 @@ impl FomKernel {
             pt: PageTables::new(),
             mmu,
             pmfs: Pmfs::format(span),
-            procs: HashMap::new(),
-            file_pts: HashMap::new(),
+            procs: ProcTable::new(),
+            file_pts: FastMap::default(),
             mech: config.mech,
             erase: config.erase,
             next_pid: 1,
@@ -363,11 +358,11 @@ impl FomKernel {
     }
 
     fn proc(&self, pid: Pid) -> Result<&FomProc, VmError> {
-        self.procs.get(&pid).ok_or(VmError::NoProcess)
+        self.procs.get(pid).ok_or(VmError::NoProcess)
     }
 
     fn proc_mut(&mut self, pid: Pid) -> Result<&mut FomProc, VmError> {
-        self.procs.get_mut(&pid).ok_or(VmError::NoProcess)
+        self.procs.get_mut(pid).ok_or(VmError::NoProcess)
     }
 
     // ---- process lifecycle --------------------------------------------------
@@ -391,7 +386,7 @@ impl FomKernel {
                 asid: Asid(pid.0 as u16),
                 root,
                 ranges: RangeTable::new(),
-                maps: HashMap::new(),
+                maps: FastMap::default(),
                 next_va: FOM_MMAP_BASE,
             },
         );
@@ -409,7 +404,7 @@ impl FomKernel {
         for base in bases {
             self.unmap(pid, VirtAddr(base))?;
         }
-        let proc = self.procs.remove(&pid).expect("checked above");
+        let proc = self.procs.remove(pid).expect("checked above");
         self.mmu.flush_asid(&mut self.machine, proc.asid);
         self.pt.release(&mut self.machine, proc.root);
         self.machine.op_end(t0, OpKind::Teardown, self.mech_str());
@@ -1105,7 +1100,7 @@ impl FomKernel {
     /// file name instead.
     pub fn mapping_base(&self, pid: Pid, name: &str) -> Option<VirtAddr> {
         self.procs
-            .get(&pid)?
+            .get(pid)?
             .maps
             .iter()
             .find_map(|(&b, m)| (m.name == name).then_some(VirtAddr(b)))
@@ -1122,7 +1117,7 @@ impl FomKernel {
             (p.root, p.asid)
         };
         // Split borrows: ranges belongs to the proc, pt/mmu to self.
-        let proc = self.procs.get(&pid).expect("checked above");
+        let proc = self.procs.get(pid).expect("checked above");
         match self.mmu.translate(
             &mut self.machine,
             &mut self.pt,
@@ -1362,9 +1357,8 @@ impl FomKernel {
         }
         self.machine.phys.crash();
         // Processes and their page tables are DRAM state: gone.
-        let pids: Vec<Pid> = self.procs.keys().copied().collect();
-        for pid in pids {
-            let proc = self.procs.remove(&pid).expect("listed");
+        for pid in self.procs.pids() {
+            let proc = self.procs.remove(pid).expect("listed");
             self.pt.release(&mut self.machine, proc.root);
             self.mmu.flush_asid(&mut self.machine, proc.asid);
         }
@@ -2042,15 +2036,19 @@ mod tests {
 
     #[test]
     fn memsys_trait_roundtrip() {
-        for mech in MECHS {
-            let mut k = FomKernel::builder().mech(mech).build();
-            let sys: &mut dyn MemSys = &mut k;
+        // Monomorphic MemSys usage — the shape every figure hot path
+        // compiles down to (erasure lives behind `o1_vm::Erased`).
+        fn roundtrip(sys: &mut impl MemSys) {
             let pid = sys.create_process().unwrap();
             let va = sys.alloc(pid, 8 * PAGE_SIZE, false).unwrap();
             sys.store(pid, va, 1).unwrap();
             assert_eq!(sys.load(pid, va).unwrap(), 1);
             sys.release(pid, va, 8 * PAGE_SIZE).unwrap();
             sys.destroy_process(pid).unwrap();
+        }
+        for mech in MECHS {
+            let mut k = FomKernel::builder().mech(mech).build();
+            roundtrip(&mut k);
         }
     }
 

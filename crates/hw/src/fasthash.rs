@@ -9,7 +9,7 @@
 //! Host-side only: hash quality can affect wall-clock, never a
 //! simulated number.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 
 /// Fast non-cryptographic hasher for small fixed-width keys.
@@ -69,6 +69,9 @@ impl Hasher for FastHasher {
 /// `HashMap` with [`FastHasher`] — for hot, trusted, fixed-width keys.
 pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
 
+/// `HashSet` with [`FastHasher`] — same trust model as [`FastMap`].
+pub type FastSet<K> = HashSet<K, BuildHasherDefault<FastHasher>>;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,13 +91,8 @@ mod tests {
 
     #[test]
     fn hasher_separates_field_order() {
-        use std::hash::{BuildHasher, Hash};
+        use std::hash::BuildHasher;
         let b = BuildHasherDefault::<FastHasher>::default();
-        let hash = |k: &(u64, u64)| {
-            let mut h = b.build_hasher();
-            k.hash(&mut h);
-            h.finish()
-        };
-        assert_ne!(hash(&(1, 2)), hash(&(2, 1)));
+        assert_ne!(b.hash_one((1u64, 2u64)), b.hash_one((2u64, 1u64)));
     }
 }

@@ -21,6 +21,7 @@
 //! quantity the paper's figures plot.
 
 pub mod addr;
+pub mod arena;
 pub mod cost;
 pub mod dma;
 pub mod fasthash;
@@ -31,6 +32,9 @@ pub mod perf;
 pub mod phys;
 pub mod range;
 pub mod tlb;
+
+pub use arena::{Arena, Handle};
+pub use fasthash::{FastMap, FastSet};
 
 pub use addr::{
     pages_for, round_up_pages, FrameNo, PageNo, PageSize, PhysAddr, VirtAddr, HUGE_1G, HUGE_2M,

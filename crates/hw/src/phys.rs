@@ -11,9 +11,33 @@
 //! survive. This is the substrate for the paper's §"Persistence
 //! management" experiments.
 
-use std::collections::HashMap;
-
 use crate::addr::{FrameNo, PhysAddr, PAGE_SIZE};
+use crate::fasthash::FastMap;
+
+/// Frames per sparse chunk (must be a power of two). One chunk groups
+/// 64 frames (256 KiB of simulated memory) behind a single map entry,
+/// so a streaming workload pays one hash per 64 frames instead of one
+/// per frame.
+const CHUNK_FRAMES: u64 = 64;
+const CHUNK_SHIFT: u32 = CHUNK_FRAMES.trailing_zeros();
+
+/// One group of up to [`CHUNK_FRAMES`] backed frames.
+#[derive(Debug)]
+struct Chunk {
+    /// Backing for frame `chunk_base + i`; `None` reads as zero.
+    frames: Box<[Option<Box<[u8]>>]>,
+    /// Number of `Some` entries (chunk is dropped at zero).
+    backed: u32,
+}
+
+impl Chunk {
+    fn new() -> Chunk {
+        Chunk {
+            frames: (0..CHUNK_FRAMES).map(|_| None).collect(),
+            backed: 0,
+        }
+    }
+}
 
 /// Memory technology backing a physical frame.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
@@ -30,8 +54,13 @@ pub enum MemTier {
 pub struct PhysicalMemory {
     dram_frames: u64,
     total_frames: u64,
-    /// Sparse backing store: frames absent from the map read as zero.
-    data: HashMap<u64, Box<[u8]>>,
+    /// Chunked sparse backing store keyed by `frame >> CHUNK_SHIFT`;
+    /// frames without backing read as zero. Keys are trusted
+    /// fixed-width chunk numbers, so the fast hasher is safe — and
+    /// backing-store layout can never leak into a simulated number.
+    chunks: FastMap<u64, Chunk>,
+    /// Total backed frames across all chunks.
+    backed: usize,
 }
 
 impl PhysicalMemory {
@@ -48,7 +77,42 @@ impl PhysicalMemory {
         PhysicalMemory {
             dram_frames,
             total_frames,
-            data: HashMap::new(),
+            chunks: FastMap::default(),
+            backed: 0,
+        }
+    }
+
+    /// Borrow the backing bytes of `frame`, if any.
+    #[inline]
+    fn frame_bytes(&self, frame: u64) -> Option<&[u8]> {
+        self.chunks
+            .get(&(frame >> CHUNK_SHIFT))?
+            .frames[(frame & (CHUNK_FRAMES - 1)) as usize]
+            .as_deref()
+    }
+
+    /// Backing bytes of `frame`, allocated (zeroed) on first touch.
+    fn frame_bytes_mut(&mut self, frame: u64) -> &mut Box<[u8]> {
+        let chunk = self.chunks.entry(frame >> CHUNK_SHIFT).or_insert_with(Chunk::new);
+        let slot = &mut chunk.frames[(frame & (CHUNK_FRAMES - 1)) as usize];
+        if slot.is_none() {
+            *slot = Some(vec![0u8; PAGE_SIZE as usize].into_boxed_slice());
+            chunk.backed += 1;
+            self.backed += 1;
+        }
+        slot.as_mut().expect("just filled")
+    }
+
+    /// Drop the backing of `frame`, releasing its chunk when empty.
+    fn drop_frame(&mut self, frame: u64) {
+        if let Some(chunk) = self.chunks.get_mut(&(frame >> CHUNK_SHIFT)) {
+            if chunk.frames[(frame & (CHUNK_FRAMES - 1)) as usize].take().is_some() {
+                chunk.backed -= 1;
+                self.backed -= 1;
+                if chunk.backed == 0 {
+                    self.chunks.remove(&(frame >> CHUNK_SHIFT));
+                }
+            }
         }
     }
 
@@ -98,7 +162,7 @@ impl PhysicalMemory {
 
     /// Number of frames with host backing allocated (diagnostics).
     pub fn backed_frames(&self) -> usize {
-        self.data.len()
+        self.backed
     }
 
     /// Read `buf.len()` bytes starting at `pa`. Unwritten memory reads
@@ -114,7 +178,7 @@ impl PhysicalMemory {
             let frame = addr >> crate::addr::PAGE_SHIFT;
             let off = (addr & (PAGE_SIZE - 1)) as usize;
             let take = usize::min(buf.len() - done, (PAGE_SIZE as usize) - off);
-            match self.data.get(&frame) {
+            match self.frame_bytes(frame) {
                 Some(bytes) => buf[done..done + take].copy_from_slice(&bytes[off..off + take]),
                 None => buf[done..done + take].fill(0),
             }
@@ -135,10 +199,7 @@ impl PhysicalMemory {
             let frame = addr >> crate::addr::PAGE_SHIFT;
             let off = (addr & (PAGE_SIZE - 1)) as usize;
             let take = usize::min(buf.len() - done, (PAGE_SIZE as usize) - off);
-            let bytes = self
-                .data
-                .entry(frame)
-                .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice());
+            let bytes = self.frame_bytes_mut(frame);
             bytes[off..off + take].copy_from_slice(&buf[done..done + take]);
             done += take;
             addr += take as u64;
@@ -168,7 +229,7 @@ impl PhysicalMemory {
         let end = start.0.checked_add(frames).expect("frame range overflow");
         assert!(end <= self.total_frames, "zero_frames out of range");
         for f in start.0..end {
-            self.data.remove(&f);
+            self.drop_frame(f);
         }
     }
 
@@ -176,7 +237,7 @@ impl PhysicalMemory {
     /// policies and persistence tests).
     pub fn frame_is_zero(&self, frame: FrameNo) -> bool {
         assert!(self.contains(frame), "frame out of range");
-        match self.data.get(&frame.0) {
+        match self.frame_bytes(frame.0) {
             None => true,
             Some(bytes) => bytes.iter().all(|&b| b == 0),
         }
@@ -185,7 +246,26 @@ impl PhysicalMemory {
     /// Simulate a power failure: DRAM contents are lost, NVM survives.
     pub fn crash(&mut self) {
         let dram = self.dram_frames;
-        self.data.retain(|&frame, _| frame >= dram);
+        let mut dropped = 0usize;
+        self.chunks.retain(|&chunk_no, chunk| {
+            let base = chunk_no << CHUNK_SHIFT;
+            if base + CHUNK_FRAMES <= dram {
+                // Entirely volatile: the whole chunk is lost.
+                dropped += chunk.backed as usize;
+                return false;
+            }
+            if base < dram {
+                // Straddles the tier boundary: lose the DRAM part.
+                for slot in &mut chunk.frames[..(dram - base) as usize] {
+                    if slot.take().is_some() {
+                        chunk.backed -= 1;
+                        dropped += 1;
+                    }
+                }
+            }
+            chunk.backed > 0
+        });
+        self.backed -= dropped;
     }
 
     fn check_range(&self, pa: PhysAddr, len: u64) {

@@ -17,7 +17,8 @@
 //!   (A-PERSIST).
 
 use o1_hw::CostKind;
-use std::collections::{BTreeMap, HashMap};
+use o1_hw::FastMap;
+use std::collections::BTreeMap;
 
 use o1_hw::{Machine, PhysAddr, PAGE_SIZE};
 use o1_palloc::{BitmapAllocator, FrameSource, PhysExtent};
@@ -107,7 +108,10 @@ pub struct RecoveryStats {
 /// ```
 #[derive(Debug)]
 pub struct Pmfs {
-    files: HashMap<FileId, Inode>,
+    /// Keyed by kernel-issued fixed-width file ids (monotonic u64s, no
+    /// untrusted input), so the non-SipHash fast hasher is safe; this
+    /// map is probed on every read/write/extent op.
+    files: FastMap<FileId, Inode>,
     names: BTreeMap<String, FileId>,
     next_id: u64,
     next_tx: u64,
@@ -124,7 +128,7 @@ impl Pmfs {
     /// Format a fresh file system over the NVM frames of `span`.
     pub fn format(span: PhysExtent) -> Pmfs {
         Pmfs {
-            files: HashMap::new(),
+            files: FastMap::default(),
             names: BTreeMap::new(),
             next_id: 1,
             next_tx: 1,

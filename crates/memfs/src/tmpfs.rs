@@ -6,8 +6,8 @@
 //! per-page structure is precisely what makes `MAP_POPULATE` linear in
 //! Figure 1a and demand faulting expensive in Figure 1b.
 
-use o1_hw::CostKind;
-use std::collections::{BTreeMap, HashMap};
+use o1_hw::{CostKind, FastMap};
+use std::collections::BTreeMap;
 
 use o1_hw::{FrameNo, Machine, PAGE_SIZE};
 use o1_palloc::FrameSource;
@@ -42,7 +42,10 @@ impl TmpfsFile {
 /// The tmpfs instance.
 #[derive(Debug, Default)]
 pub struct Tmpfs {
-    files: HashMap<FileId, TmpfsFile>,
+    /// Keyed by kernel-issued fixed-width file ids (monotonic u64s, no
+    /// untrusted input), so the fast hasher is safe; probed on every
+    /// per-page fault and write.
+    files: FastMap<FileId, TmpfsFile>,
     names: BTreeMap<String, FileId>,
     next_id: u64,
     /// Optional cap on total allocated frames (`size=` mount option).

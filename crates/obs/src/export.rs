@@ -46,9 +46,9 @@ pub fn export_jsonl(traces: &[FigureTrace]) -> String {
         let conserved = t.machines.iter().all(|m| m.conserves());
         out.push_str("{\"fig\":");
         json_escape(&mut out, &t.id);
-        let _ = write!(
+        let _ = writeln!(
             out,
-            ",\"machines\":{},\"total_ns\":{},\"conserved\":{}}}\n",
+            ",\"machines\":{},\"total_ns\":{},\"conserved\":{}}}",
             t.machines.len(),
             t.total_ns(),
             conserved
@@ -59,9 +59,9 @@ pub fn export_jsonl(traces: &[FigureTrace]) -> String {
                 json_escape(&mut out, &t.id);
                 let _ = write!(out, ",\"machine\":{mi},\"phase\":");
                 json_escape(&mut out, r.phase);
-                let _ = write!(
+                let _ = writeln!(
                     out,
-                    ",\"subsystem\":\"{}\",\"kind\":\"{}\",\"count\":{},\"ns\":{}}}\n",
+                    ",\"subsystem\":\"{}\",\"kind\":\"{}\",\"count\":{},\"ns\":{}}}",
                     r.kind.subsystem().name(),
                     r.kind.name(),
                     r.count,

@@ -189,9 +189,9 @@ impl Histogram {
         if self.count == 0 {
             return 0;
         }
-        let rank =
-            ((u128::from(self.count) * u128::from(num) + u128::from(den) - 1) / u128::from(den))
-                .max(1) as u64;
+        let rank = (u128::from(self.count) * u128::from(num))
+            .div_ceil(u128::from(den))
+            .max(1) as u64;
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;

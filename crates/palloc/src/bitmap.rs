@@ -95,24 +95,68 @@ impl BitmapAllocator {
     /// Find a free run of `len` frames starting at or after `from`
     /// (relative index), with the given alignment of the *absolute*
     /// frame number. Returns the relative start index.
+    ///
+    /// The search is word-at-a-time: free-run candidates are verified
+    /// 64 bits per step, and on failure the cursor jumps to the next
+    /// free bit (skipping fully-allocated words) instead of advancing
+    /// one frame. Every candidate skipped this way starts on an
+    /// allocated frame and would fail immediately, so the first
+    /// position returned — and therefore every allocation decision —
+    /// is identical to a naive bit-by-bit scan.
     fn find_run(&self, from: u64, len: u64, align: u64) -> Option<u64> {
         let mut idx = from;
-        'outer: while idx + len <= self.frames {
+        while idx + len <= self.frames {
             // Align the absolute frame number.
             let abs = (self.base + idx).next_multiple_of(align);
             idx = abs - self.base;
             if idx + len > self.frames {
                 return None;
             }
-            for i in 0..len {
-                if self.bit(idx + i) {
-                    idx = idx + i + 1;
-                    continue 'outer;
-                }
+            match self.first_allocated_in(idx, len) {
+                None => return Some(idx),
+                Some(p) => idx = self.next_free_after(p),
             }
-            return Some(idx);
         }
         None
+    }
+
+    /// First allocated frame index in `[start, start + len)`, if any,
+    /// probing a 64-bit word per step.
+    fn first_allocated_in(&self, start: u64, len: u64) -> Option<u64> {
+        let end = start + len;
+        let mut i = start;
+        while i < end {
+            let bit = i % 64;
+            let window = u64::min(64 - bit, end - i);
+            let mut w = self.words[(i / 64) as usize] >> bit;
+            if window < 64 {
+                w &= (1u64 << window) - 1;
+            }
+            if w != 0 {
+                return Some(i + w.trailing_zeros() as u64);
+            }
+            i += window;
+        }
+        None
+    }
+
+    /// Index of the first free frame strictly after `p`, skipping
+    /// fully-allocated words; `self.frames` when none remain.
+    fn next_free_after(&self, p: u64) -> u64 {
+        let mut i = p + 1;
+        while i < self.frames {
+            let bit = i % 64;
+            let window = 64 - bit;
+            let mut w = !(self.words[(i / 64) as usize] >> bit);
+            if window < 64 {
+                w &= (1u64 << window) - 1;
+            }
+            if w != 0 {
+                return u64::min(i + w.trailing_zeros() as u64, self.frames);
+            }
+            i += window;
+        }
+        self.frames
     }
 }
 

@@ -8,8 +8,8 @@
 //! populating a region, which is where the linear cost in Figure 1a
 //! comes from.
 
-use o1_hw::CostKind;
-use std::collections::{BTreeSet, HashMap};
+use o1_hw::{CostKind, FastMap};
+use std::collections::BTreeSet;
 
 use o1_hw::{FrameNo, Machine};
 
@@ -23,8 +23,10 @@ pub const MAX_ORDER: u32 = 18;
 pub struct BuddyAllocator {
     /// Free blocks per order, keyed by start frame.
     free_lists: Vec<BTreeSet<u64>>,
-    /// Order of each outstanding allocation, for free().
-    allocated: HashMap<u64, u32>,
+    /// Order of each outstanding allocation, for free(). Keyed by
+    /// trusted fixed-width frame numbers the allocator itself issued,
+    /// so the fast hasher is safe; probed once per alloc and free.
+    allocated: FastMap<u64, u32>,
     base: u64,
     span_frames: u64,
     free: u64,
@@ -42,7 +44,7 @@ impl BuddyAllocator {
         assert!(span.frames > 0, "empty span");
         let mut b = BuddyAllocator {
             free_lists: vec![BTreeSet::new(); (MAX_ORDER + 1) as usize],
-            allocated: HashMap::new(),
+            allocated: FastMap::default(),
             base: span.start.0,
             span_frames: span.frames,
             free: span.frames,

@@ -144,6 +144,92 @@ pub trait MemSys {
     }
 }
 
+/// Thin type-erasure facade over [`MemSys`].
+///
+/// The workload drivers are generic (`impl MemSys`), so every kernel ×
+/// driver pair monomorphizes on the figure hot path. Tools that
+/// genuinely need erasure — heterogeneous kernel lists, trait-object
+/// storage — wrap a `&mut dyn MemSys` in `Erased` and pass *that* to
+/// the generic drivers. Every method delegates through the vtable, so
+/// kernel overrides (the fast-forward engines) are reached exactly as
+/// in the monomorphic path; the equivalence test in
+/// `tests/drivers_equiv.rs` proves the two paths produce identical
+/// ledgers.
+pub struct Erased<'a>(pub &'a mut dyn MemSys);
+
+impl MemSys for Erased<'_> {
+    fn sys_name(&self) -> &'static str {
+        self.0.sys_name()
+    }
+
+    fn machine(&self) -> &Machine {
+        self.0.machine()
+    }
+
+    fn machine_mut(&mut self) -> &mut Machine {
+        self.0.machine_mut()
+    }
+
+    fn stats(&self) -> PerfSnapshot {
+        self.0.stats()
+    }
+
+    fn phase(&mut self, label: &'static str) {
+        self.0.phase(label);
+    }
+
+    fn create_process(&mut self) -> Result<Pid, VmError> {
+        self.0.create_process()
+    }
+
+    fn destroy_process(&mut self, pid: Pid) -> Result<(), VmError> {
+        self.0.destroy_process(pid)
+    }
+
+    fn alloc(&mut self, pid: Pid, bytes: u64, populate: bool) -> Result<VirtAddr, VmError> {
+        self.0.alloc(pid, bytes, populate)
+    }
+
+    fn release(&mut self, pid: Pid, va: VirtAddr, bytes: u64) -> Result<(), VmError> {
+        self.0.release(pid, va, bytes)
+    }
+
+    fn load(&mut self, pid: Pid, va: VirtAddr) -> Result<u64, VmError> {
+        self.0.load(pid, va)
+    }
+
+    fn store(&mut self, pid: Pid, va: VirtAddr, value: u64) -> Result<(), VmError> {
+        self.0.store(pid, va, value)
+    }
+
+    fn access_span(
+        &mut self,
+        pid: Pid,
+        va: VirtAddr,
+        stride: i64,
+        len: u64,
+        write: bool,
+        first_value: u64,
+    ) -> Result<(), VmError> {
+        self.0.access_span(pid, va, stride, len, write, first_value)
+    }
+
+    fn access_runs(
+        &mut self,
+        pid: Pid,
+        base: VirtAddr,
+        runs: &[AccessRun],
+        write: bool,
+        first_value: u64,
+    ) -> Result<u64, VmError> {
+        self.0.access_runs(pid, base, runs, write, first_value)
+    }
+
+    fn access_batch(&mut self, pid: Pid, addrs: &[VirtAddr], write: bool) -> Result<(), VmError> {
+        self.0.access_batch(pid, addrs, write)
+    }
+}
+
 impl MemSys for crate::kernel::BaselineKernel {
     fn sys_name(&self) -> &'static str {
         "baseline"
@@ -211,7 +297,7 @@ mod tests {
     use crate::kernel::BaselineKernel;
     use o1_hw::PAGE_SIZE;
 
-    fn run_generic(sys: &mut dyn MemSys) {
+    fn run_generic(sys: &mut impl MemSys) {
         let pid = sys.create_process().unwrap();
         let va = sys.alloc(pid, 8 * PAGE_SIZE, false).unwrap();
         sys.store(pid, va, 1234).unwrap();

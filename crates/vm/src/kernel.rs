@@ -15,11 +15,10 @@
 //!   to keep under file-only memory.
 
 use o1_hw::{CostKind, OpKind};
-use std::collections::HashMap;
 
 use o1_hw::{
-    Access, Asid, FrameNo, Machine, MachineConfig, MemTier, Mmu, PageSize, PageTables, PhysAddr,
-    PtNodeId, PteFlags, RangeTable, Tlb, TranslateError, VirtAddr, HUGE_2M, PAGE_SIZE,
+    Access, Asid, FastMap, FrameNo, Machine, MachineConfig, MemTier, Mmu, PageSize, PageTables,
+    PhysAddr, PtNodeId, PteFlags, RangeTable, Tlb, TranslateError, VirtAddr, HUGE_2M, PAGE_SIZE,
 };
 use o1_memfs::{FileId, Tmpfs};
 use o1_palloc::{BuddyAllocator, FrameSource, PhysExtent};
@@ -29,6 +28,7 @@ use o1_palloc::{BuddyAllocator, FrameSource, PhysExtent};
 const MECH: &str = "baseline";
 
 use crate::page_meta::{PageFlag, PageMetaTable};
+use crate::proc_table::ProcTable;
 use crate::reclaim::{LruLists, ReclaimPolicy, ScanDecision, SwapDevice, SwapSlot};
 use crate::types::{Backing, MapFlags, Pid, Prot, VmError};
 use crate::vma::{Vma, VmaMap};
@@ -100,21 +100,11 @@ impl Default for BaselineConfig {
 ///     .build();
 /// assert!(k.free_frames() > 0);
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct BaselineBuilder {
     config: BaselineConfig,
     machine: MachineConfig,
     tlb: Option<(usize, usize)>,
-}
-
-impl Default for BaselineBuilder {
-    fn default() -> Self {
-        BaselineBuilder {
-            config: BaselineConfig::default(),
-            machine: MachineConfig::default(),
-            tlb: None,
-        }
-    }
 }
 
 impl BaselineBuilder {
@@ -205,7 +195,9 @@ struct Proc {
     root: PtNodeId,
     vmas: VmaMap,
     /// Pages evicted to swap: virtual page → slot.
-    swapped: HashMap<u64, SwapSlot>,
+    /// Keyed by virtual page number — trusted fixed-width ids probed
+    /// on every fault in the region, so the fast hasher is safe.
+    swapped: FastMap<u64, SwapSlot>,
 }
 
 /// The baseline Linux-like kernel.
@@ -217,7 +209,7 @@ pub struct BaselineKernel {
     alloc: BuddyAllocator,
     /// The tmpfs instance files live in.
     pub tmpfs: Tmpfs,
-    procs: HashMap<Pid, Proc>,
+    procs: ProcTable<Proc>,
     meta: PageMetaTable,
     swap: SwapDevice,
     lru: LruLists,
@@ -229,7 +221,9 @@ pub struct BaselineKernel {
     /// Huge buddy blocks that were split in place: block start frame →
     /// live base pages. The order-9 block returns to the buddy only
     /// when the count reaches zero.
-    huge_parts: HashMap<u64, u32>,
+    /// Keyed by the head frame number of a huge block — a trusted
+    /// fixed-width hardware id, probed on every huge map/unmap.
+    huge_parts: FastMap<u64, u32>,
     /// Bytes wasted by GreedyHuge rounding (space-for-time ledger).
     space_overhead: u64,
     /// Baseline hardware has no range translations.
@@ -256,7 +250,7 @@ impl BaselineKernel {
             mmu,
             alloc: BuddyAllocator::new(PhysExtent::new(FrameNo(0), frames)),
             tmpfs: Tmpfs::new(),
-            procs: HashMap::new(),
+            procs: ProcTable::new(),
             meta: PageMetaTable::new(frames),
             swap: SwapDevice::new(),
             lru: LruLists::new(config.reclaim),
@@ -265,7 +259,7 @@ impl BaselineKernel {
             thp: config.thp,
             fault_around: config.fault_around.max(1),
             next_pid: 1,
-            huge_parts: HashMap::new(),
+            huge_parts: FastMap::default(),
             space_overhead: 0,
             no_ranges: RangeTable::new(),
         }
@@ -321,11 +315,11 @@ impl BaselineKernel {
     }
 
     fn proc(&self, pid: Pid) -> Result<&Proc, VmError> {
-        self.procs.get(&pid).ok_or(VmError::NoProcess)
+        self.procs.get(pid).ok_or(VmError::NoProcess)
     }
 
     fn proc_mut(&mut self, pid: Pid) -> Result<&mut Proc, VmError> {
-        self.procs.get_mut(&pid).ok_or(VmError::NoProcess)
+        self.procs.get_mut(pid).ok_or(VmError::NoProcess)
     }
 
     // ---- process lifecycle ------------------------------------------------
@@ -356,7 +350,7 @@ impl BaselineKernel {
                 asid: Asid(pid.0 as u16),
                 root,
                 vmas: VmaMap::new(),
-                swapped: HashMap::new(),
+                swapped: FastMap::default(),
             },
         );
         self.machine.op_end(t0, OpKind::Launch, MECH);
@@ -377,7 +371,7 @@ impl BaselineKernel {
         for (start, len) in regions {
             self.unmap_region(pid, start, len)?;
         }
-        let proc = self.procs.remove(&pid).expect("checked above");
+        let proc = self.procs.remove(pid).expect("checked above");
         for (_, slot) in proc.swapped {
             self.swap.discard(slot);
         }
@@ -407,7 +401,7 @@ impl BaselineKernel {
             self.machine.charge_kind(CostKind::VmaCreate);
             c_vmas.insert(*v);
         }
-        let mut c_swapped = HashMap::new();
+        let mut c_swapped = FastMap::default();
         // Swap slots cannot be shared in this model; fault them back
         // in lazily in the parent is complex — simplest correct model:
         // swapped pages are brought in on fork (charged).

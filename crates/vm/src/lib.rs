@@ -15,12 +15,14 @@
 pub mod api;
 pub mod kernel;
 pub mod page_meta;
+pub mod proc_table;
 pub mod reclaim;
 pub mod runs;
 pub mod types;
 pub mod vma;
 
-pub use api::MemSys;
+pub use api::{Erased, MemSys};
+pub use proc_table::ProcTable;
 pub use runs::AccessRun;
 pub use kernel::{BaselineBuilder, BaselineConfig, BaselineKernel, ThpMode, MMAP_BASE};
 pub use page_meta::{PageFlag, PageMeta, PageMetaTable, PAGE_FLAG_COUNT, STRUCT_PAGE_BYTES};

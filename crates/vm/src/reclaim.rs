@@ -8,9 +8,9 @@
 //! A-RECLAIM ablation charges every page the scan examines.
 
 use o1_hw::CostKind;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 
-use o1_hw::{FrameNo, Machine, PAGE_SIZE};
+use o1_hw::{FastMap, FastSet, FrameNo, Machine, PAGE_SIZE};
 
 /// A slot on the swap device.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -19,7 +19,10 @@ pub struct SwapSlot(pub u64);
 /// Simulated swap device: stores page images, charges I/O costs.
 #[derive(Debug, Default)]
 pub struct SwapDevice {
-    slots: HashMap<u64, Box<[u8]>>,
+    /// Keyed by slot number — a trusted, kernel-issued fixed-width
+    /// id, so the fast hasher is safe (and hot: one probe per page
+    /// swapped either way).
+    slots: FastMap<u64, Box<[u8]>>,
     next: u64,
     free: Vec<u64>,
 }
@@ -100,8 +103,10 @@ pub struct LruLists {
     inactive: VecDeque<FrameNo>,
     /// Active list (2Q only).
     active: VecDeque<FrameNo>,
-    member_inactive: HashSet<FrameNo>,
-    member_active: HashSet<FrameNo>,
+    /// Keyed by frame number — trusted fixed-width hardware ids,
+    /// probed once per scanned candidate, so the fast hasher is safe.
+    member_inactive: FastSet<FrameNo>,
+    member_active: FastSet<FrameNo>,
 }
 
 impl LruLists {
@@ -111,8 +116,8 @@ impl LruLists {
             policy,
             inactive: VecDeque::new(),
             active: VecDeque::new(),
-            member_inactive: HashSet::new(),
-            member_active: HashSet::new(),
+            member_inactive: FastSet::default(),
+            member_active: FastSet::default(),
         }
     }
 

@@ -107,41 +107,36 @@ impl AccessPattern {
     /// one run per pass, `Strided` one run per wrap-around); random
     /// patterns stream through a greedy arithmetic run-length encoder
     /// that still collapses repeats and local sequential stretches.
-    pub fn runs(&self, pages: u64, seed: u64) -> Box<dyn Iterator<Item = AccessRun>> {
+    pub fn runs(&self, pages: u64, seed: u64) -> RunIter {
         assert!(pages > 0, "empty region");
-        match *self {
-            AccessPattern::OnePerPage => Box::new(std::iter::once(AccessRun {
-                start_page: 0,
-                stride: 1,
-                len: pages,
-            })),
-            AccessPattern::Sweep { sweeps } => {
-                Box::new((0..u64::from(sweeps)).map(move |_| AccessRun {
-                    start_page: 0,
-                    stride: 1,
-                    len: pages,
-                }))
-            }
+        let kind = match *self {
+            AccessPattern::OnePerPage => RunIterKind::Sweep {
+                pages,
+                remaining: 1,
+            },
+            AccessPattern::Sweep { sweeps } => RunIterKind::Sweep {
+                pages,
+                remaining: u64::from(sweeps),
+            },
             AccessPattern::Strided { stride, count } => {
                 assert!(stride > 0, "zero stride");
-                Box::new(StridedRuns {
+                RunIterKind::Strided(StridedRuns {
                     pages,
                     eff: stride % pages,
                     cur: 0,
                     remaining: count,
                 })
             }
-            AccessPattern::RandomUniform { count } => {
-                let mut rng = StdRng::seed_from_u64(seed);
-                Box::new(Rle::new(
-                    (0..count).map(move |_| rng.random_range(0..pages)),
-                ))
-            }
-            AccessPattern::Zipf { count, theta } => {
-                let z = Zipf::new(pages, theta);
-                let mut rng = StdRng::seed_from_u64(seed);
-                Box::new(Rle::new((0..count).map(move |_| z.sample(&mut rng))))
-            }
+            AccessPattern::RandomUniform { count } => RunIterKind::Rle(Rle::new(IndexSource {
+                rng: StdRng::seed_from_u64(seed),
+                dist: IndexDist::Uniform { pages },
+                remaining: count,
+            })),
+            AccessPattern::Zipf { count, theta } => RunIterKind::Rle(Rle::new(IndexSource {
+                rng: StdRng::seed_from_u64(seed),
+                dist: IndexDist::Zipf(Zipf::new(pages, theta)),
+                remaining: count,
+            })),
             AccessPattern::HotCold {
                 count,
                 hot_pct,
@@ -149,16 +144,18 @@ impl AccessPattern {
             } => {
                 assert!(hot_pct <= 100 && (1..=100).contains(&hot_fraction_pct));
                 let hot_pages = (pages * u64::from(hot_fraction_pct) / 100).max(1);
-                let mut rng = StdRng::seed_from_u64(seed);
-                Box::new(Rle::new((0..count).map(move |_| {
-                    if rng.random_range(0..100u32) < hot_pct {
-                        rng.random_range(0..hot_pages)
-                    } else {
-                        rng.random_range(0..pages)
-                    }
-                })))
+                RunIterKind::Rle(Rle::new(IndexSource {
+                    rng: StdRng::seed_from_u64(seed),
+                    dist: IndexDist::HotCold {
+                        pages,
+                        hot_pages,
+                        hot_pct,
+                    },
+                    remaining: count,
+                }))
             }
-        }
+        };
+        RunIter { kind }
     }
 
     /// Number of accesses this pattern performs on a region of
@@ -172,6 +169,90 @@ impl AccessPattern {
             | AccessPattern::Strided { count, .. }
             | AccessPattern::HotCold { count, .. } => count,
         }
+    }
+}
+
+/// Concrete streaming iterator behind [`AccessPattern::runs`]: an
+/// enum over per-pattern states instead of a boxed trait object, so
+/// driver loops monomorphize and streaming a pattern performs no heap
+/// allocation at all.
+pub struct RunIter {
+    kind: RunIterKind,
+}
+
+enum RunIterKind {
+    /// `OnePerPage` (one pass) and `Sweep` (n passes): one full
+    /// sequential run per remaining pass.
+    Sweep { pages: u64, remaining: u64 },
+    Strided(StridedRuns),
+    Rle(Rle<IndexSource>),
+}
+
+impl Iterator for RunIter {
+    type Item = AccessRun;
+
+    fn next(&mut self) -> Option<AccessRun> {
+        match &mut self.kind {
+            RunIterKind::Sweep { pages, remaining } => {
+                if *remaining == 0 {
+                    return None;
+                }
+                *remaining -= 1;
+                Some(AccessRun {
+                    start_page: 0,
+                    stride: 1,
+                    len: *pages,
+                })
+            }
+            RunIterKind::Strided(s) => s.next(),
+            RunIterKind::Rle(r) => r.next(),
+        }
+    }
+}
+
+/// Seeded stream of page indexes for the random patterns — the same
+/// draws in the same order as [`AccessPattern::generate`].
+struct IndexSource {
+    rng: StdRng,
+    dist: IndexDist,
+    remaining: u64,
+}
+
+enum IndexDist {
+    Uniform {
+        pages: u64,
+    },
+    Zipf(Zipf),
+    HotCold {
+        pages: u64,
+        hot_pages: u64,
+        hot_pct: u32,
+    },
+}
+
+impl Iterator for IndexSource {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        Some(match &self.dist {
+            IndexDist::Uniform { pages } => self.rng.random_range(0..*pages),
+            IndexDist::Zipf(z) => z.sample(&mut self.rng),
+            IndexDist::HotCold {
+                pages,
+                hot_pages,
+                hot_pct,
+            } => {
+                if self.rng.random_range(0..100u32) < *hot_pct {
+                    self.rng.random_range(0..*hot_pages)
+                } else {
+                    self.rng.random_range(0..*pages)
+                }
+            }
+        })
     }
 }
 

@@ -27,6 +27,30 @@ if [ "${1:-}" = "--gate" ]; then
     # (rerun `figures --latency` and commit BENCH_figures.json).
     cargo run --release -p o1-bench --bin bench-diff -- \
         BENCH_figures.json "$out/fresh.json"
+    echo "==> trajectory gate (perf PRs must append a bench-diff entry)"
+    # A perf-flavoured PR re-baselines BENCH_figures.json via
+    # `bench-diff --append`; the gate checks the trajectory grew so
+    # wall-clock history is never silently dropped. On the very first
+    # commit (no parent copy) a non-empty trajectory suffices.
+    count_entries() { grep -c '"date":"' "$1" || true; }
+    new_entries="$(count_entries BENCH_figures.json)"
+    if git show HEAD:BENCH_figures.json >"$out/head_bench.json" 2>/dev/null; then
+        old_entries="$(count_entries "$out/head_bench.json")"
+    else
+        old_entries=0
+    fi
+    if [ "$new_entries" -lt 1 ]; then
+        echo "ci.sh: BENCH_figures.json has no trajectory entries" >&2
+        exit 1
+    fi
+    if ! cmp -s BENCH_figures.json "$out/head_bench.json" \
+        && [ "$new_entries" -le "$old_entries" ]; then
+        echo "ci.sh: BENCH_figures.json was re-baselined without" \
+            "'bench-diff --append' ($old_entries -> $new_entries" \
+            "trajectory entries)" >&2
+        exit 1
+    fi
+    echo "trajectory: $new_entries entries (HEAD had $old_entries)"
     echo "==> fast-forward gate (fig_sweep bytes, --no-fastforward vs default)"
     # Run-compressed execution is an escape-hatched optimisation: the
     # interpreted run must produce byte-identical enriched JSON. Any
@@ -44,6 +68,9 @@ fi
 
 echo "==> cargo build --release"
 cargo build --release
+
+echo "==> cargo clippy --workspace (warnings are errors)"
+cargo clippy --workspace --all-targets -q -- -D warnings
 
 echo "==> cargo test --workspace"
 cargo test -q --workspace

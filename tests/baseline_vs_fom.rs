@@ -16,7 +16,7 @@ const MECHS: [MapMech; 4] = [
 
 /// Run the same write-then-read workload on any kernel, returning the
 /// values read back.
-fn run_workload(sys: &mut dyn MemSys, pages: u64, seed: u64) -> Vec<u64> {
+fn run_workload(sys: &mut impl MemSys, pages: u64, seed: u64) -> Vec<u64> {
     let pid = sys.create_process().unwrap();
     let va = sys.alloc(pid, pages * PAGE_SIZE, false).unwrap();
     let writes = AccessPattern::RandomUniform { count: pages * 2 }.generate(pages, seed);

@@ -85,7 +85,12 @@ fn assert_equivalent(
     }
 }
 
-fn baseline_pair(thp: ThpMode) -> (Box<dyn MemSys>, Box<dyn MemSys>) {
+/// Two identically-configured kernels behind genuine type erasure —
+/// exactly the heterogeneous-list use case the `Erased` facade and
+/// `Box<dyn MemSys>` exist for.
+type KernelPair = (Box<dyn MemSys>, Box<dyn MemSys>);
+
+fn baseline_pair(thp: ThpMode) -> KernelPair {
     let mk = || {
         Box::new(
             BaselineKernel::builder()
@@ -98,7 +103,7 @@ fn baseline_pair(thp: ThpMode) -> (Box<dyn MemSys>, Box<dyn MemSys>) {
     (mk(), mk())
 }
 
-fn fom_pair(mech: MapMech) -> (Box<dyn MemSys>, Box<dyn MemSys>) {
+fn fom_pair(mech: MapMech) -> KernelPair {
     let mk = || {
         Box::new(
             FomKernel::builder()
@@ -112,8 +117,8 @@ fn fom_pair(mech: MapMech) -> (Box<dyn MemSys>, Box<dyn MemSys>) {
     (mk(), mk())
 }
 
-fn all_kernel_pairs() -> Vec<(String, (Box<dyn MemSys>, Box<dyn MemSys>))> {
-    let mut pairs: Vec<(String, (Box<dyn MemSys>, Box<dyn MemSys>))> = vec![
+fn all_kernel_pairs() -> Vec<(String, KernelPair)> {
+    let mut pairs: Vec<(String, KernelPair)> = vec![
         ("baseline".into(), baseline_pair(ThpMode::Never)),
         ("baseline-thp".into(), baseline_pair(ThpMode::Aligned2M)),
     ];

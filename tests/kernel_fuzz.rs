@@ -49,7 +49,7 @@ fn generate(seed: u64, n: usize) -> Vec<Op> {
 
 /// Run the stream against one kernel, returning the sequence of
 /// successfully-loaded values (misses/errors recorded as None).
-fn run(sys: &mut dyn MemSys, ops: &[Op]) -> Vec<Option<u64>> {
+fn run(sys: &mut impl MemSys, ops: &[Op]) -> Vec<Option<u64>> {
     let mut pid = sys.create_process().unwrap();
     // region slot -> (va, pages)
     let mut regions: Vec<Option<(VirtAddr, u64)>> = vec![None; 8];

@@ -16,7 +16,7 @@ use o1mem::{VirtAddr, PAGE_SIZE};
 
 /// Drive one kernel through a seeded random workload, switching
 /// ledger phases along the way.
-fn churn(sys: &mut dyn MemSys, seed: u64, ops: usize) {
+fn churn(sys: &mut impl MemSys, seed: u64, ops: usize) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut pid = sys.create_process().unwrap();
     let mut regions: Vec<Option<(VirtAddr, u64)>> = vec![None; 8];
@@ -62,7 +62,7 @@ fn churn(sys: &mut dyn MemSys, seed: u64, ops: usize) {
 }
 
 /// Close the kernel's ledger and assert it conserves the clock.
-fn assert_conserves(sys: &mut dyn MemSys, what: &str) {
+fn assert_conserves(sys: &mut impl MemSys, what: &str) {
     let clock = sys.machine().now().0;
     let report = sys
         .machine_mut()

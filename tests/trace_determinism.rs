@@ -91,7 +91,7 @@ fn full_suite_traces_conserve_and_are_byte_identical_across_threads() {
 
     // Sanity on content: the suite exercises both kernels' op paths,
     // and only the baseline ever demand-faults.
-    let rows: Vec<_> = ts.iter().flat_map(|t| latency_rows(t)).collect();
+    let rows: Vec<_> = ts.iter().flat_map(latency_rows).collect();
     assert!(rows.iter().any(|r| r.mech == "baseline" && r.op == OpKind::AccessFault));
     assert!(rows.iter().any(|r| r.mech == "baseline" && r.op == OpKind::Mmap));
     assert!(rows.iter().any(|r| r.mech.starts_with("fom-") && r.op == OpKind::Alloc));
