@@ -17,7 +17,7 @@ use o1_palloc::{
 use o1_vm::{
     Backing, BaselineConfig, BaselineKernel, MapFlags, MemSys, Prot, ReclaimPolicy, ThpMode,
 };
-use o1_workloads::{drive_access, AccessPattern, Trace};
+use o1_workloads::{drive_access, drive_churn, drive_launch_storm, AccessPattern, Trace};
 
 use crate::series::{Figure, Series};
 
@@ -1070,6 +1070,70 @@ pub fn fig_sweep() -> Figure {
     fig
 }
 
+/// **SMP figure** — the same launch-storm and churn workloads on 1 to
+/// 64 simulated CPUs, work spread round-robin by the drivers.
+/// Invalidations broadcast to exactly the CPUs whose TLBs cached the
+/// dying ASID, so the two workloads split cleanly: launch storm keeps
+/// every process on one CPU and stays *flat* on both systems (private
+/// address spaces owe no IPIs, on any machine size), while churn runs
+/// one address space across all CPUs — the baseline's per-page
+/// invalidations each become a full broadcast and grow linearly with
+/// the machine, while file-only memory's one-flush-per-unmap keeps
+/// the SMP tax near constant. At `cpus = 1` both columns degenerate
+/// to the uniprocessor numbers the other figures report (no IPIs are
+/// ever charged).
+pub fn fig_smp() -> Figure {
+    let mut fig = Figure::new(
+        "fig_smp",
+        "launch storm + churn vs simulated CPU count",
+        "CPUs",
+        "total ns",
+    );
+    const STORM_PROCS: u32 = 48;
+    const STORM_PAGES: u64 = 256;
+    const CHURN_ROUNDS: u32 = 4;
+    const CHURN_REGIONS: u32 = 48;
+    const CHURN_PAGES: u64 = 64;
+    let mut s_base_storm = Series::new("baseline launch storm");
+    let mut s_fom_storm = Series::new("fom-ranges launch storm");
+    let mut s_base_churn = Series::new("baseline churn");
+    let mut s_fom_churn = Series::new("fom-ranges churn");
+    for cpus in [1u32, 2, 4, 8, 16, 32, 64] {
+        {
+            let mut k = BaselineKernel::builder()
+                .config(BaselineConfig {
+                    dram_bytes: 1 << 30,
+                    reclaim: ReclaimPolicy::Clock,
+                    low_watermark_frames: 0,
+                    swap_enabled: false,
+                    thp: ThpMode::Never,
+                    fault_around: 1,
+                })
+                .cpus(cpus)
+                .build();
+            let m = drive_launch_storm(&mut k, STORM_PROCS, STORM_PAGES).unwrap();
+            s_base_storm.push(u64::from(cpus), m.ns as f64);
+            let pid = Pid0::pid(&mut k);
+            let m = drive_churn(&mut k, pid, CHURN_ROUNDS, CHURN_REGIONS, CHURN_PAGES).unwrap();
+            s_base_churn.push(u64::from(cpus), m.ns as f64);
+        }
+        {
+            let mut k = FomKernel::builder()
+                .mech(MapMech::Ranges)
+                .nvm(1 << 30)
+                .cpus(cpus)
+                .build();
+            let m = drive_launch_storm(&mut k, STORM_PROCS, STORM_PAGES).unwrap();
+            s_fom_storm.push(u64::from(cpus), m.ns as f64);
+            let pid = MemSys::create_process(&mut k).unwrap();
+            let m = drive_churn(&mut k, pid, CHURN_ROUNDS, CHURN_REGIONS, CHURN_PAGES).unwrap();
+            s_fom_churn.push(u64::from(cpus), m.ns as f64);
+        }
+    }
+    fig.series = vec![s_base_storm, s_fom_storm, s_base_churn, s_fom_churn];
+    fig
+}
+
 /// All figures, in presentation order.
 pub fn all_figures() -> Vec<Figure> {
     vec![
@@ -1093,6 +1157,7 @@ pub fn all_figures() -> Vec<Figure> {
         fig_churn(),
         fig_dma(),
         fig_sweep(),
+        fig_smp(),
     ]
 }
 

@@ -21,7 +21,7 @@ use crate::experiments;
 use crate::Figure;
 
 /// Canonical ids of every figure, in output order.
-pub const ALL_IDS: [&str; 20] = [
+pub const ALL_IDS: [&str; 21] = [
     "fig1a",
     "fig1b",
     "fig2",
@@ -42,6 +42,7 @@ pub const ALL_IDS: [&str; 20] = [
     "fig_churn",
     "fig_dma",
     "fig_sweep",
+    "fig_smp",
 ];
 
 /// A canonical figure id plus its generator function, as resolved by
@@ -72,6 +73,7 @@ pub fn figure_fn(id: &str) -> Option<FigureEntry> {
         "churn" | "fig_churn" => ("fig_churn", experiments::fig_churn),
         "dma" | "fig_dma" => ("fig_dma", experiments::fig_dma),
         "sweep" | "fig_sweep" => ("fig_sweep", experiments::fig_sweep),
+        "smp" | "fig_smp" => ("fig_smp", experiments::fig_smp),
         _ => return None,
     };
     Some(entry)

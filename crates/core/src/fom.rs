@@ -25,8 +25,9 @@
 use o1_hw::{CostKind, OpKind};
 
 use o1_hw::{
-    Access, Asid, FastMap, FrameNo, Machine, MachineConfig, Mmu, PageTables, PhysAddr, PtNodeId,
-    PteFlags, RangeEntry, RangeTable, RangeTlb, Tlb, TranslateError, VirtAddr, HUGE_2M, PAGE_SIZE,
+    Access, Asid, AsidAllocator, CpuId, FastMap, FrameNo, Machine, MachineConfig, Mmu, PageTables,
+    PhysAddr, PtNodeId, PteFlags, RangeEntry, RangeTable, TranslateError, VirtAddr, HUGE_2M,
+    PAGE_SIZE,
 };
 use o1_memfs::{FileClass, FileId, FsError, Pmfs, RecoveryStats};
 use o1_palloc::PhysExtent;
@@ -156,6 +157,7 @@ pub struct FomKernel {
     file_pts: FastMap<FileId, FilePts>,
     mech: MapMech,
     erase: ErasePolicy,
+    asids: AsidAllocator,
     next_pid: u32,
     next_vol: u64,
     keys_live: u64,
@@ -214,30 +216,6 @@ impl FomBuilder {
         self
     }
 
-    /// Per-operation cost table.
-    pub fn cost(mut self, cost: o1_hw::CostModel) -> Self {
-        self.machine.cost = cost;
-        self
-    }
-
-    /// Number of CPUs (scales TLB-shootdown cost).
-    pub fn cpus(mut self, cpus: u32) -> Self {
-        self.machine.cpus = cpus;
-        self
-    }
-
-    /// Cost-attribution ledger mode (see [`o1_hw::ObsMode`]).
-    pub fn obs(mut self, mode: o1_hw::ObsMode) -> Self {
-        self.machine.obs = mode;
-        self
-    }
-
-    /// Page-TLB geometry (`sets` × `assoc` entries).
-    pub fn tlb(mut self, sets: usize, assoc: usize) -> Self {
-        self.tlb = Some((sets, assoc));
-        self
-    }
-
     /// Range-TLB capacity (only used by [`MapMech::Ranges`]).
     pub fn rtlb(mut self, entries: usize) -> Self {
         self.rtlb_entries = Some(entries);
@@ -250,27 +228,33 @@ impl FomBuilder {
         self
     }
 
-    /// Boot the kernel.
+    /// Boot the kernel. Panics on an invalid [`MachineConfig`]; use
+    /// [`FomBuilder::try_build`] to handle the error instead.
     pub fn build(self) -> FomKernel {
-        let machine = Machine::from_config(MachineConfig {
+        self.try_build().expect("invalid machine configuration")
+    }
+
+    /// Boot the kernel, rejecting invalid machine configurations
+    /// (`cpus == 0` or `cpus > o1_hw::MAX_CPUS`).
+    pub fn try_build(self) -> Result<FomKernel, VmError> {
+        o1_vm::validate_machine_config(&self.machine)?;
+        let config = MachineConfig {
             dram_bytes: self.config.dram_bytes,
             nvm_bytes: self.config.nvm_bytes,
             ..self.machine
-        });
-        let mut mmu = if self.config.mech == MapMech::Ranges {
-            Mmu::with_ranges()
-        } else {
-            Mmu::paging_only()
         };
-        if let Some((sets, assoc)) = self.tlb {
-            mmu.tlb = Tlb::new(sets, assoc);
-        }
-        if let Some(entries) = self.rtlb_entries {
-            mmu.rtlb = RangeTlb::new(entries);
-        }
-        FomKernel::boot(self.config, machine, mmu)
+        let mmu = Mmu::smp(
+            self.config.mech == MapMech::Ranges,
+            config.cpus,
+            self.tlb,
+            self.rtlb_entries,
+        );
+        let machine = Machine::from_config(config);
+        Ok(FomKernel::boot(self.config, machine, mmu))
     }
 }
+
+o1_vm::machine_config_builder!(FomBuilder);
 
 impl FomKernel {
     /// Boot a file-only-memory kernel.
@@ -295,17 +279,12 @@ impl FomKernel {
             file_pts: FastMap::default(),
             mech: config.mech,
             erase: config.erase,
+            asids: AsidAllocator::new(),
             next_pid: 1,
             next_vol: 0,
             keys_live: 0,
             dirty: Vec::new(),
         }
-    }
-
-    /// Boot with a given mechanism and defaults otherwise.
-    #[deprecated(note = "use `FomKernel::builder().mech(mech).build()`")]
-    pub fn with_mech(mech: MapMech) -> FomKernel {
-        FomKernel::builder().mech(mech).build()
     }
 
     /// The simulated machine.
@@ -316,6 +295,21 @@ impl FomKernel {
     /// Mutable machine access.
     pub fn machine_mut(&mut self) -> &mut Machine {
         &mut self.machine
+    }
+
+    /// CPU whose translation caches serve subsequent operations.
+    pub fn current_cpu(&self) -> CpuId {
+        self.mmu.current_cpu()
+    }
+
+    /// Move subsequent operations onto `cpu` (see [`Mmu::set_cpu`]).
+    pub fn set_cpu(&mut self, cpu: CpuId) {
+        self.mmu.set_cpu(cpu);
+    }
+
+    /// Number of simulated CPUs this kernel was booted with.
+    pub fn cpu_count(&self) -> u32 {
+        self.mmu.cpu_count()
     }
 
     /// Mapping mechanism in use.
@@ -374,8 +368,11 @@ impl FomKernel {
     pub fn create_process(&mut self) -> Result<Pid, VmError> {
         let t0 = self.machine.op_start();
         self.machine.charge_syscall();
-        if self.next_pid > u32::from(u16::MAX) {
-            return Err(VmError::ProcessLimit);
+        let grant = self.asids.alloc().ok_or(VmError::ProcessLimit)?;
+        if grant.needs_flush {
+            // PCID-style recycling: a reused ASID may have stale
+            // translations cached from its previous owner.
+            self.mmu.flush_asid(&mut self.machine, grant.asid);
         }
         let pid = Pid(self.next_pid);
         self.next_pid += 1;
@@ -383,7 +380,7 @@ impl FomKernel {
         self.procs.insert(
             pid,
             FomProc {
-                asid: Asid(pid.0 as u16),
+                asid: grant.asid,
                 root,
                 ranges: RangeTable::new(),
                 maps: FastMap::default(),
@@ -406,6 +403,7 @@ impl FomKernel {
         }
         let proc = self.procs.remove(pid).expect("checked above");
         self.mmu.flush_asid(&mut self.machine, proc.asid);
+        self.asids.free(proc.asid);
         self.pt.release(&mut self.machine, proc.root);
         self.machine.op_end(t0, OpKind::Teardown, self.mech_str());
         Ok(())
@@ -806,10 +804,10 @@ impl FomKernel {
                 }
             }
         }
-        // One shootdown for the whole unmap, constant cost.
-        self.mmu.tlb.flush_asid(asid);
-        self.mmu.rtlb.flush_asid(asid);
-        self.machine.charge_shootdown();
+        // One shootdown broadcast for the whole unmap, constant cost:
+        // drop the ASID from every CPU's page and range TLB and
+        // charge one IPI per CPU that actually cached it.
+        self.mmu.flush_asid(&mut self.machine, asid);
 
         // Drop the file reference; delete volatile scratch files.
         let extents: Vec<PhysExtent> = self
@@ -1262,9 +1260,16 @@ impl FomKernel {
             hi = hi.max(b);
         }
         let asid = self.proc(pid)?.asid;
+        // Prover obligation: no invalidation broadcast may have raced
+        // this CPU since it last synced, or the whole-batch proof is
+        // not sound. Refusing is charge-free; the per-run fallback is
+        // charge-identical and re-arms the prover.
+        if !self.mmu.run_prover_ready() {
+            return Ok(None);
+        }
         let va_lo = base + lo * PAGE_SIZE;
         let va_hi = base + hi * PAGE_SIZE;
-        let Some(entry) = self.mmu.rtlb.peek(asid, va_lo) else {
+        let Some(entry) = self.mmu.rtlb().peek(asid, va_lo) else {
             return Ok(None);
         };
         if !entry.covers(va_hi) || (write && !entry.prot.contains(PteFlags::WRITE)) {
@@ -1278,7 +1283,7 @@ impl FomKernel {
         // `total` refreshes of the same entry (relative stamp order,
         // and therefore future evictions, are unchanged).
         let t0 = self.machine.op_start();
-        let looked = self.mmu.rtlb.lookup(asid, va_lo);
+        let looked = self.mmu.rtlb_mut().lookup(asid, va_lo);
         debug_assert_eq!(looked, Some(entry));
         self.machine.perf.rtlb_hits += total;
         self.machine.charge_opn(CostKind::RtlbHit, total);
@@ -1361,6 +1366,7 @@ impl FomKernel {
             let proc = self.procs.remove(pid).expect("listed");
             self.pt.release(&mut self.machine, proc.root);
             self.mmu.flush_asid(&mut self.machine, proc.asid);
+            self.asids.free(proc.asid);
         }
         // Pre-created page tables are rebuilt lazily after recovery.
         let stale: Vec<FilePts> = self.file_pts.drain().map(|(_, v)| v).collect();
@@ -1457,6 +1463,18 @@ impl MemSys for FomKernel {
         self.destroy_process(pid)
     }
 
+    fn current_cpu(&self) -> CpuId {
+        self.current_cpu()
+    }
+
+    fn cpu_count(&self) -> u32 {
+        self.cpu_count()
+    }
+
+    fn set_cpu(&mut self, cpu: CpuId) {
+        self.set_cpu(cpu);
+    }
+
     fn alloc(&mut self, pid: Pid, bytes: u64, _populate: bool) -> Result<VirtAddr, VmError> {
         // File-only memory is always "populated": mapping is O(1) per
         // extent, so there is nothing to defer.
@@ -1525,21 +1543,18 @@ mod tests {
         MapMech::Ranges,
     ];
 
-    /// The deprecated constructors must keep working while they live.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_with_mech_still_boots() {
-        let k = FomKernel::with_mech(MapMech::Ranges);
-        assert_eq!(k.mech(), MapMech::Ranges);
-        assert!(k.free_frames() > 0);
-    }
-
     #[test]
     fn process_table_exhaustion_is_an_error() {
         let mut k = FomKernel::builder().mech(MapMech::SharedPt).build();
-        k.next_pid = u32::from(u16::MAX);
-        let last = k.create_process().unwrap();
-        assert_eq!(last, Pid(u32::from(u16::MAX)));
+        let first = k.create_process().unwrap();
+        // Burn the rest of the 16-bit ASID space directly.
+        while k.asids.alloc().is_some() {}
+        assert_eq!(k.create_process(), Err(VmError::ProcessLimit));
+        // Freeing one ASID makes room for exactly one more process,
+        // and pids stay monotonic across recycling.
+        k.destroy_process(first).unwrap();
+        let again = k.create_process().unwrap();
+        assert!(again > first, "pids are never reused");
         assert_eq!(k.create_process(), Err(VmError::ProcessLimit));
     }
 

@@ -43,7 +43,8 @@ pub use addr::{
 pub use cost::CostModel;
 pub use dma::{DmaEngine, DmaMode, DMA_PAGE_NS, IOMMU_FAULT_NS, IOTLB_ENTRIES};
 pub use machine::{
-    fastforward_default, set_fastforward_default, Machine, MachineConfig, ObsMode, SimNs,
+    fastforward_default, set_fastforward_default, CpuId, Machine, MachineConfig, ObsMode, SimNs,
+    MAX_CPUS,
 };
 pub use mmu::{Access, Mmu, Satisfied, TranslateError, Translated, WalkMode};
 pub use o1_obs::{CostKind, OpKind, Subsystem};
@@ -51,4 +52,4 @@ pub use pagetable::{Entry, MapError, PageTables, PtNodeId, PteFlags, Translation
 pub use perf::{PerfCounters, PerfSnapshot};
 pub use phys::{MemTier, PhysicalMemory};
 pub use range::{RangeEntry, RangeError, RangeTable, RangeTlb};
-pub use tlb::{Asid, Tlb};
+pub use tlb::{Asid, AsidAllocator, AsidGrant, Tlb};

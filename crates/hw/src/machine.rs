@@ -44,6 +44,28 @@ pub fn fastforward_default() -> bool {
     FASTFORWARD_DEFAULT.load(Ordering::SeqCst)
 }
 
+/// Largest CPU count a simulated machine supports. Responder sets are
+/// tracked as 64-bit presence masks, so the cap is architectural, not
+/// a tuning knob.
+pub const MAX_CPUS: u32 = 64;
+
+/// Identifies one simulated CPU. Each CPU owns private translation
+/// state (TLB, range TLB, page-walk cache); cross-CPU invalidation is
+/// a broadcast that charges per-responding-CPU IPI costs.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Default, Hash)]
+pub struct CpuId(pub u32);
+
+impl CpuId {
+    /// The boot CPU, where every machine starts executing.
+    pub const BOOT: CpuId = CpuId(0);
+
+    /// Index into per-CPU arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
 /// A timestamp on the simulated clock, in nanoseconds since boot.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Default, Hash)]
 pub struct SimNs(pub u64);
@@ -85,7 +107,9 @@ pub struct MachineConfig {
     pub nvm_bytes: u64,
     /// Per-operation cost table.
     pub cost: CostModel,
-    /// Number of CPUs (scales TLB-shootdown cost).
+    /// Number of CPUs, `1..=MAX_CPUS`. Each CPU owns private
+    /// translation state in the MMU; invalidations broadcast to the
+    /// CPUs that hold the target ASID.
     pub cpus: u32,
     /// Cost-attribution ledger mode.
     pub obs: ObsMode,
@@ -97,7 +121,7 @@ impl Default for MachineConfig {
             dram_bytes: 256 << 20,
             nvm_bytes: 0,
             cost: CostModel::tmpfs_dram(),
-            cpus: 4,
+            cpus: 1,
             obs: ObsMode::Auto,
         }
     }
@@ -120,7 +144,7 @@ pub struct Machine {
     /// Event counters.
     pub perf: PerfCounters,
     clock_ns: u64,
-    /// Number of CPUs, which scales TLB-shootdown cost.
+    /// Number of CPUs in the machine (bounds `CpuId`s).
     cpus: u32,
     /// Cost-attribution ledger; `None` when observability is off.
     trace: Option<Box<MachineTrace>>,
@@ -134,6 +158,10 @@ impl Machine {
     /// Build a machine from a full [`MachineConfig`].
     pub fn from_config(config: MachineConfig) -> Self {
         assert!(config.cpus > 0, "machine needs at least one CPU");
+        assert!(
+            config.cpus <= MAX_CPUS,
+            "machine supports at most {MAX_CPUS} CPUs"
+        );
         let traced = match config.obs {
             ObsMode::Auto => o1_obs::collector_active(),
             ObsMode::Off => false,
@@ -317,9 +345,10 @@ impl Machine {
     /// Set the CPU count.
     ///
     /// # Panics
-    /// Panics if `cpus` is zero.
+    /// Panics if `cpus` is zero or exceeds [`MAX_CPUS`].
     pub fn set_cpus(&mut self, cpus: u32) {
         assert!(cpus > 0, "machine needs at least one CPU");
+        assert!(cpus <= MAX_CPUS, "machine supports at most {MAX_CPUS} CPUs");
         self.cpus = cpus;
     }
 
@@ -371,13 +400,24 @@ impl Machine {
         self.charge_kind(CostKind::Syscall);
     }
 
-    /// Charge a TLB shootdown: a local flush plus one IPI per remote
-    /// CPU.
-    pub fn charge_shootdown(&mut self) {
+    /// Charge an ASID-flush shootdown broadcast: a local flush plus
+    /// one IPI + flush per responding remote CPU. `responders` is the
+    /// number of *other* CPUs currently holding translations for the
+    /// target ASID — zero on a single-CPU machine, so the charge
+    /// degenerates to the local flush alone.
+    pub fn charge_shootdown(&mut self, responders: u64) {
         self.perf.tlb_shootdowns += 1;
-        let remote = u64::from(self.cpus.saturating_sub(1));
         self.charge_kind(CostKind::TlbFlushAsid);
-        self.charge_opn(CostKind::TlbShootdownPercpu, remote);
+        self.charge_opn(CostKind::TlbShootdownPercpu, responders);
+    }
+
+    /// Charge a single-page (or single-range) invalidation broadcast:
+    /// a local `invlpg` plus one IPI + invalidation per responding
+    /// remote CPU.
+    pub fn charge_invlpg_broadcast(&mut self, responders: u64) {
+        self.perf.tlb_shootdowns += 1;
+        self.charge_kind(CostKind::TlbInvlpg);
+        self.charge_opn(CostKind::TlbShootdownPercpu, responders);
     }
 
     /// Run `f` and return its result along with the simulated
@@ -445,14 +485,14 @@ mod tests {
     }
 
     #[test]
-    fn shootdown_scales_with_cpus() {
+    fn shootdown_scales_with_responders() {
         let mut m = Machine::dram_only(1 << 20);
-        m.set_cpus(1);
-        let (_, one) = m.timed(|m| m.charge_shootdown());
-        m.set_cpus(8);
-        let (_, eight) = m.timed(|m| m.charge_shootdown());
-        assert_eq!(eight - one, 7 * m.cost.tlb_shootdown_percpu);
-        assert_eq!(m.perf.tlb_shootdowns, 2);
+        let (_, alone) = m.timed(|m| m.charge_shootdown(0));
+        let (_, seven) = m.timed(|m| m.charge_shootdown(7));
+        assert_eq!(seven - alone, 7 * m.cost.tlb_shootdown_percpu);
+        let (_, pg) = m.timed(|m| m.charge_invlpg_broadcast(3));
+        assert_eq!(pg, m.cost.tlb_invlpg + 3 * m.cost.tlb_shootdown_percpu);
+        assert_eq!(m.perf.tlb_shootdowns, 3);
     }
 
     #[test]
@@ -486,7 +526,7 @@ mod tests {
         assert!(m.traced());
         m.charge_syscall();
         m.set_phase("work");
-        m.charge_shootdown();
+        m.charge_shootdown(0);
         m.charge(77); // untagged
         let report = m.take_trace().expect("forced ledger");
         assert!(report.conserves(), "every charge path records its ns");

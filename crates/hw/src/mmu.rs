@@ -17,7 +17,7 @@
 use o1_obs::CostKind;
 use crate::addr::{FrameNo, PageNo, PageSize, PhysAddr, VirtAddr};
 use crate::fasthash::FastMap;
-use crate::machine::Machine;
+use crate::machine::{CpuId, Machine};
 use crate::pagetable::{Entry, PageTables, PtNodeId, PteFlags, Translation};
 use crate::range::{RangeTable, RangeTlb};
 use crate::tlb::{Asid, Tlb};
@@ -126,17 +126,14 @@ struct WalkSlot {
     size: PageSize,
 }
 
-/// The per-machine MMU state (we model one CPU's translation caches).
+/// Private translation state of one simulated CPU: its page TLB,
+/// range TLB, and software page-walk cache.
 #[derive(Debug)]
-pub struct Mmu {
+struct CpuMmu {
     /// Page TLB.
-    pub tlb: Tlb,
+    tlb: Tlb,
     /// Range TLB.
-    pub rtlb: RangeTlb,
-    /// Whether the range-translation hardware extension is present.
-    pub ranges_enabled: bool,
-    /// Translation depth / virtualization mode.
-    pub walk_mode: WalkMode,
+    rtlb: RangeTlb,
     /// Software page-walk cache: `(root, base page)` → leaf slot. A
     /// pure host-side accelerator — hits charge exactly what the full
     /// walk would ([`CostModel::walk`] of the cached level count plus
@@ -149,34 +146,184 @@ pub struct Mmu {
     /// [`CostModel::walk`]: crate::cost::CostModel::walk
     /// [`PerfCounters::page_walks`]: crate::perf::PerfCounters
     walk_cache: FastMap<(PtNodeId, PageNo), WalkSlot>,
-    /// Epoch the cache contents were built at.
+    /// Epoch the walk-cache contents were built at.
     walk_epoch: u64,
+    /// Broadcast-invalidation epoch this CPU last synchronised with.
+    /// Every interpreted translate syncs; the fast-forward prover
+    /// refuses to span an invalidation the CPU has not yet observed.
+    synced_epoch: u64,
 }
 
-impl Default for Mmu {
-    fn default() -> Self {
-        Mmu {
-            tlb: Tlb::default(),
-            rtlb: RangeTlb::default(),
-            ranges_enabled: false,
-            walk_mode: WalkMode::Native4,
+impl CpuMmu {
+    fn new(tlb_geometry: Option<(usize, usize)>, rtlb_entries: Option<usize>) -> CpuMmu {
+        CpuMmu {
+            tlb: tlb_geometry.map_or_else(Tlb::default, |(sets, assoc)| Tlb::new(sets, assoc)),
+            rtlb: rtlb_entries.map_or_else(RangeTlb::default, RangeTlb::new),
             walk_cache: FastMap::default(),
             walk_epoch: 0,
+            synced_epoch: 0,
         }
     }
 }
 
+/// The per-machine MMU state: one private translation-cache set per
+/// simulated CPU, plus the cross-CPU invalidation machinery.
+///
+/// Invalidations are *broadcasts*: they drop the affected entries on
+/// every CPU and charge the initiating CPU a local cost plus one IPI
+/// ([`CostKind::TlbShootdownPercpu`]) per **responding** CPU — a CPU
+/// whose presence bit for the target ASID is set. Presence bits are
+/// set when a CPU translates for an ASID and cleared by a full ASID
+/// flush, mirroring how Linux maintains `mm_cpumask`. On a one-CPU
+/// machine there are never responders, so every broadcast degenerates
+/// to exactly the historical local charge.
+#[derive(Debug)]
+pub struct Mmu {
+    /// Per-CPU translation caches, indexed by [`CpuId`].
+    cpus: Vec<CpuMmu>,
+    /// CPU issuing translations right now.
+    current: CpuId,
+    /// Whether the range-translation hardware extension is present.
+    pub ranges_enabled: bool,
+    /// Translation depth / virtualization mode.
+    pub walk_mode: WalkMode,
+    /// Per-ASID CPU-presence mask: bit `c` set means CPU `c` may hold
+    /// translations for the ASID (set on translate, cleared by a full
+    /// ASID-flush broadcast).
+    asid_cpus: FastMap<Asid, u64>,
+    /// Bumped by every broadcast invalidation; per-CPU `synced_epoch`
+    /// trails it until the CPU next observes the world.
+    inval_epoch: u64,
+}
+
+impl Default for Mmu {
+    fn default() -> Self {
+        Mmu::smp(false, 1, None, None)
+    }
+}
+
 impl Mmu {
-    /// MMU with conventional paging only.
+    /// MMU with conventional paging only, one CPU.
     pub fn paging_only() -> Mmu {
         Mmu::default()
     }
 
-    /// MMU with the range-translation extension enabled.
+    /// MMU with the range-translation extension enabled, one CPU.
     pub fn with_ranges() -> Mmu {
+        Mmu::smp(true, 1, None, None)
+    }
+
+    /// Fully-configured MMU: `cpus` private translation-cache sets,
+    /// each with the given page-TLB geometry (`None` = default) and
+    /// range-TLB capacity (`None` = default).
+    ///
+    /// # Panics
+    /// Panics if `cpus` is zero or exceeds [`crate::machine::MAX_CPUS`]
+    /// (presence masks are 64-bit).
+    pub fn smp(
+        ranges_enabled: bool,
+        cpus: u32,
+        tlb_geometry: Option<(usize, usize)>,
+        rtlb_entries: Option<usize>,
+    ) -> Mmu {
+        assert!(cpus > 0, "MMU needs at least one CPU");
+        assert!(
+            cpus <= crate::machine::MAX_CPUS,
+            "MMU supports at most {} CPUs",
+            crate::machine::MAX_CPUS
+        );
         Mmu {
-            ranges_enabled: true,
-            ..Mmu::default()
+            cpus: (0..cpus)
+                .map(|_| CpuMmu::new(tlb_geometry, rtlb_entries))
+                .collect(),
+            current: CpuId::BOOT,
+            ranges_enabled,
+            walk_mode: WalkMode::Native4,
+            asid_cpus: FastMap::default(),
+            inval_epoch: 0,
+        }
+    }
+
+    /// Number of CPUs this MMU models.
+    pub fn cpu_count(&self) -> u32 {
+        self.cpus.len() as u32
+    }
+
+    /// CPU whose translation caches the next access will use.
+    #[inline]
+    pub fn current_cpu(&self) -> CpuId {
+        self.current
+    }
+
+    /// Switch subsequent translations to `cpu`'s caches.
+    ///
+    /// # Panics
+    /// Panics if `cpu` is out of range for this machine.
+    #[inline]
+    pub fn set_cpu(&mut self, cpu: CpuId) {
+        assert!(
+            cpu.index() < self.cpus.len(),
+            "CPU {} out of range (machine has {})",
+            cpu.0,
+            self.cpus.len()
+        );
+        self.current = cpu;
+    }
+
+    /// The current CPU's page TLB.
+    #[inline]
+    pub fn tlb(&self) -> &Tlb {
+        &self.cpus[self.current.index()].tlb
+    }
+
+    /// The current CPU's page TLB, mutably. Direct mutation bypasses
+    /// broadcast charging — kernel code should prefer the
+    /// invalidation methods.
+    #[inline]
+    pub fn tlb_mut(&mut self) -> &mut Tlb {
+        &mut self.cpus[self.current.index()].tlb
+    }
+
+    /// The current CPU's range TLB.
+    #[inline]
+    pub fn rtlb(&self) -> &RangeTlb {
+        &self.cpus[self.current.index()].rtlb
+    }
+
+    /// The current CPU's range TLB, mutably.
+    #[inline]
+    pub fn rtlb_mut(&mut self) -> &mut RangeTlb {
+        &mut self.cpus[self.current.index()].rtlb
+    }
+
+    /// Remote CPUs that would respond to a broadcast for `asid`: those
+    /// whose presence bit is set, excluding the initiating (current)
+    /// CPU.
+    fn responders(&self, asid: Asid) -> u64 {
+        let mask = self.asid_cpus.get(&asid).copied().unwrap_or(0);
+        u64::from((mask & !(1u64 << self.current.index())).count_ones())
+    }
+
+    /// Note that the current CPU translates for `asid` (sets its
+    /// presence bit, making it a responder to future broadcasts).
+    #[inline]
+    fn note_presence(&mut self, asid: Asid) {
+        *self.asid_cpus.entry(asid).or_insert(0) |= 1u64 << self.current.index();
+    }
+
+    /// Fast-forward obligation check: true when the current CPU has
+    /// observed every broadcast invalidation, i.e. the prover may
+    /// assume "no concurrent invalidation overlaps this span". When
+    /// false the CPU syncs (so the *next* probe may pass) and the
+    /// caller must interpret — which is charge-identical, merely
+    /// slower on the host.
+    pub fn run_prover_ready(&mut self) -> bool {
+        let cur = &mut self.cpus[self.current.index()];
+        if cur.synced_epoch == self.inval_epoch {
+            true
+        } else {
+            cur.synced_epoch = self.inval_epoch;
+            false
         }
     }
 
@@ -195,9 +342,17 @@ impl Mmu {
         va: VirtAddr,
         access: Access,
     ) -> Result<Translated, TranslateError> {
+        // An interpreted translate observes the world as it is: the
+        // CPU is synchronised with every broadcast so far, becomes a
+        // responder for this ASID, and revalidates against live TLB
+        // state entry by entry.
+        let cur = self.current.index();
+        self.cpus[cur].synced_epoch = self.inval_epoch;
+        self.note_presence(asid);
+
         // 1. Range TLB.
         if self.ranges_enabled {
-            if let Some(entry) = self.rtlb.lookup(asid, va) {
+            if let Some(entry) = self.cpus[cur].rtlb.lookup(asid, va) {
                 m.perf.rtlb_hits += 1;
                 m.charge_kind(CostKind::RtlbHit);
                 check_prot(entry.prot, access)?;
@@ -210,7 +365,7 @@ impl Mmu {
         }
 
         // 2. Page TLB.
-        if let Some((frame, size, flags)) = self.tlb.lookup(asid, va) {
+        if let Some((frame, size, flags)) = self.cpus[cur].tlb.lookup(asid, va) {
             m.perf.tlb_hits += 1;
             m.charge_kind(CostKind::TlbHit);
             check_prot(flags, access)?;
@@ -233,7 +388,7 @@ impl Mmu {
             if let Some(entry) = ranges.lookup(va).copied() {
                 check_prot(entry.prot, access)?;
                 m.charge_kind(CostKind::RtlbFill);
-                self.rtlb.insert(asid, entry);
+                self.cpus[cur].rtlb.insert(asid, entry);
                 return Ok(Translated {
                     pa: entry.translate(va),
                     by: Satisfied::RangeWalk,
@@ -251,7 +406,7 @@ impl Mmu {
                 );
                 check_prot(t.flags, access)?;
                 m.charge_kind(CostKind::TlbFill);
-                self.tlb.insert(asid, va, frame, t.size, t.flags);
+                self.cpus[cur].tlb.insert(asid, va, frame, t.size, t.flags);
                 pt.mark_accessed(root, va, access == Access::Write);
                 Ok(Translated {
                     pa: t.pa,
@@ -285,10 +440,11 @@ impl Mmu {
     /// interpreter would redo per access. The caller still owes the
     /// per-access memory charge for each of the `span` accesses.
     ///
-    /// Returns `None` — charging nothing and mutating nothing — when
-    /// the run cannot be proven uniform (TLB miss, protection fault,
-    /// tier boundary, entry boundary): the caller falls back to the
-    /// per-access interpreter for at least one access.
+    /// Returns `None` — charging nothing and mutating no simulated
+    /// state — when the run cannot be proven uniform (TLB miss,
+    /// protection fault, tier boundary, entry boundary, or an
+    /// unobserved concurrent invalidation): the caller falls back to
+    /// the per-access interpreter for at least one access.
     #[allow(clippy::too_many_arguments)] // mirrors `translate`
     pub fn translate_run(
         &mut self,
@@ -304,11 +460,23 @@ impl Mmu {
         if len < 2 {
             return None;
         }
+        // Obligation: no broadcast invalidation the current CPU has
+        // not observed may overlap the span. Refusing costs nothing —
+        // the interpreter is charge-identical — and the refusal syncs
+        // the CPU, so the next run fast-forwards again.
+        if !self.run_prover_ready() {
+            return None;
+        }
+        // The prover translates for `asid` on this CPU exactly as the
+        // interpreter would, so presence (and thus future responder
+        // counts) must not depend on which execution mode ran.
+        self.note_presence(asid);
+        let cur = self.current.index();
         // Range-TLB-resident span (only reachable when the extension
         // is enabled; a resident entry always wins over the page TLB,
         // exactly as in `translate`).
         if self.ranges_enabled {
-            if let Some(entry) = self.rtlb.peek(asid, va) {
+            if let Some(entry) = self.cpus[cur].rtlb.peek(asid, va) {
                 check_prot(entry.prot, access).ok()?;
                 let span = span_within(va.0, stride, len, entry.base.0, entry.limit.0);
                 if span < 2 {
@@ -321,7 +489,7 @@ impl Mmu {
                 }
                 // Commit. One real lookup refreshes the entry's LRU
                 // stamp to the newest tick, as `span` hits would.
-                let looked = self.rtlb.lookup(asid, va);
+                let looked = self.cpus[cur].rtlb.lookup(asid, va);
                 debug_assert_eq!(looked, Some(entry));
                 m.perf.rtlb_hits += span;
                 m.charge_opn(CostKind::RtlbHit, span);
@@ -331,7 +499,7 @@ impl Mmu {
             // the range TLB, which costs nothing but is counted.
         }
         // Page-TLB-resident span, confined to one mapping region.
-        let (frame, size, flags) = self.tlb.peek(asid, va)?;
+        let (frame, size, flags) = self.cpus[cur].tlb.peek(asid, va)?;
         check_prot(flags, access).ok()?;
         let region = va.align_down(size.bytes()).0;
         let span = span_within(va.0, stride, len, region, region + size.bytes());
@@ -344,7 +512,7 @@ impl Mmu {
             return None;
         }
         // Commit.
-        let looked = self.tlb.lookup(asid, va);
+        let looked = self.cpus[cur].tlb.lookup(asid, va);
         debug_assert!(looked.is_some());
         if self.ranges_enabled {
             m.perf.rtlb_misses += span;
@@ -377,12 +545,13 @@ impl Mmu {
         root: PtNodeId,
         va: VirtAddr,
     ) -> Option<(Translation, FrameNo)> {
-        if self.walk_epoch != pt.epoch() {
-            self.walk_cache.clear();
-            self.walk_epoch = pt.epoch();
+        let cpu = &mut self.cpus[self.current.index()];
+        if cpu.walk_epoch != pt.epoch() {
+            cpu.walk_cache.clear();
+            cpu.walk_epoch = pt.epoch();
         }
         let key = (root, va.page());
-        let slot = match self.walk_cache.get(&key) {
+        let slot = match cpu.walk_cache.get(&key) {
             Some(&slot) => slot,
             None => match pt.leaf_slot(root, va) {
                 Some((node, index, touched)) => {
@@ -398,7 +567,7 @@ impl Mmu {
                         levels_touched: touched,
                         size,
                     };
-                    self.walk_cache.insert(key, slot);
+                    cpu.walk_cache.insert(key, slot);
                     slot
                 }
                 None => {
@@ -426,25 +595,52 @@ impl Mmu {
         Some((t, frame))
     }
 
-    /// Invalidate one page translation locally (INVLPG), charging its
-    /// cost. The kernel calls [`Machine::charge_shootdown`] separately
-    /// when remote CPUs must also be notified.
+    /// Broadcast a single-page invalidation (INVLPG): drop the entry
+    /// on every CPU, charging the local `invlpg` plus one IPI per
+    /// responding remote CPU. On a one-CPU machine this is exactly
+    /// the historical local invalidation.
     pub fn invalidate_page(&mut self, m: &mut Machine, asid: Asid, va: VirtAddr) {
-        m.charge_kind(CostKind::TlbInvlpg);
-        self.tlb.invalidate_page(asid, va);
+        m.charge_invlpg_broadcast(self.responders(asid));
+        self.inval_epoch += 1;
+        for cpu in &mut self.cpus {
+            cpu.tlb.invalidate_page(asid, va);
+        }
+        self.cpus[self.current.index()].synced_epoch = self.inval_epoch;
     }
 
-    /// Invalidate one cached range entry (the O(1) unmap path).
+    /// Broadcast one cached-range invalidation — the O(1) unmap path:
+    /// one shootdown per *range*, however many pages it spans.
     pub fn invalidate_range(&mut self, m: &mut Machine, asid: Asid, base: VirtAddr) {
-        m.charge_kind(CostKind::TlbInvlpg);
-        self.rtlb.invalidate(asid, base);
+        m.charge_invlpg_broadcast(self.responders(asid));
+        self.inval_epoch += 1;
+        for cpu in &mut self.cpus {
+            cpu.rtlb.invalidate(asid, base);
+        }
+        self.cpus[self.current.index()].synced_epoch = self.inval_epoch;
     }
 
-    /// Flush all translations for an address space.
+    /// Broadcast a full ASID flush: drop every translation for the
+    /// address space on every CPU, charge the local flush plus one IPI
+    /// per responding CPU, and clear the ASID's presence mask (no CPU
+    /// holds it any more).
     pub fn flush_asid(&mut self, m: &mut Machine, asid: Asid) {
-        m.charge_kind(CostKind::TlbFlushAsid);
-        self.tlb.flush_asid(asid);
-        self.rtlb.flush_asid(asid);
+        m.charge_shootdown(self.responders(asid));
+        self.inval_epoch += 1;
+        for cpu in &mut self.cpus {
+            cpu.tlb.flush_asid(asid);
+            cpu.rtlb.flush_asid(asid);
+        }
+        self.asid_cpus.remove(&asid);
+        self.cpus[self.current.index()].synced_epoch = self.inval_epoch;
+    }
+
+    /// Charge (only) an end-of-operation shootdown round for `asid`:
+    /// the initiating CPU's flush cost plus one IPI per responding
+    /// CPU. TLB state is untouched — per-entry invalidation has
+    /// already been applied by the per-page/per-range broadcasts this
+    /// round summarises.
+    pub fn charge_shootdown(&self, m: &mut Machine, asid: Asid) {
+        m.charge_shootdown(self.responders(asid));
     }
 }
 
@@ -767,8 +963,96 @@ mod tests {
             )
             .unwrap();
         f.mmu.flush_asid(&mut f.m, A);
-        assert_eq!(f.mmu.tlb.occupancy(), 0);
-        assert_eq!(f.mmu.rtlb.occupancy(), 0);
+        assert_eq!(f.mmu.tlb().occupancy(), 0);
+        assert_eq!(f.mmu.rtlb().occupancy(), 0);
+    }
+
+    #[test]
+    fn per_cpu_tlbs_are_private_and_broadcasts_reach_all() {
+        let mut m = Machine::dram_only(64 << 20);
+        let mut pt = PageTables::new();
+        let root = pt.create_root(&mut m);
+        let rt = RangeTable::new();
+        let mut mmu = Mmu::smp(false, 4, None, None);
+        let va = VirtAddr(0x10_0000);
+        pt.map(&mut m, root, va, FrameNo(7), PageSize::Base, PteFlags::user_rw())
+            .unwrap();
+
+        // CPU 0 walks and fills its private TLB.
+        mmu.set_cpu(CpuId(0));
+        mmu.translate(&mut m, &mut pt, root, &rt, A, va, Access::Read)
+            .unwrap();
+        assert_eq!(mmu.tlb().occupancy(), 1);
+        // CPU 1's TLB is cold: same address walks again.
+        mmu.set_cpu(CpuId(1));
+        assert_eq!(mmu.tlb().occupancy(), 0);
+        let t = mmu
+            .translate(&mut m, &mut pt, root, &rt, A, va, Access::Read)
+            .unwrap();
+        assert_eq!(t.by, Satisfied::PageWalk, "private caches: cold on CPU 1");
+        assert_eq!(m.perf.page_walks, 2);
+
+        // CPU 3 never touched the ASID: two responders (0 and 1).
+        mmu.set_cpu(CpuId(3));
+        let t0 = m.now();
+        mmu.invalidate_page(&mut m, A, va);
+        assert_eq!(
+            m.now().since(t0),
+            m.cost.tlb_invlpg + 2 * m.cost.tlb_shootdown_percpu,
+            "local invlpg + one IPI per responding CPU"
+        );
+        // The broadcast dropped the entry everywhere.
+        for cpu in [CpuId(0), CpuId(1)] {
+            mmu.set_cpu(cpu);
+            assert_eq!(mmu.tlb().occupancy(), 0, "broadcast reached {cpu:?}");
+        }
+
+        // A full flush clears presence: no responders afterwards.
+        mmu.set_cpu(CpuId(0));
+        mmu.flush_asid(&mut m, A);
+        let t1 = m.now();
+        mmu.flush_asid(&mut m, A);
+        assert_eq!(m.now().since(t1), m.cost.tlb_flush_asid, "mask cleared");
+    }
+
+    #[test]
+    fn prover_refuses_across_unobserved_invalidation() {
+        let mut m = Machine::dram_only(64 << 20);
+        let mut pt = PageTables::new();
+        let root = pt.create_root(&mut m);
+        let rt = RangeTable::new();
+        let mut mmu = Mmu::smp(false, 2, None, None);
+        let va = VirtAddr(0x10_0000);
+        pt.map(&mut m, root, va, FrameNo(77), PageSize::Base, PteFlags::user_rw())
+            .unwrap();
+        mmu.translate(&mut m, &mut pt, root, &rt, A, va, Access::Read)
+            .unwrap();
+        // Warm: the run fast-forwards on CPU 0.
+        assert!(mmu
+            .translate_run(&mut m, &mut pt, root, A, va, 8, 10, Access::Read)
+            .is_some());
+        // CPU 1 invalidates a *different* page. CPU 0 has not observed
+        // the broadcast, so its next run must refuse once (falling
+        // back to the charge-identical interpreter)...
+        mmu.set_cpu(CpuId(1));
+        mmu.invalidate_page(&mut m, A, VirtAddr(0x20_0000));
+        mmu.set_cpu(CpuId(0));
+        assert!(mmu
+            .translate_run(&mut m, &mut pt, root, A, va, 8, 10, Access::Read)
+            .is_none());
+        // ...and the refusal synced CPU 0, so the run proves again.
+        assert!(mmu
+            .translate_run(&mut m, &mut pt, root, A, va, 8, 10, Access::Read)
+            .is_some());
+        // The *initiating* CPU observes its own broadcast: CPU 1 can
+        // fast-forward immediately after invalidating.
+        mmu.set_cpu(CpuId(1));
+        mmu.translate(&mut m, &mut pt, root, &rt, A, va, Access::Read)
+            .unwrap();
+        mmu.invalidate_page(&mut m, A, VirtAddr(0x30_0000));
+        assert!(mmu
+            .translate_run(&mut m, &mut pt, root, A, va, 8, 10, Access::Read)
+            .is_some());
     }
 
     #[test]

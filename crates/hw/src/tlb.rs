@@ -280,6 +280,96 @@ impl Tlb {
     }
 }
 
+/// Outcome of one [`AsidAllocator::alloc`] call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AsidGrant {
+    /// The granted identifier.
+    pub asid: Asid,
+    /// True when the ASID was recycled from an earlier generation —
+    /// PCID-style, the caller must flush every CPU's translation
+    /// state for it before reuse, because entries tagged with the
+    /// previous owner may still be resident.
+    pub needs_flush: bool,
+}
+
+/// Generational ASID/PCID allocator.
+///
+/// ASIDs are handed out sequentially first (`1, 2, 3, …` — ASID 0 is
+/// reserved, as hardware reserves PCID 0 for the kernel), so a fresh
+/// machine reproduces the exact sequence the old one-shot allocator
+/// produced. Only once the 16-bit namespace is exhausted does the
+/// allocator *roll over* into the next generation and start recycling
+/// freed ASIDs; every recycled grant is marked [`AsidGrant::needs_flush`]
+/// so stale translations from the previous owner are shot down before
+/// reuse. Allocation fails only when every non-reserved ASID is live
+/// at once.
+#[derive(Debug, Default, Clone)]
+pub struct AsidAllocator {
+    /// Next never-granted ASID; `u16::MAX as u32 + 1` = frontier spent.
+    next: u32,
+    /// ASIDs returned by [`free`](Self::free), recycled LIFO once the
+    /// frontier is spent.
+    free: Vec<Asid>,
+    /// 0 while the never-used frontier lasts; 1 once recycling began.
+    generation: u64,
+    /// Currently-live grants.
+    live: u32,
+}
+
+impl AsidAllocator {
+    /// Every ASID unallocated, frontier at 1.
+    pub fn new() -> AsidAllocator {
+        AsidAllocator {
+            next: 1,
+            free: Vec::new(),
+            generation: 0,
+            live: 0,
+        }
+    }
+
+    /// Grant an ASID, or `None` when all 65535 assignable ASIDs are
+    /// live simultaneously.
+    pub fn alloc(&mut self) -> Option<AsidGrant> {
+        if self.next <= u32::from(u16::MAX) {
+            let asid = Asid(self.next as u16);
+            self.next += 1;
+            self.live += 1;
+            return Some(AsidGrant {
+                asid,
+                needs_flush: false,
+            });
+        }
+        let asid = self.free.pop()?;
+        if self.generation == 0 {
+            self.generation = 1; // first rollover: recycling begins
+        }
+        self.live += 1;
+        Some(AsidGrant {
+            asid,
+            needs_flush: true,
+        })
+    }
+
+    /// Return `asid` to the pool. It becomes eligible for recycling
+    /// at the next rollover, never before.
+    pub fn free(&mut self, asid: Asid) {
+        debug_assert!(self.live > 0, "free without a live grant");
+        self.live = self.live.saturating_sub(1);
+        self.free.push(asid);
+    }
+
+    /// Currently-live grants.
+    pub fn live(&self) -> u32 {
+        self.live
+    }
+
+    /// 0 while grants still come from the never-used frontier; 1 once
+    /// the namespace rolled over and recycling began.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -409,5 +499,41 @@ mod tests {
         assert!(tlb.occupancy() > 0);
         tlb.flush_all();
         assert_eq!(tlb.occupancy(), 0);
+    }
+
+    #[test]
+    fn asid_allocation_is_sequential_first() {
+        let mut a = AsidAllocator::new();
+        for want in 1..=64u16 {
+            let g = a.alloc().unwrap();
+            assert_eq!(g.asid, Asid(want));
+            assert!(!g.needs_flush, "frontier grants never need a flush");
+        }
+        assert_eq!(a.live(), 64);
+        // Freeing does not change the sequence before rollover.
+        a.free(Asid(3));
+        a.free(Asid(7));
+        assert_eq!(a.alloc().unwrap().asid, Asid(65));
+        assert_eq!(a.generation(), 0);
+    }
+
+    #[test]
+    fn asid_rollover_recycles_with_flush() {
+        let mut a = AsidAllocator::new();
+        for _ in 1..=u16::MAX {
+            a.alloc().unwrap();
+        }
+        assert!(a.alloc().is_none(), "namespace fully live");
+        a.free(Asid(100));
+        a.free(Asid(200));
+        let g = a.alloc().unwrap();
+        assert_eq!(g.asid, Asid(200), "recycled LIFO");
+        assert!(g.needs_flush, "recycled ASIDs must be flushed");
+        assert_eq!(a.generation(), 1);
+        let g = a.alloc().unwrap();
+        assert_eq!(g.asid, Asid(100));
+        assert!(g.needs_flush);
+        assert!(a.alloc().is_none(), "live again at capacity");
+        assert_eq!(a.live(), u32::from(u16::MAX));
     }
 }

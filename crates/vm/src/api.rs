@@ -5,10 +5,59 @@
 //! and the file-only-memory kernel and differs only in what the two
 //! designs charge.
 
-use o1_hw::{Machine, PerfSnapshot, VirtAddr, PAGE_SIZE};
+use o1_hw::{CpuId, Machine, MachineConfig, PerfSnapshot, VirtAddr, PAGE_SIZE};
 
 use crate::runs::AccessRun;
 use crate::types::{Pid, VmError};
+
+/// Validate the machine half of a kernel builder. CPU counts outside
+/// `1..=o1_hw::MAX_CPUS` are rejected here — at build time, with an
+/// error — rather than panicking deep inside the hardware layer.
+pub fn validate_machine_config(config: &MachineConfig) -> Result<(), VmError> {
+    if config.cpus == 0 || config.cpus > o1_hw::MAX_CPUS {
+        return Err(VmError::InvalidConfig);
+    }
+    Ok(())
+}
+
+/// Generates the [`MachineConfig`]-backed setters every kernel
+/// builder shares — `cost`, `cpus`, `obs`, `tlb` — so the baseline
+/// and file-only builders cannot drift apart. The builder type must
+/// have `machine: MachineConfig` and `tlb: Option<(usize, usize)>`
+/// fields; kernel-specific policy setters stay hand-written.
+#[macro_export]
+macro_rules! machine_config_builder {
+    ($builder:ty) => {
+        impl $builder {
+            /// Per-operation cost table.
+            pub fn cost(mut self, cost: ::o1_hw::CostModel) -> Self {
+                self.machine.cost = cost;
+                self
+            }
+
+            /// Number of simulated CPUs (`1..=o1_hw::MAX_CPUS`). Each
+            /// CPU owns private translation caches; invalidations
+            /// broadcast to the CPUs holding the target ASID and
+            /// charge per-responder IPI costs.
+            pub fn cpus(mut self, cpus: u32) -> Self {
+                self.machine.cpus = cpus;
+                self
+            }
+
+            /// Cost-attribution ledger mode (see [`o1_hw::ObsMode`]).
+            pub fn obs(mut self, mode: ::o1_hw::ObsMode) -> Self {
+                self.machine.obs = mode;
+                self
+            }
+
+            /// Page-TLB geometry (`sets` × `assoc` entries, per CPU).
+            pub fn tlb(mut self, sets: usize, assoc: usize) -> Self {
+                self.tlb = Some((sets, assoc));
+                self
+            }
+        }
+    };
+}
 
 /// A memory-management system under test.
 pub trait MemSys {
@@ -36,11 +85,41 @@ pub trait MemSys {
         self.machine_mut().set_phase(label);
     }
 
+    /// The CPU subsequent operations run on.
+    fn current_cpu(&self) -> CpuId {
+        CpuId::BOOT
+    }
+
+    /// How many simulated CPUs this system was booted with. Drivers
+    /// use it to spread work round-robin; `1` means every
+    /// [`set_cpu`](Self::set_cpu) is a no-op.
+    fn cpu_count(&self) -> u32 {
+        1
+    }
+
+    /// Migrate subsequent operations to `cpu`. Free on the simulated
+    /// clock — it models the scheduler having placed the work there,
+    /// not a context switch. Kernels route this to the MMU, whose
+    /// translation caches are per-CPU.
+    fn set_cpu(&mut self, cpu: CpuId) {
+        let _ = cpu;
+    }
+
+    /// Pin the following operations to `cpu`: the returned handle
+    /// derefs to the kernel and restores the previously current CPU
+    /// when dropped.
+    fn on_cpu(&mut self, cpu: CpuId) -> OnCpu<'_, Self>
+    where
+        Self: Sized,
+    {
+        OnCpu::new(self, cpu)
+    }
+
     /// Create an empty process.
     ///
     /// # Errors
     /// [`VmError::ProcessLimit`] when the process table is exhausted
-    /// (ASIDs are 16-bit, so at most 65535 processes ever).
+    /// (ASIDs are 16-bit, so at most 65535 *live* processes).
     fn create_process(&mut self) -> Result<Pid, VmError>;
 
     /// Tear down a process and all its memory.
@@ -144,6 +223,55 @@ pub trait MemSys {
     }
 }
 
+/// Scoped CPU pin over a [`MemSys`], created by [`MemSys::on_cpu`]:
+/// derefs to the wrapped kernel and restores the previously current
+/// CPU on drop, so callers cannot forget to switch back.
+///
+/// # Examples
+/// ```
+/// use o1_vm::{BaselineKernel, CpuId, MemSys};
+///
+/// let mut k = BaselineKernel::builder().cpus(2).build();
+/// {
+///     let mut k1 = k.on_cpu(CpuId(1));
+///     let pid = k1.create_process().unwrap();
+///     k1.destroy_process(pid).unwrap();
+/// }
+/// assert_eq!(k.current_cpu(), CpuId(0));
+/// ```
+pub struct OnCpu<'a, M: MemSys> {
+    sys: &'a mut M,
+    prev: CpuId,
+}
+
+impl<'a, M: MemSys> OnCpu<'a, M> {
+    fn new(sys: &'a mut M, cpu: CpuId) -> OnCpu<'a, M> {
+        let prev = sys.current_cpu();
+        sys.set_cpu(cpu);
+        OnCpu { sys, prev }
+    }
+}
+
+impl<M: MemSys> core::ops::Deref for OnCpu<'_, M> {
+    type Target = M;
+
+    fn deref(&self) -> &M {
+        self.sys
+    }
+}
+
+impl<M: MemSys> core::ops::DerefMut for OnCpu<'_, M> {
+    fn deref_mut(&mut self) -> &mut M {
+        self.sys
+    }
+}
+
+impl<M: MemSys> Drop for OnCpu<'_, M> {
+    fn drop(&mut self) {
+        self.sys.set_cpu(self.prev);
+    }
+}
+
 /// Thin type-erasure facade over [`MemSys`].
 ///
 /// The workload drivers are generic (`impl MemSys`), so every kernel ×
@@ -176,6 +304,18 @@ impl MemSys for Erased<'_> {
 
     fn phase(&mut self, label: &'static str) {
         self.0.phase(label);
+    }
+
+    fn current_cpu(&self) -> CpuId {
+        self.0.current_cpu()
+    }
+
+    fn cpu_count(&self) -> u32 {
+        self.0.cpu_count()
+    }
+
+    fn set_cpu(&mut self, cpu: CpuId) {
+        self.0.set_cpu(cpu);
     }
 
     fn create_process(&mut self) -> Result<Pid, VmError> {
@@ -241,6 +381,18 @@ impl MemSys for crate::kernel::BaselineKernel {
 
     fn machine_mut(&mut self) -> &mut Machine {
         self.machine_mut()
+    }
+
+    fn current_cpu(&self) -> CpuId {
+        self.current_cpu()
+    }
+
+    fn cpu_count(&self) -> u32 {
+        self.cpu_count()
+    }
+
+    fn set_cpu(&mut self, cpu: CpuId) {
+        self.set_cpu(cpu);
     }
 
     fn create_process(&mut self) -> Result<Pid, VmError> {
@@ -313,5 +465,40 @@ mod tests {
         assert_eq!(k.sys_name(), "baseline");
         run_generic(&mut k);
         assert!(k.machine().now().0 > 0);
+    }
+
+    #[test]
+    fn invalid_cpu_counts_are_rejected_at_build() {
+        assert_eq!(
+            BaselineKernel::builder().cpus(0).try_build().err(),
+            Some(VmError::InvalidConfig)
+        );
+        assert_eq!(
+            BaselineKernel::builder()
+                .cpus(o1_hw::MAX_CPUS + 1)
+                .try_build()
+                .err(),
+            Some(VmError::InvalidConfig)
+        );
+        assert!(BaselineKernel::builder().cpus(o1_hw::MAX_CPUS).try_build().is_ok());
+    }
+
+    #[test]
+    fn on_cpu_pins_and_restores() {
+        use crate::types::CpuId;
+
+        let mut k = BaselineKernel::builder().dram(16 << 20).cpus(4).build();
+        assert_eq!(k.current_cpu(), CpuId::BOOT);
+        {
+            let mut pinned = k.on_cpu(CpuId(3));
+            assert_eq!(pinned.current_cpu(), CpuId(3));
+            run_generic(&mut *pinned);
+        }
+        assert_eq!(k.current_cpu(), CpuId::BOOT, "drop restores the CPU");
+        // Erased facade routes CPU placement through the vtable.
+        let mut erased = Erased(&mut k);
+        erased.set_cpu(CpuId(2));
+        assert_eq!(erased.current_cpu(), CpuId(2));
+        k.set_cpu(CpuId::BOOT);
     }
 }

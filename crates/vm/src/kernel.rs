@@ -17,8 +17,9 @@
 use o1_hw::{CostKind, OpKind};
 
 use o1_hw::{
-    Access, Asid, FastMap, FrameNo, Machine, MachineConfig, MemTier, Mmu, PageSize, PageTables,
-    PhysAddr, PtNodeId, PteFlags, RangeTable, Tlb, TranslateError, VirtAddr, HUGE_2M, PAGE_SIZE,
+    Access, Asid, AsidAllocator, CpuId, FastMap, FrameNo, Machine, MachineConfig, MemTier, Mmu,
+    PageSize, PageTables, PhysAddr, PtNodeId, PteFlags, RangeTable, TranslateError, VirtAddr,
+    HUGE_2M, PAGE_SIZE,
 };
 use o1_memfs::{FileId, Tmpfs};
 use o1_palloc::{BuddyAllocator, FrameSource, PhysExtent};
@@ -144,30 +145,6 @@ impl BaselineBuilder {
         self
     }
 
-    /// Per-operation cost table.
-    pub fn cost(mut self, cost: o1_hw::CostModel) -> Self {
-        self.machine.cost = cost;
-        self
-    }
-
-    /// Number of CPUs (scales TLB-shootdown cost).
-    pub fn cpus(mut self, cpus: u32) -> Self {
-        self.machine.cpus = cpus;
-        self
-    }
-
-    /// Cost-attribution ledger mode (see [`o1_hw::ObsMode`]).
-    pub fn obs(mut self, mode: o1_hw::ObsMode) -> Self {
-        self.machine.obs = mode;
-        self
-    }
-
-    /// Page-TLB geometry (`sets` × `assoc` entries).
-    pub fn tlb(mut self, sets: usize, assoc: usize) -> Self {
-        self.tlb = Some((sets, assoc));
-        self
-    }
-
     /// Replace the whole kernel-policy config at once.
     pub fn config(mut self, config: BaselineConfig) -> Self {
         self.config = config;
@@ -175,19 +152,35 @@ impl BaselineBuilder {
     }
 
     /// Boot the kernel.
+    ///
+    /// # Panics
+    /// Panics on an invalid machine configuration; use
+    /// [`try_build`](Self::try_build) to handle it as an error.
     pub fn build(self) -> BaselineKernel {
-        let machine = Machine::from_config(MachineConfig {
+        self.try_build().expect("invalid machine configuration")
+    }
+
+    /// Boot the kernel, validating the machine configuration.
+    ///
+    /// # Errors
+    /// [`VmError::InvalidConfig`] when `cpus` is zero or exceeds
+    /// [`o1_hw::MAX_CPUS`].
+    pub fn try_build(self) -> Result<BaselineKernel, VmError> {
+        crate::api::validate_machine_config(&self.machine)?;
+        let config = MachineConfig {
             dram_bytes: self.config.dram_bytes,
             nvm_bytes: 0,
             ..self.machine
-        });
-        let mut mmu = Mmu::paging_only();
-        if let Some((sets, assoc)) = self.tlb {
-            mmu.tlb = Tlb::new(sets, assoc);
-        }
-        BaselineKernel::boot(self.config, machine, mmu)
+        };
+        let mmu = Mmu::smp(false, config.cpus, self.tlb, None);
+        let machine = Machine::from_config(config);
+        Ok(BaselineKernel::boot(self.config, machine, mmu))
     }
 }
+
+// The `cost` / `cpus` / `obs` / `tlb` setters, shared with the
+// file-only kernel's builder.
+crate::machine_config_builder!(BaselineBuilder);
 
 #[derive(Debug)]
 struct Proc {
@@ -218,6 +211,9 @@ pub struct BaselineKernel {
     thp: ThpMode,
     fault_around: u32,
     next_pid: u32,
+    /// ASID lifecycle: sequential-first grants, PCID-style recycling
+    /// with flush-on-reuse once the 16-bit space rolls over.
+    asids: AsidAllocator,
     /// Huge buddy blocks that were split in place: block start frame →
     /// live base pages. The order-9 block returns to the buddy only
     /// when the count reaches zero.
@@ -259,16 +255,11 @@ impl BaselineKernel {
             thp: config.thp,
             fault_around: config.fault_around.max(1),
             next_pid: 1,
+            asids: AsidAllocator::new(),
             huge_parts: FastMap::default(),
             space_overhead: 0,
             no_ranges: RangeTable::new(),
         }
-    }
-
-    /// Boot with defaults and the given DRAM size.
-    #[deprecated(note = "use `BaselineKernel::builder().dram(bytes).build()`")]
-    pub fn with_dram(dram_bytes: u64) -> BaselineKernel {
-        BaselineKernel::builder().dram(dram_bytes).build()
     }
 
     /// The simulated machine (clock, counters, cost model).
@@ -290,6 +281,24 @@ impl BaselineKernel {
     /// virtualized nesting).
     pub fn set_walk_mode(&mut self, mode: o1_hw::WalkMode) {
         self.mmu.walk_mode = mode;
+    }
+
+    /// CPU whose private translation caches subsequent operations use.
+    pub fn current_cpu(&self) -> CpuId {
+        self.mmu.current_cpu()
+    }
+
+    /// Run subsequent operations on `cpu`.
+    ///
+    /// # Panics
+    /// Panics if `cpu` is out of range for this machine.
+    pub fn set_cpu(&mut self, cpu: CpuId) {
+        self.mmu.set_cpu(cpu);
+    }
+
+    /// Number of simulated CPUs this kernel was booted with.
+    pub fn cpu_count(&self) -> u32 {
+        self.mmu.cpu_count()
     }
 
     /// Bytes of memory wasted by the GreedyHuge space-for-time trade
@@ -324,30 +333,34 @@ impl BaselineKernel {
 
     // ---- process lifecycle ------------------------------------------------
 
-    /// Allocate the next pid. ASIDs are 16-bit, so the process table
-    /// is exhausted once pids no longer fit.
-    fn alloc_pid(&mut self) -> Result<Pid, VmError> {
-        if self.next_pid > u32::from(u16::MAX) {
-            return Err(VmError::ProcessLimit);
+    /// Allocate the next pid and an ASID for it. Pids are monotonic;
+    /// ASIDs come from the recycling allocator, and a recycled
+    /// grant's stale translations are flushed here (the PCID
+    /// rollover cost).
+    fn alloc_pid(&mut self) -> Result<(Pid, Asid), VmError> {
+        let grant = self.asids.alloc().ok_or(VmError::ProcessLimit)?;
+        if grant.needs_flush {
+            self.mmu.flush_asid(&mut self.machine, grant.asid);
         }
         let pid = Pid(self.next_pid);
         self.next_pid += 1;
-        Ok(pid)
+        Ok((pid, grant.asid))
     }
 
     /// Create an empty process.
     ///
     /// # Errors
-    /// [`VmError::ProcessLimit`] once the 16-bit ASID space is spent.
+    /// [`VmError::ProcessLimit`] while all 65535 16-bit ASIDs are
+    /// held by live processes.
     pub fn create_process(&mut self) -> Result<Pid, VmError> {
         let t0 = self.machine.op_start();
         self.machine.charge_syscall();
-        let pid = self.alloc_pid()?;
+        let (pid, asid) = self.alloc_pid()?;
         let root = self.pt.create_root(&mut self.machine);
         self.procs.insert(
             pid,
             Proc {
-                asid: Asid(pid.0 as u16),
+                asid,
                 root,
                 vmas: VmaMap::new(),
                 swapped: FastMap::default(),
@@ -376,6 +389,7 @@ impl BaselineKernel {
             self.swap.discard(slot);
         }
         self.mmu.flush_asid(&mut self.machine, proc.asid);
+        self.asids.free(proc.asid);
         self.pt.release(&mut self.machine, proc.root);
         self.machine.op_end(t0, OpKind::Teardown, MECH);
         Ok(())
@@ -394,7 +408,7 @@ impl BaselineKernel {
                 p.swapped.iter().map(|(&k, &v)| (k, v)).collect(),
             )
         };
-        let child = self.alloc_pid()?;
+        let (child, child_asid) = self.alloc_pid()?;
         let c_root = self.pt.create_root(&mut self.machine);
         let mut c_vmas = VmaMap::new();
         for v in &vmas {
@@ -467,11 +481,11 @@ impl BaselineKernel {
             }
         }
         self.mmu.flush_asid(&mut self.machine, p_asid);
-        self.machine.charge_shootdown();
+        self.mmu.charge_shootdown(&mut self.machine, p_asid);
         self.procs.insert(
             child,
             Proc {
-                asid: Asid(child.0 as u16),
+                asid: child_asid,
                 root: c_root,
                 vmas: c_vmas,
                 swapped: c_swapped,
@@ -681,7 +695,7 @@ impl BaselineKernel {
                 page_va += PAGE_SIZE;
             }
         }
-        self.machine.charge_shootdown();
+        self.mmu.charge_shootdown(&mut self.machine, asid);
         Ok(())
     }
 
@@ -737,7 +751,7 @@ impl BaselineKernel {
                 self.lru.insert(frame);
             }
         }
-        self.machine.charge_shootdown();
+        self.mmu.charge_shootdown(&mut self.machine, asid);
     }
 
     /// Return one base frame to the allocator, honouring split huge
@@ -829,7 +843,7 @@ impl BaselineKernel {
             }
         }
         self.mmu.flush_asid(&mut self.machine, asid);
-        self.machine.charge_shootdown();
+        self.mmu.charge_shootdown(&mut self.machine, asid);
         Ok(())
     }
 
@@ -848,7 +862,7 @@ impl BaselineKernel {
             self.drop_page_mapping(pid, root, asid, page_va);
             page_va += PAGE_SIZE;
         }
-        self.machine.charge_shootdown();
+        self.mmu.charge_shootdown(&mut self.machine, asid);
         Ok(())
     }
 
@@ -1214,16 +1228,25 @@ impl BaselineKernel {
             let mut data = vec![0u8; PAGE_SIZE as usize].into_boxed_slice();
             self.machine.phys.read(frame.base(), &mut data);
             let slot = self.swap.swap_out(&mut self.machine, data);
+            let mut round_asid = None;
             for (pid, va) in rmap {
                 let Ok(p) = self.proc(pid) else { continue };
                 let (root, asid) = (p.root, p.asid);
+                round_asid.get_or_insert(asid);
                 self.pt.unmap(&mut self.machine, root, va);
                 self.mmu.invalidate_page(&mut self.machine, asid, va);
                 if let Ok(p) = self.proc_mut(pid) {
                     p.swapped.insert(va.page().0, slot);
                 }
             }
-            self.machine.charge_shootdown();
+            // One closing shootdown round per evicted frame, keyed by
+            // the first mapper's address space (shared frames notify
+            // its responders; further mappers were already notified by
+            // the per-page broadcasts above).
+            match round_asid {
+                Some(asid) => self.mmu.charge_shootdown(&mut self.machine, asid),
+                None => self.machine.charge_shootdown(0),
+            }
             self.meta.reset(frame);
             self.free_frame(frame);
             evicted += 1;
@@ -1502,22 +1525,21 @@ mod tests {
         BaselineKernel::builder().dram(64 << 20).build()
     }
 
-    /// The deprecated constructors must keep working while they live.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_with_dram_still_boots() {
-        let k = BaselineKernel::with_dram(64 << 20);
-        assert_eq!(k.free_frames(), (64 << 20) / PAGE_SIZE);
-    }
-
     #[test]
     fn process_table_exhaustion_is_an_error() {
         let mut k = kernel();
-        k.next_pid = u32::from(u16::MAX);
-        let last = k.create_process().unwrap();
-        assert_eq!(last, Pid(u32::from(u16::MAX)));
+        let first = k.create_process().unwrap();
+        // Drain the remaining 16-bit ASID space without the expense of
+        // booting 65534 processes.
+        while k.asids.alloc().is_some() {}
         assert_eq!(k.create_process(), Err(VmError::ProcessLimit));
-        assert_eq!(k.fork(last), Err(VmError::ProcessLimit));
+        assert_eq!(k.fork(first), Err(VmError::ProcessLimit));
+        // Destroying a process recycles its ASID: creation works again
+        // (the recycled grant is flushed — PCID rollover semantics).
+        k.destroy_process(first).unwrap();
+        let again = k.create_process().unwrap();
+        assert!(again > first, "pids stay monotonic across recycling");
+        assert_eq!(k.create_process(), Err(VmError::ProcessLimit));
     }
 
     #[test]

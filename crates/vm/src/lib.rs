@@ -21,11 +21,11 @@ pub mod runs;
 pub mod types;
 pub mod vma;
 
-pub use api::{Erased, MemSys};
+pub use api::{validate_machine_config, Erased, MemSys, OnCpu};
 pub use proc_table::ProcTable;
 pub use runs::AccessRun;
 pub use kernel::{BaselineBuilder, BaselineConfig, BaselineKernel, ThpMode, MMAP_BASE};
 pub use page_meta::{PageFlag, PageMeta, PageMetaTable, PAGE_FLAG_COUNT, STRUCT_PAGE_BYTES};
 pub use reclaim::{LruLists, ReclaimPolicy, ScanDecision, SwapDevice, SwapSlot};
-pub use types::{Backing, MapFlags, Pid, Prot, VmError};
+pub use types::{Backing, CpuId, MapFlags, Pid, Prot, VmError};
 pub use vma::{Vma, VmaMap};

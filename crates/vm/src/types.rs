@@ -4,6 +4,11 @@ use core::fmt;
 
 use o1_memfs::FsError;
 
+/// Identifies one simulated CPU. Typed so CPU ids never travel as
+/// bare integers through public kernel signatures; re-exported from
+/// the hardware layer, where per-CPU translation caches live.
+pub use o1_hw::CpuId;
+
 /// Process identifier.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub struct Pid(pub u32);
@@ -99,8 +104,11 @@ pub enum VmError {
     /// Malformed range (unaligned, zero-length, or not a mapping
     /// boundary).
     BadRange,
-    /// The process table is full (ASIDs are 16-bit).
+    /// The process table is full (all 16-bit ASIDs are live).
     ProcessLimit,
+    /// Machine configuration rejected at build time (`cpus == 0` or
+    /// `cpus > o1_hw::MAX_CPUS`).
+    InvalidConfig,
     /// Underlying file-system error.
     Fs(FsError),
 }
@@ -114,6 +122,7 @@ impl fmt::Display for VmError {
             VmError::NoMemory => write!(f, "out of memory"),
             VmError::BadRange => write!(f, "bad range"),
             VmError::ProcessLimit => write!(f, "process table full"),
+            VmError::InvalidConfig => write!(f, "invalid machine configuration"),
             VmError::Fs(e) => write!(f, "file system: {e}"),
         }
     }

@@ -2,7 +2,7 @@
 //! simulated time plus the perf-counter delta.
 
 use o1_hw::{PerfCounters, VirtAddr, PAGE_SIZE};
-use o1_vm::{AccessRun, MemSys, Pid, VmError};
+use o1_vm::{AccessRun, CpuId, MemSys, Pid, VmError};
 
 use crate::patterns::AccessPattern;
 
@@ -79,19 +79,27 @@ pub fn drive_access<S: MemSys + ?Sized>(
         len: 0,
     };
     sys.phase("access");
+    // Chunks rotate round-robin over the machine's CPUs — the
+    // deterministic stand-in for a scheduler spreading the access
+    // stream. With one CPU every `set_cpu` is the identity.
+    let cpus = sys.cpu_count();
     measure(sys, |s| {
         let mut buf = [EMPTY; RUN_CHUNK];
         let mut filled = 0usize;
         let mut value = 0u64;
+        let mut chunk = 0u32;
         for run in pattern.runs(pages, seed) {
             buf[filled] = run;
             filled += 1;
             if filled == RUN_CHUNK {
+                s.set_cpu(CpuId(chunk % cpus));
+                chunk += 1;
                 value = s.access_runs(pid, va, &buf, write, value)?;
                 filled = 0;
             }
         }
         if filled > 0 {
+            s.set_cpu(CpuId(chunk % cpus));
             s.access_runs(pid, va, &buf[..filled], write, value)?;
         }
         Ok(())
@@ -109,10 +117,16 @@ pub fn drive_churn<S: MemSys + ?Sized>(
     pages: u64,
 ) -> Result<Measurement, VmError> {
     sys.phase("churn");
+    // Each live region is handled by one CPU, round-robin across the
+    // machine, all within one process: its address space ends up
+    // cached on every CPU, so on a big machine each free's
+    // invalidations broadcast IPIs to all the CPUs touching siblings.
+    let cpus = sys.cpu_count();
     measure(sys, |s| {
         for _ in 0..rounds {
             let mut regions = Vec::new();
-            for _ in 0..live_regions {
+            for i in 0..live_regions {
+                s.set_cpu(CpuId(i % cpus));
                 let va = s.alloc(pid, pages * PAGE_SIZE, false)?;
                 // One sequential write run per region: page p gets
                 // value p, exactly as the old per-page store loop.
@@ -124,7 +138,8 @@ pub fn drive_churn<S: MemSys + ?Sized>(
                 s.access_runs(pid, va, &touch, true, 0)?;
                 regions.push(va);
             }
-            for va in regions {
+            for (i, va) in regions.into_iter().enumerate() {
+                s.set_cpu(CpuId(i as u32 % cpus));
                 s.release(pid, va, pages * PAGE_SIZE)?;
             }
         }
@@ -143,9 +158,15 @@ pub fn drive_launch_storm<S: MemSys + ?Sized>(
     pages: u64,
 ) -> Result<Measurement, VmError> {
     sys.phase("launch");
+    // Each process launches, touches and dies on its own CPU,
+    // round-robin. Its private ASID is therefore cached on exactly one
+    // CPU, so teardown never broadcasts IPIs — the SMP-free contrast
+    // to `drive_churn`, where one address space spans every CPU.
+    let cpus = sys.cpu_count();
     measure(sys, |s| {
         let mut procs = Vec::new();
-        for _ in 0..n {
+        for i in 0..n {
+            s.set_cpu(CpuId(i % cpus));
             let pid = s.create_process()?;
             let va = s.alloc(pid, pages * PAGE_SIZE, true)?;
             // Touch every 8th page as one stride-8 run. The stored
@@ -161,7 +182,8 @@ pub fn drive_launch_storm<S: MemSys + ?Sized>(
             procs.push(pid);
         }
         s.phase("teardown");
-        for pid in procs {
+        for (i, pid) in procs.into_iter().enumerate() {
+            s.set_cpu(CpuId(i as u32 % cpus));
             s.destroy_process(pid)?;
         }
         Ok(())

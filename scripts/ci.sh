@@ -62,6 +62,23 @@ if [ "${1:-}" = "--gate" ]; then
         --fig fig_sweep --latency --attrib --no-fastforward \
         --json "$out/noff.json" --no-bench >/dev/null
     cmp "$out/ff.json" "$out/noff.json"
+    echo "==> uniprocessor gate (plain figure bytes vs GOLDEN_figures.json)"
+    # Every figure except fig_smp's inner sweep runs on one simulated
+    # CPU, where the SMP machinery must be invisible: no IPI is ever
+    # charged and the frozen v1 JSON is byte-identical to the
+    # committed golden copy. Regenerate and commit GOLDEN_figures.json
+    # only alongside an intentional simulated-number change.
+    cargo run --release -p o1-bench --bin figures -- \
+        --json "$out/plain.json" --no-bench >/dev/null
+    cmp GOLDEN_figures.json "$out/plain.json"
+    echo "==> smp determinism gate (fig_smp bytes across --threads)"
+    cargo run --release -p o1-bench --bin figures -- \
+        --fig fig_smp --latency --attrib --threads 1 \
+        --json "$out/smp1.json" --no-bench >/dev/null
+    cargo run --release -p o1-bench --bin figures -- \
+        --fig fig_smp --latency --attrib --threads 4 \
+        --json "$out/smp4.json" --no-bench >/dev/null
+    cmp "$out/smp1.json" "$out/smp4.json"
     echo "ci.sh: perf gate OK"
     exit 0
 fi

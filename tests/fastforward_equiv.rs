@@ -16,7 +16,7 @@ use rand::{Rng, SeedableRng};
 
 use o1mem::core::{FomKernel, MapMech};
 use o1mem::hw::ObsMode;
-use o1mem::vm::{BaselineKernel, MemSys, ThpMode};
+use o1mem::vm::{BaselineKernel, CpuId, MemSys, ThpMode};
 use o1mem::workloads::{drive_access, drive_churn, drive_launch_storm, AccessPattern};
 use o1mem::PAGE_SIZE;
 
@@ -197,6 +197,74 @@ fn random_spans_match_the_interpreter() {
             }
             sys.destroy_process(pid).unwrap();
         });
+    }
+}
+
+/// On a multi-CPU machine the whole-batch fast-forward proof carries
+/// one more obligation — no invalidation broadcast may have raced the
+/// proving CPU — and its refusals must be charge-free. This drives
+/// CPU-hopping accesses interleaved with broadcasting frees on both
+/// kernels and asserts the fast path still cannot be told apart from
+/// the interpreter.
+#[test]
+fn smp_machines_match_the_interpreter() {
+    for cpus in [2u32, 8, 64] {
+        let pairs: Vec<(String, KernelPair)> = vec![
+            (format!("baseline cpus={cpus}"), {
+                let mk = || {
+                    Box::new(
+                        BaselineKernel::builder()
+                            .dram(256 << 20)
+                            .cpus(cpus)
+                            .obs(ObsMode::On)
+                            .build(),
+                    ) as Box<dyn MemSys>
+                };
+                (mk(), mk())
+            }),
+            (format!("fom-Ranges cpus={cpus}"), {
+                let mk = || {
+                    Box::new(
+                        FomKernel::builder()
+                            .dram(128 << 20)
+                            .nvm(256 << 20)
+                            .mech(MapMech::Ranges)
+                            .cpus(cpus)
+                            .obs(ObsMode::On)
+                            .build(),
+                    ) as Box<dyn MemSys>
+                };
+                (mk(), mk())
+            }),
+        ];
+        for (name, (a, b)) in pairs {
+            assert_equivalent(a, b, &name, &|sys: &mut dyn MemSys| {
+                let cpus = sys.cpu_count();
+                let pid = sys.create_process().unwrap();
+                let pages = 96u64;
+                let va = sys.alloc(pid, pages * PAGE_SIZE, true).unwrap();
+                // Warm several CPUs' translation caches on one span.
+                for cpu in 0..cpus.min(4) {
+                    sys.set_cpu(CpuId(cpu));
+                    sys.access_span(pid, va, PAGE_SIZE as i64, pages, false, 0)
+                        .unwrap();
+                }
+                // Churn broadcasts invalidations from round-robin
+                // CPUs, staling every other CPU's proof window.
+                drive_churn(sys, pid, 2, 5, 16).unwrap();
+                // Post-broadcast accesses: the first batch per CPU
+                // must refuse the fast path (charge-identically),
+                // then fast-forward again once re-proved.
+                for cpu in 0..cpus.min(4) {
+                    sys.set_cpu(CpuId(cpu));
+                    sys.access_span(pid, va, PAGE_SIZE as i64, pages, true, 7)
+                        .unwrap();
+                }
+                sys.set_cpu(CpuId(0));
+                sys.destroy_process(pid).unwrap();
+                drive_launch_storm(sys, 4, 32).unwrap();
+            });
+        }
     }
 }
 

@@ -435,3 +435,39 @@ fn fig_sweep_linear_in_pages_and_ranges_cheapest_translation() {
         );
     }
 }
+
+#[test]
+fn fig_smp_churn_tax_linear_on_baseline_flat_on_fom() {
+    let f = exp::fig_smp();
+    // Launch storm: each process lives and dies on one CPU, so its
+    // private ASID never triggers a remote IPI — flat on any machine
+    // size, for both systems.
+    for label in ["baseline launch storm", "fom-ranges launch storm"] {
+        let s = f.series(label).unwrap();
+        let ys: Vec<f64> = s.points.iter().map(|&(_, y)| y).collect();
+        assert!(
+            ys.windows(2).all(|w| w[0] == w[1]),
+            "{label}: private address spaces owe no SMP tax"
+        );
+    }
+    // Churn: one address space spans every CPU, so the baseline's
+    // per-page invalidation broadcasts grow with the machine...
+    let base = f.series("baseline churn").unwrap();
+    let (b0, b_last) = base.ends().unwrap();
+    assert!(
+        b_last > 5.0 * b0,
+        "baseline shootdown tax grows with CPUs: {b0} → {b_last}"
+    );
+    // ...while fom's one-flush-per-unmap keeps the tax near constant.
+    let fom = f.series("fom-ranges churn").unwrap();
+    let (f0, f_last) = fom.ends().unwrap();
+    assert!(
+        f_last < 1.2 * f0,
+        "fom SMP tax near constant: {f0} → {f_last}"
+    );
+    // And at every machine size fom stays an order cheaper.
+    for &(x, b) in &base.points {
+        let fy = fom.y_at(x).unwrap();
+        assert!(b > 10.0 * fy, "at {x} CPUs: baseline {b} vs fom {fy}");
+    }
+}

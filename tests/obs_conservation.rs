@@ -11,18 +11,23 @@ use rand::{Rng, SeedableRng};
 
 use o1mem::core::{FomKernel, MapMech};
 use o1mem::hw::ObsMode;
-use o1mem::vm::{BaselineKernel, MemSys};
+use o1mem::vm::{BaselineKernel, CpuId, MemSys};
 use o1mem::{VirtAddr, PAGE_SIZE};
 
 /// Drive one kernel through a seeded random workload, switching
-/// ledger phases along the way.
+/// ledger phases along the way and hopping between CPUs so every
+/// invalidation broadcast finds a different responder set.
 fn churn(sys: &mut impl MemSys, seed: u64, ops: usize) {
     let mut rng = StdRng::seed_from_u64(seed);
+    let cpus = sys.cpu_count();
     let mut pid = sys.create_process().unwrap();
     let mut regions: Vec<Option<(VirtAddr, u64)>> = vec![None; 8];
     for i in 0..ops {
         if i % 64 == 0 {
             sys.phase(["alloc", "access", "churn"][(i / 64) % 3]);
+        }
+        if i % 7 == 0 {
+            sys.set_cpu(CpuId(rng.random_range(0..cpus)));
         }
         match rng.random_range(0..10u32) {
             0 | 1 => {
@@ -107,6 +112,38 @@ fn randomized_workloads_conserve_on_every_fom_mechanism() {
                 .build();
             churn(&mut k, seed, 400);
             assert_conserves(&mut k, &format!("{mech:?} seed {seed}"));
+        }
+    }
+}
+
+/// Shootdown broadcasts charge per responding CPU; the ledger must
+/// absorb every IPI no matter how the workload migrates between CPUs,
+/// on any machine size, on both kernels and every fom mechanism.
+#[test]
+fn multi_cpu_workloads_conserve_on_both_kernels() {
+    for cpus in [1u32, 2, 8, 64] {
+        let mut k = BaselineKernel::builder()
+            .dram(256 << 20)
+            .cpus(cpus)
+            .obs(ObsMode::On)
+            .build();
+        churn(&mut k, 7 + u64::from(cpus), 600);
+        assert_conserves(&mut k, &format!("baseline cpus {cpus}"));
+        for mech in [
+            MapMech::PageTables,
+            MapMech::SharedPt,
+            MapMech::Pbm,
+            MapMech::Ranges,
+        ] {
+            let mut k = FomKernel::builder()
+                .dram(128 << 20)
+                .nvm(256 << 20)
+                .mech(mech)
+                .cpus(cpus)
+                .obs(ObsMode::On)
+                .build();
+            churn(&mut k, 11 + u64::from(cpus), 400);
+            assert_conserves(&mut k, &format!("{mech:?} cpus {cpus}"));
         }
     }
 }
