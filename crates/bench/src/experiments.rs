@@ -8,7 +8,7 @@
 //! numbers.
 
 use o1_core::{ErasePolicy, FomConfig, FomKernel, MapMech};
-use o1_hw::{CostModel, FrameNo, Machine, WalkMode, PAGE_SIZE};
+use o1_hw::{CostModel, FrameNo, Machine, VirtAddr, WalkMode, PAGE_SIZE};
 use o1_memfs::FileClass;
 use o1_palloc::{
     BuddyAllocator, CryptoZero, EagerZero, ExtentAllocator, FrameSource, PhysExtent,
@@ -1134,6 +1134,182 @@ pub fn fig_smp() -> Figure {
     fig
 }
 
+/// The tiering workload: `TIER_OBJECTS` objects of `TIER_OBJ_PAGES`
+/// pages each, touched with Zipf(`TIER_THETA`) popularity by object
+/// rank, `TIER_ROUND_TOUCHES` touches per round for `TIER_ROUNDS`
+/// rounds.
+const TIER_OBJECTS: usize = 64;
+const TIER_OBJ_PAGES: u64 = 16;
+const TIER_ROUNDS: u32 = 10;
+const TIER_ROUND_TOUCHES: u64 = 2048;
+const TIER_THETA: f64 = 0.9;
+/// Pages the OBASE migrator may move per background tick.
+const TIER_TICK_BUDGET: u64 = 256;
+/// DRAM (or fast-region) capacity as a percent of the working set.
+const TIER_PCTS: [u64; 6] = [3, 6, 12, 25, 50, 100];
+
+/// Touches per object for one round: `TIER_ROUND_TOUCHES` split
+/// proportionally to Zipf weights `1/(rank+1)^theta`, remainder to
+/// the hottest object. Object 0 is hottest, like
+/// [`AccessPattern::ZipfHotCold`]'s ranking.
+fn tier_counts() -> [u64; TIER_OBJECTS] {
+    let w: Vec<f64> = (0..TIER_OBJECTS)
+        .map(|i| 1.0 / ((i + 1) as f64).powf(TIER_THETA))
+        .collect();
+    let total: f64 = w.iter().sum();
+    let mut counts = [0u64; TIER_OBJECTS];
+    let mut given = 0;
+    for (i, c) in counts.iter_mut().enumerate() {
+        *c = (TIER_ROUND_TOUCHES as f64 * w[i] / total) as u64;
+        given += *c;
+    }
+    counts[0] += TIER_ROUND_TOUCHES - given;
+    counts
+}
+
+/// Drive the tiering workload over per-object regions and return the
+/// total *foreground* access time. `tick` runs between rounds (the
+/// OBASE background migrator; a no-op elsewhere) — its cost lands in
+/// the ledger but deliberately not in the returned number, which is
+/// what an application thread would see.
+fn tier_drive<S, F>(sys: &mut S, pid: o1_vm::Pid, vas: &[VirtAddr], mut tick: F) -> f64
+where
+    S: MemSys + ?Sized,
+    F: FnMut(&mut S),
+{
+    let counts = tier_counts();
+    let mut total = 0u64;
+    for round in 0..TIER_ROUNDS {
+        for (i, &va) in vas.iter().enumerate() {
+            if counts[i] == 0 {
+                continue;
+            }
+            let pattern = AccessPattern::RandomUniform { count: counts[i] };
+            let seed = u64::from(round) * TIER_OBJECTS as u64 + i as u64;
+            let m = drive_access(sys, pid, va, TIER_OBJ_PAGES, &pattern, seed, false).unwrap();
+            total += m.ns;
+        }
+        tick(sys);
+    }
+    total as f64
+}
+
+/// Allocate the tiering working set as one volatile file per object —
+/// one pmfs extent each, so extent-granular placement sees real
+/// object boundaries.
+fn tier_objects(k: &mut FomKernel, pid: o1_vm::Pid) -> Vec<VirtAddr> {
+    (0..TIER_OBJECTS)
+        .map(|_| {
+            let (_, va) = k
+                .falloc(pid, TIER_OBJ_PAGES * PAGE_SIZE, FileClass::Volatile)
+                .unwrap();
+            va
+        })
+        .collect()
+}
+
+/// **Tiering figure** — foreground cost of the Zipf object workload
+/// as restrictive-but-fast capacity grows, on one x-axis (percent of
+/// the 4 MiB working set):
+///
+/// * **fom-obase**: the capacity is a DRAM pool; extents are born in
+///   NVM and the background migrator promotes the hottest objects
+///   between rounds. More DRAM → more of the Zipf mass served at
+///   DRAM latency; the curve approaches the all-DRAM bound from
+///   above and tracks it within ~2x once the pool holds the hot set
+///   (~12% of the working set at theta = 0.9).
+/// * **fom-utopia**: the capacity is hashed fast-region slots in
+///   front of the same flexible page tables (all data stays in NVM).
+///   More slots → fewer 4-level walks on the deliberately small
+///   64-entry TLB. Translation savings, not placement savings: it
+///   heads for the NVM memory-latency floor (direct-mapped conflicts
+///   keep it a little above), never the DRAM bound.
+/// * **fom-pt (all NVM)** and **baseline (all DRAM)**: flat
+///   references — no capacity to sweep, pure page tables at each
+///   tier's latency.
+pub fn fig_tiering() -> Figure {
+    let mut fig = Figure::new(
+        "fig_tiering",
+        "Zipf object workload vs DRAM / fast-region capacity",
+        "capacity (% of 4 MiB working set)",
+        "foreground access ns",
+    );
+    let ws_pages = TIER_OBJECTS as u64 * TIER_OBJ_PAGES;
+    let ws_bytes = ws_pages * PAGE_SIZE;
+    // Small page TLB (16 sets x 4 ways = 64 entries) for every kernel:
+    // the 1024-page working set overflows it, so translation pressure
+    // is visible and the same for all series.
+    let tlb = (16usize, 4usize);
+
+    // Flat references, measured once.
+    let pt_nvm = {
+        let mut k = FomKernel::builder()
+            .mech(MapMech::PageTables)
+            .nvm(64 << 20)
+            .tlb(tlb.0, tlb.1)
+            .build();
+        let pid = MemSys::create_process(&mut k).unwrap();
+        let vas = tier_objects(&mut k, pid);
+        tier_drive(&mut k, pid, &vas, |_| {})
+    };
+    let base_dram = {
+        let mut k = BaselineKernel::builder()
+            .config(BaselineConfig {
+                dram_bytes: 64 << 20,
+                reclaim: ReclaimPolicy::Clock,
+                low_watermark_frames: 0,
+                swap_enabled: false,
+                thp: ThpMode::Never,
+                fault_around: 1,
+            })
+            .tlb(tlb.0, tlb.1)
+            .build();
+        let pid = Pid0::pid(&mut k);
+        let vas: Vec<VirtAddr> = (0..TIER_OBJECTS)
+            .map(|_| MemSys::alloc(&mut k, pid, TIER_OBJ_PAGES * PAGE_SIZE, true).unwrap())
+            .collect();
+        tier_drive(&mut k, pid, &vas, |_| {})
+    };
+
+    let mut s_obase = Series::new("fom-obase (DRAM pool)");
+    let mut s_utopia = Series::new("fom-utopia (fast-region slots)");
+    let mut s_pt = Series::new("fom-pt (all NVM)");
+    let mut s_base = Series::new("baseline (all DRAM)");
+    for pct in TIER_PCTS {
+        {
+            let mut k = FomKernel::builder()
+                .mech(MapMech::Obase)
+                .dram(ws_bytes * pct / 100)
+                .nvm(64 << 20)
+                .tlb(tlb.0, tlb.1)
+                .build();
+            let pid = MemSys::create_process(&mut k).unwrap();
+            let vas = tier_objects(&mut k, pid);
+            let ns = tier_drive(&mut k, pid, &vas, |k| {
+                k.mechanism_tick(TIER_TICK_BUDGET);
+            });
+            s_obase.push(pct, ns);
+        }
+        {
+            let slots = (ws_pages * pct / 100).next_power_of_two() as usize;
+            let mut k = FomKernel::builder()
+                .mech(MapMech::Utopia)
+                .nvm(64 << 20)
+                .tlb(tlb.0, tlb.1)
+                .fast_region(slots)
+                .build();
+            let pid = MemSys::create_process(&mut k).unwrap();
+            let vas = tier_objects(&mut k, pid);
+            let ns = tier_drive(&mut k, pid, &vas, |_| {});
+            s_utopia.push(pct, ns);
+        }
+        s_pt.push(pct, pt_nvm);
+        s_base.push(pct, base_dram);
+    }
+    fig.series = vec![s_obase, s_utopia, s_pt, s_base];
+    fig
+}
+
 /// All figures, in presentation order.
 pub fn all_figures() -> Vec<Figure> {
     vec![
@@ -1158,6 +1334,7 @@ pub fn all_figures() -> Vec<Figure> {
         fig_dma(),
         fig_sweep(),
         fig_smp(),
+        fig_tiering(),
     ]
 }
 

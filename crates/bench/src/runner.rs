@@ -21,7 +21,7 @@ use crate::experiments;
 use crate::Figure;
 
 /// Canonical ids of every figure, in output order.
-pub const ALL_IDS: [&str; 21] = [
+pub const ALL_IDS: [&str; 22] = [
     "fig1a",
     "fig1b",
     "fig2",
@@ -43,6 +43,7 @@ pub const ALL_IDS: [&str; 21] = [
     "fig_dma",
     "fig_sweep",
     "fig_smp",
+    "fig_tiering",
 ];
 
 /// A canonical figure id plus its generator function, as resolved by
@@ -74,6 +75,7 @@ pub fn figure_fn(id: &str) -> Option<FigureEntry> {
         "dma" | "fig_dma" => ("fig_dma", experiments::fig_dma),
         "sweep" | "fig_sweep" => ("fig_sweep", experiments::fig_sweep),
         "smp" | "fig_smp" => ("fig_smp", experiments::fig_smp),
+        "tiering" | "fig_tiering" => ("fig_tiering", experiments::fig_tiering),
         _ => return None,
     };
     Some(entry)

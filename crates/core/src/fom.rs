@@ -6,10 +6,13 @@
 //! * **Allocation** creates a file of a few contiguous extents —
 //!   cost per extent, not per page (§3.1/§4.1).
 //! * **Mapping** installs one translation per extent, through one of
-//!   four mechanisms ([`MapMech`]): plain page tables with huge pages,
+//!   six mechanisms ([`MapMech`]): plain page tables with huge pages,
 //!   pre-created shared page-table subtrees ("pointer swings"),
-//!   physically based mappings (§4.2), or hardware range translations
-//!   (§4.3).
+//!   physically based mappings (§4.2), hardware range translations
+//!   (§4.3), a Utopia-style hashed fast region over flexible page
+//!   tables (arXiv:2211.12205), or OBASE-style DRAM↔NVM extent
+//!   tiering with background migration (arXiv:2603.00378). Each lives
+//!   behind the [`crate::mech::MapMechanism`] seam.
 //! * **Permissions** are per file; **reclamation** is per file
 //!   (`munmap`/exit, plus LRU deletion of discardable files under
 //!   pressure); **no demand paging, no reclaim scanning, no dirty
@@ -25,14 +28,15 @@
 use o1_hw::{CostKind, OpKind};
 
 use o1_hw::{
-    Access, Asid, AsidAllocator, CpuId, FastMap, FrameNo, Machine, MachineConfig, Mmu, PageTables,
-    PhysAddr, PtNodeId, PteFlags, RangeEntry, RangeTable, TranslateError, VirtAddr, HUGE_2M,
-    PAGE_SIZE,
+    Access, Asid, AsidAllocator, CpuId, FastMap, Machine, MachineConfig, Mmu, PageTables, PhysAddr,
+    PtNodeId, RangeTable, TranslateError, VirtAddr, PAGE_SIZE,
 };
 use o1_memfs::{FileClass, FileId, FsError, Pmfs, RecoveryStats};
 use o1_palloc::PhysExtent;
 use o1_vm::runs::{bulk_memory, AccessRun};
 use o1_vm::{MemSys, Pid, ProcTable, Prot, VmError};
+
+use crate::mech::{make_mechanism, MapMechanism, MechCtx, MechParams, Piece};
 
 /// Base of the per-process bump region for file mappings.
 pub const FOM_MMAP_BASE: u64 = 0x2000_0000;
@@ -42,10 +46,8 @@ pub const FOM_MMAP_BASE: u64 = 0x2000_0000;
 /// shareable (§4.2).
 pub const PBM_BASE: u64 = 0x4000_0000_0000;
 
-/// Pages per 2 MiB page-table chunk.
-const CHUNK_PAGES: u64 = 512;
-
-/// How file mappings are installed.
+/// How file mappings are installed. Each tag names a strategy object
+/// behind the [`crate::mech::MapMechanism`] seam.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum MapMech {
     /// Conventional page tables, one entry per (huge) page — the
@@ -60,6 +62,26 @@ pub enum MapMech {
     /// Hardware range translations: one `(base, limit, offset)` entry
     /// per extent (§4.3, Figures 4/5/9).
     Ranges,
+    /// Utopia-style hybrid: a hashed, direct-mapped restrictive fast
+    /// region in front of flexible 4 KiB page tables
+    /// (arXiv:2211.12205).
+    Utopia,
+    /// OBASE-style object/extent-granular DRAM↔NVM tiering with
+    /// hot/cold tracking and background migration (arXiv:2603.00378).
+    Obase,
+}
+
+impl MapMech {
+    /// Every mechanism, in declaration order — the single registry
+    /// tests and sweeps iterate, so a new mechanism is auto-covered.
+    pub const ALL: [MapMech; 6] = [
+        MapMech::PageTables,
+        MapMech::SharedPt,
+        MapMech::Pbm,
+        MapMech::Ranges,
+        MapMech::Utopia,
+        MapMech::Obase,
+    ];
 }
 
 /// How freed volatile memory is erased (§3.1 calls for O(1) erase).
@@ -100,17 +122,6 @@ impl Default for FomConfig {
     }
 }
 
-/// One piece of an installed file mapping.
-#[derive(Clone, Copy, Debug)]
-enum Piece {
-    /// A range-table entry based at this VA.
-    Range { base: VirtAddr },
-    /// A shared 2 MiB subtree attached at this VA.
-    Shared { va: VirtAddr },
-    /// Individually page-mapped span (small files / extent tails).
-    Pages { va: VirtAddr, bytes: u64 },
-}
-
 #[derive(Debug)]
 struct Mapping {
     file: FileId,
@@ -122,25 +133,15 @@ struct Mapping {
 }
 
 #[derive(Debug)]
-struct FomProc {
-    asid: Asid,
-    root: PtNodeId,
-    ranges: RangeTable,
+pub(crate) struct FomProc {
+    pub(crate) asid: Asid,
+    pub(crate) root: PtNodeId,
+    pub(crate) ranges: RangeTable,
     /// Keyed by mapping base VA — kernel-chosen fixed-width values,
     /// probed on every map/unmap/protect call, so the fast hasher is
     /// safe.
     maps: FastMap<u64, Mapping>,
-    next_va: u64,
-}
-
-/// Registry of pre-created page-table subtrees, one per (file, 2 MiB
-/// chunk, writability). The registry holds one reference per node;
-/// every mapping adds its own.
-#[derive(Debug, Default)]
-struct FilePts {
-    /// Keyed by (chunk index, writability) — trusted fixed-width ids
-    /// probed per mapped 2 MiB chunk, so the fast hasher is safe.
-    chunks: FastMap<(u64, bool), PtNodeId>,
+    pub(crate) next_va: u64,
 }
 
 /// The file-only memory kernel.
@@ -152,10 +153,10 @@ pub struct FomKernel {
     /// The persistent-memory file system backing all memory.
     pub pmfs: Pmfs,
     procs: ProcTable<FomProc>,
-    /// Keyed by [`FileId`] — a kernel-issued fixed-width id probed on
-    /// every shared-subtree map, so the fast hasher is safe.
-    file_pts: FastMap<FileId, FilePts>,
-    mech: MapMech,
+    /// The mapping-mechanism strategy object; owns per-mechanism state
+    /// (shared-subtree registries, the Utopia fast region, OBASE
+    /// residency records).
+    mech: Box<dyn MapMechanism>,
     erase: ErasePolicy,
     asids: AsidAllocator,
     next_pid: u32,
@@ -164,9 +165,6 @@ pub struct FomKernel {
     /// Freed-but-not-yet-zeroed extents (BackgroundPool policy).
     dirty: Vec<PhysExtent>,
 }
-
-/// Cost of dropping a crypto-erase key (constant).
-const KEY_DROP_NS: u64 = 90;
 
 /// Builder for a [`FomKernel`]: kernel policy plus the shared
 /// [`MachineConfig`] (cost model, CPU count, observability mode) and
@@ -189,6 +187,7 @@ pub struct FomBuilder {
     machine: MachineConfig,
     tlb: Option<(usize, usize)>,
     rtlb_entries: Option<usize>,
+    fast_region: Option<usize>,
 }
 
 impl FomBuilder {
@@ -222,6 +221,13 @@ impl FomBuilder {
         self
     }
 
+    /// Utopia fast-region capacity in slots, rounded up to a power of
+    /// two; 0 disables the region (only used by [`MapMech::Utopia`]).
+    pub fn fast_region(mut self, slots: usize) -> Self {
+        self.fast_region = Some(slots);
+        self
+    }
+
     /// Replace the whole kernel-policy config at once.
     pub fn config(mut self, config: FomConfig) -> Self {
         self.config = config;
@@ -243,14 +249,23 @@ impl FomBuilder {
             nvm_bytes: self.config.nvm_bytes,
             ..self.machine
         };
+        let mechanism = make_mechanism(
+            self.config.mech,
+            MechParams {
+                fast_region_slots: self
+                    .fast_region
+                    .unwrap_or(crate::mech::DEFAULT_FAST_REGION_SLOTS),
+                dram_frames: self.config.dram_bytes / PAGE_SIZE,
+            },
+        );
         let mmu = Mmu::smp(
-            self.config.mech == MapMech::Ranges,
+            mechanism.ranges_enabled(),
             config.cpus,
             self.tlb,
             self.rtlb_entries,
         );
         let machine = Machine::from_config(config);
-        Ok(FomKernel::boot(self.config, machine, mmu))
+        Ok(FomKernel::boot(self.config, machine, mmu, mechanism))
     }
 }
 
@@ -268,7 +283,12 @@ impl FomKernel {
         FomBuilder::default()
     }
 
-    fn boot(config: FomConfig, machine: Machine, mmu: Mmu) -> FomKernel {
+    fn boot(
+        config: FomConfig,
+        machine: Machine,
+        mmu: Mmu,
+        mech: Box<dyn MapMechanism>,
+    ) -> FomKernel {
         let span = PhysExtent::new(machine.phys.nvm_base(), machine.phys.nvm_frames());
         FomKernel {
             machine,
@@ -276,8 +296,7 @@ impl FomKernel {
             mmu,
             pmfs: Pmfs::format(span),
             procs: ProcTable::new(),
-            file_pts: FastMap::default(),
-            mech: config.mech,
+            mech,
             erase: config.erase,
             asids: AsidAllocator::new(),
             next_pid: 1,
@@ -314,18 +333,48 @@ impl FomKernel {
 
     /// Mapping mechanism in use.
     pub fn mech(&self) -> MapMech {
-        self.mech
+        self.mech.kind()
     }
 
     /// Mechanism label used for experiment output and as the latency
     /// ledger key ([`MemSys::sys_name`] returns the same string).
     pub fn mech_str(&self) -> &'static str {
-        match self.mech {
-            MapMech::PageTables => "fom-pt",
-            MapMech::SharedPt => "fom-shared",
-            MapMech::Pbm => "fom-pbm",
-            MapMech::Ranges => "fom-ranges",
-        }
+        self.mech.label()
+    }
+
+    /// Split-borrow the kernel into the mechanism object and a context
+    /// over everything else — the only way mechanism code runs.
+    fn seam(&mut self) -> (&mut dyn MapMechanism, MechCtx<'_>) {
+        (
+            self.mech.as_mut(),
+            MechCtx {
+                machine: &mut self.machine,
+                pt: &mut self.pt,
+                mmu: &mut self.mmu,
+                pmfs: &mut self.pmfs,
+                procs: &mut self.procs,
+            },
+        )
+    }
+
+    /// Wall-clock test budget for growing a mapped file to 64 MiB
+    /// under this mechanism (chunk pre-creation and 4 KiB-grained
+    /// mechanisms pay more up front than extent-grained ones).
+    pub fn fgrow_limit_ns(&self) -> u64 {
+        self.mech.fgrow_limit_ns()
+    }
+
+    /// One mechanism housekeeping pass with a page budget — under
+    /// [`MapMech::Obase`] this is the background migration daemon.
+    /// Returns pages moved between tiers.
+    pub fn mechanism_tick(&mut self, budget_pages: u64) -> u64 {
+        let (mech, mut ctx) = self.seam();
+        mech.background_tick(&mut ctx, budget_pages)
+    }
+
+    /// Total bytes the mechanism has migrated between memory tiers.
+    pub fn migrated_bytes(&self) -> u64 {
+        self.mech.migrated_pages() * PAGE_SIZE
     }
 
     /// Free NVM frames in the volume.
@@ -373,6 +422,7 @@ impl FomKernel {
             // PCID-style recycling: a reused ASID may have stale
             // translations cached from its previous owner.
             self.mmu.flush_asid(&mut self.machine, grant.asid);
+            self.mech.on_flush_asid(grant.asid);
         }
         let pid = Pid(self.next_pid);
         self.next_pid += 1;
@@ -403,6 +453,7 @@ impl FomKernel {
         }
         let proc = self.procs.remove(pid).expect("checked above");
         self.mmu.flush_asid(&mut self.machine, proc.asid);
+        self.mech.on_flush_asid(proc.asid);
         self.asids.free(proc.asid);
         self.pt.release(&mut self.machine, proc.root);
         self.machine.op_end(t0, OpKind::Teardown, self.mech_str());
@@ -596,62 +647,15 @@ impl FomKernel {
             .iter()
             .collect();
         let total_pages: u64 = extents.iter().map(|e| e.phys.frames).sum();
-        // Pick the base VA.
-        let base = match self.mech {
-            MapMech::Pbm => {
-                // va is a pure function of pa: identical everywhere.
-                VirtAddr(PBM_BASE + extents.first().map_or(0, |e| e.phys.base().0))
-            }
-            _ => {
-                let align = if total_pages >= CHUNK_PAGES {
-                    HUGE_2M
-                } else {
-                    PAGE_SIZE
-                };
-                let proc = self.proc_mut(pid)?;
-                let start = VirtAddr(proc.next_va).align_up(align);
-                proc.next_va = start.0 + total_pages * PAGE_SIZE + PAGE_SIZE; // guard gap
-                start
-            }
-        };
         let mut pieces = Vec::new();
-        for fe in &extents {
-            let va = match self.mech {
-                MapMech::Pbm => VirtAddr(PBM_BASE + fe.phys.base().0),
-                _ => base + fe.file_page * PAGE_SIZE,
-            };
-            match self.mech {
-                MapMech::Ranges => {
-                    let entry = RangeEntry::new(va, fe.phys.bytes(), fe.phys.base(), pte_for(prot));
-                    let proc = self.proc_mut(pid)?;
-                    proc.ranges.insert(entry).map_err(|_| VmError::BadRange)?;
-                    self.machine.charge_kind(CostKind::PteWrite);
-                    self.machine.perf.range_installs += 1;
-                    pieces.push(Piece::Range { base: va });
-                }
-                MapMech::PageTables => {
-                    let root = self.proc(pid)?.root;
-                    self.pt
-                        .map_extent(
-                            &mut self.machine,
-                            root,
-                            va,
-                            fe.phys.start,
-                            fe.phys.frames,
-                            pte_for(prot),
-                            true,
-                        )
-                        .map_err(|_| VmError::BadRange)?;
-                    pieces.push(Piece::Pages {
-                        va,
-                        bytes: fe.phys.bytes(),
-                    });
-                }
-                MapMech::SharedPt | MapMech::Pbm => {
-                    self.map_extent_shared(pid, id, *fe, va, prot, &mut pieces)?;
-                }
+        let base = {
+            let (mech, mut ctx) = self.seam();
+            let base = mech.base_va(&mut ctx, pid, &extents, total_pages)?;
+            for fe in &extents {
+                mech.install_extent(&mut ctx, pid, id, *fe, base, prot, &mut pieces)?;
             }
-        }
+            base
+        };
         let proc = self.proc_mut(pid)?;
         proc.maps.insert(
             base.0,
@@ -666,105 +670,6 @@ impl FomKernel {
         Ok(base)
     }
 
-    /// Map one extent using pre-created shared subtrees where 2 MiB
-    /// alignment allows, falling back to per-page mapping for the
-    /// unaligned head/tail — the complication the paper flags
-    /// ("requires mapping files at the natural granularities of page
-    /// table structures").
-    fn map_extent_shared(
-        &mut self,
-        pid: Pid,
-        id: FileId,
-        fe: o1_memfs::FileExtent,
-        va: VirtAddr,
-        prot: Prot,
-        pieces: &mut Vec<Piece>,
-    ) -> Result<(), VmError> {
-        let root = self.proc(pid)?.root;
-        let mut page = 0u64; // page index within this extent
-        while page < fe.phys.frames {
-            let cur_va = va + page * PAGE_SIZE;
-            let file_page = fe.file_page + page;
-            let chunk_ok = cur_va.is_aligned(HUGE_2M)
-                && file_page.is_multiple_of(CHUNK_PAGES)
-                && fe.phys.frames - page >= CHUNK_PAGES;
-            if chunk_ok {
-                let node = self.get_or_build_chunk(id, file_page / CHUNK_PAGES, prot.writable())?;
-                self.pt
-                    .share(&mut self.machine, root, cur_va, node)
-                    .map_err(|_| VmError::BadRange)?;
-                pieces.push(Piece::Shared { va: cur_va });
-                page += CHUNK_PAGES;
-            } else {
-                // Map plain pages up to the next chunk boundary in
-                // file space (or the end of the extent).
-                let to_boundary = CHUNK_PAGES - file_page % CHUNK_PAGES;
-                let n = to_boundary.min(fe.phys.frames - page);
-                self.pt
-                    .map_extent(
-                        &mut self.machine,
-                        root,
-                        cur_va,
-                        fe.phys.start + page,
-                        n,
-                        pte_for(prot),
-                        false,
-                    )
-                    .map_err(|_| VmError::BadRange)?;
-                pieces.push(Piece::Pages {
-                    va: cur_va,
-                    bytes: n * PAGE_SIZE,
-                });
-                page += n;
-            }
-        }
-        Ok(())
-    }
-
-    /// Fetch (or build, once per file) the pre-created page-table
-    /// subtree for 2 MiB chunk `chunk` of `id`. Later mappings reuse
-    /// it with a single pointer swing.
-    fn get_or_build_chunk(
-        &mut self,
-        id: FileId,
-        chunk: u64,
-        writable: bool,
-    ) -> Result<PtNodeId, VmError> {
-        if let Some(&node) = self
-            .file_pts
-            .get(&id)
-            .and_then(|f| f.chunks.get(&(chunk, writable)))
-        {
-            return Ok(node);
-        }
-        let frames: Vec<FrameNo> = {
-            let inode = self.pmfs.inode(id).map_err(VmError::from)?;
-            (0..CHUNK_PAGES)
-                .map(|i| {
-                    inode
-                        .extents
-                        .frame_of(chunk * CHUNK_PAGES + i)
-                        .expect("chunk fully allocated")
-                })
-                .collect()
-        };
-        let node = self.pt.create_node(&mut self.machine, 0);
-        let flags = if writable {
-            PteFlags::user_rw()
-        } else {
-            PteFlags::user_ro()
-        };
-        for (i, frame) in frames.into_iter().enumerate() {
-            self.pt.set_leaf(&mut self.machine, node, i, frame, flags);
-        }
-        self.file_pts
-            .entry(id)
-            .or_default()
-            .chunks
-            .insert((chunk, writable), node);
-        Ok(node)
-    }
-
     // ---- unmap / reclaim ---------------------------------------------------------
 
     /// Unmap the file mapping based at `base`. O(extents), never
@@ -777,37 +682,17 @@ impl FomKernel {
             let proc = self.proc_mut(pid)?;
             proc.maps.remove(&base.0).ok_or(VmError::BadRange)?
         };
-        let (root, asid) = {
-            let p = self.proc(pid)?;
-            (p.root, p.asid)
-        };
+        let asid = self.proc(pid)?.asid;
         self.machine.charge_kind(CostKind::VmaDestroy);
-        for piece in &mapping.pieces {
-            match *piece {
-                Piece::Range { base } => {
-                    let proc = self.proc_mut(pid)?;
-                    proc.ranges.remove(base);
-                    self.machine.perf.range_removes += 1;
-                    self.mmu.invalidate_range(&mut self.machine, asid, base);
-                }
-                Piece::Shared { va } => {
-                    self.pt.unshare(&mut self.machine, root, va, 0);
-                }
-                Piece::Pages { va, bytes } => {
-                    let mut at = va;
-                    while at < va + bytes {
-                        match self.pt.unmap(&mut self.machine, root, at) {
-                            Some((_, _, size)) => at += size.bytes(),
-                            None => at += PAGE_SIZE,
-                        }
-                    }
-                }
-            }
+        {
+            let (mech, mut ctx) = self.seam();
+            mech.teardown_pieces(&mut ctx, pid, &mapping.pieces)?;
         }
         // One shootdown broadcast for the whole unmap, constant cost:
         // drop the ASID from every CPU's page and range TLB and
         // charge one IPI per CPU that actually cached it.
         self.mmu.flush_asid(&mut self.machine, asid);
+        self.mech.on_flush_asid(asid);
 
         // Drop the file reference; delete volatile scratch files.
         let extents: Vec<PhysExtent> = self
@@ -834,8 +719,8 @@ impl FomKernel {
         Ok(())
     }
 
-    /// Erase policy + pre-created-PT cleanup when a file's last
-    /// reference drops.
+    /// Erase policy + mechanism cleanup when a file's last reference
+    /// drops.
     fn on_file_destroyed(&mut self, id: FileId, extents: &[PhysExtent]) {
         match self.erase {
             ErasePolicy::Eager => {
@@ -846,7 +731,7 @@ impl FomKernel {
                 }
             }
             ErasePolicy::CryptoErase => {
-                self.machine.charge_tagged(CostKind::KeyDrop, 1, KEY_DROP_NS);
+                self.machine.charge_kind(CostKind::KeyDrop);
                 self.keys_live = self.keys_live.saturating_sub(1);
                 for e in extents {
                     self.machine.phys.zero_frames(e.start, e.frames);
@@ -857,11 +742,8 @@ impl FomKernel {
                 self.dirty.extend_from_slice(extents);
             }
         }
-        if let Some(fpt) = self.file_pts.remove(&id) {
-            for (_, node) in fpt.chunks {
-                self.pt.release(&mut self.machine, node);
-            }
-        }
+        let (mech, mut ctx) = self.seam();
+        mech.on_file_destroyed(&mut ctx, id);
     }
 
     /// Frames awaiting background zeroing (BackgroundPool policy).
@@ -1018,9 +900,15 @@ impl FomKernel {
     /// whether they should survive... system restarts".
     pub fn set_file_class(&mut self, name: &str, class: FileClass) -> Result<(), VmError> {
         self.machine.charge_syscall();
-        let (machine, pmfs) = (&mut self.machine, &mut self.pmfs);
-        let id = pmfs.lookup(machine, name).map_err(VmError::from)?;
-        pmfs.set_class(machine, id, class).map_err(VmError::from)
+        let id = {
+            let (machine, pmfs) = (&mut self.machine, &mut self.pmfs);
+            let id = pmfs.lookup(machine, name).map_err(VmError::from)?;
+            pmfs.set_class(machine, id, class).map_err(VmError::from)?;
+            id
+        };
+        let (mech, mut ctx) = self.seam();
+        mech.on_set_class(&mut ctx, id, class);
+        Ok(())
     }
 
     /// Promote a volatile scratch mapping to a named persistent file —
@@ -1038,18 +926,21 @@ impl FomKernel {
             let m = proc.maps.get(&base.0).ok_or(VmError::BadRange)?;
             m.name.clone()
         };
-        {
+        let id = {
             let (machine, pmfs) = (&mut self.machine, &mut self.pmfs);
             pmfs.rename(machine, &old_name, new_name)
                 .map_err(VmError::from)?;
             let id = pmfs.lookup(machine, new_name).map_err(VmError::from)?;
             pmfs.set_class(machine, id, FileClass::Persistent)
                 .map_err(VmError::from)?;
-        }
+            id
+        };
         let proc = self.proc_mut(pid)?;
         let m = proc.maps.get_mut(&base.0).expect("checked above");
         m.name = new_name.to_string();
         m.auto_unlink = false;
+        let (mech, mut ctx) = self.seam();
+        mech.on_set_class(&mut ctx, id, FileClass::Persistent);
         Ok(())
     }
 
@@ -1110,22 +1001,13 @@ impl FomKernel {
     /// memory maps files whole at map time, so an unmapped access is
     /// a program error (SIGSEGV), never demand paging.
     pub fn resolve(&mut self, pid: Pid, va: VirtAddr, access: Access) -> Result<PhysAddr, VmError> {
-        let (root, asid) = {
-            let p = self.proc(pid)?;
-            (p.root, p.asid)
+        self.proc(pid)?;
+        let result = {
+            let (mech, mut ctx) = self.seam();
+            mech.translate(&mut ctx, pid, va, access)
         };
-        // Split borrows: ranges belongs to the proc, pt/mmu to self.
-        let proc = self.procs.get(pid).expect("checked above");
-        match self.mmu.translate(
-            &mut self.machine,
-            &mut self.pt,
-            root,
-            &proc.ranges,
-            asid,
-            va,
-            access,
-        ) {
-            Ok(t) => Ok(t.pa),
+        match result {
+            Ok(pa) => Ok(pa),
             Err(TranslateError::NotMapped) => {
                 self.machine.perf.prot_faults += 1;
                 Err(VmError::BadAddress)
@@ -1185,21 +1067,13 @@ impl FomKernel {
         while k < len {
             let a = VirtAddr(va.0.wrapping_add_signed(stride.wrapping_mul(k as i64)));
             if self.machine.fastforward() && len - k >= 2 {
-                let (root, asid) = {
-                    let p = self.proc(pid)?;
-                    (p.root, p.asid)
-                };
+                self.proc(pid)?;
                 let t0 = self.machine.op_start();
-                if let Some((pa, span)) = self.mmu.translate_run(
-                    &mut self.machine,
-                    &mut self.pt,
-                    root,
-                    asid,
-                    a,
-                    stride,
-                    len - k,
-                    access,
-                ) {
+                let proven = {
+                    let (mech, mut ctx) = self.seam();
+                    mech.translate_run(&mut ctx, pid, a, stride, len - k, access)
+                };
+                if let Some((pa, span)) = proven {
                     bulk_memory(&mut self.machine, pa, stride, span, write, first_value + k);
                     self.machine
                         .op_end_n(t0, OpKind::AccessHit, self.mech_str(), span);
@@ -1215,88 +1089,6 @@ impl FomKernel {
             k += 1;
         }
         Ok(())
-    }
-
-    /// Whole-batch fast-forward for range translations: when *every*
-    /// access of a run batch lands inside one resident range-TLB entry
-    /// (checked via the bounding box of the batch's page indexes, in
-    /// O(runs)), with uniform protection outcome and memory tier, the
-    /// entire batch — arbitrary access order included, e.g. a random
-    /// pattern — is one uniform run: charge `total × (RtlbHit + mem)`
-    /// in O(runs) charge calls. Returns `Ok(None)` without charging or
-    /// mutating anything when the proof fails, and the caller falls
-    /// back to per-run spans.
-    fn try_bulk_runs(
-        &mut self,
-        pid: Pid,
-        base: VirtAddr,
-        runs: &[AccessRun],
-        write: bool,
-        first_value: u64,
-    ) -> Result<Option<u64>, VmError> {
-        let total: u64 = runs.iter().map(|r| r.len).sum();
-        if total < 2 {
-            return Ok(None);
-        }
-        // Bounding box over accessed page indexes.
-        let (mut lo, mut hi) = (u64::MAX, 0u64);
-        for r in runs {
-            let Ok(steps) = i64::try_from(r.len - 1) else {
-                return Ok(None);
-            };
-            let Some(delta) = r.stride.checked_mul(steps) else {
-                return Ok(None);
-            };
-            let last = r.start_page as i64 + delta;
-            if last < 0 {
-                return Ok(None);
-            }
-            let (a, b) = if r.stride >= 0 {
-                (r.start_page, last as u64)
-            } else {
-                (last as u64, r.start_page)
-            };
-            lo = lo.min(a);
-            hi = hi.max(b);
-        }
-        let asid = self.proc(pid)?.asid;
-        // Prover obligation: no invalidation broadcast may have raced
-        // this CPU since it last synced, or the whole-batch proof is
-        // not sound. Refusing is charge-free; the per-run fallback is
-        // charge-identical and re-arms the prover.
-        if !self.mmu.run_prover_ready() {
-            return Ok(None);
-        }
-        let va_lo = base + lo * PAGE_SIZE;
-        let va_hi = base + hi * PAGE_SIZE;
-        let Some(entry) = self.mmu.rtlb().peek(asid, va_lo) else {
-            return Ok(None);
-        };
-        if !entry.covers(va_hi) || (write && !entry.prot.contains(PteFlags::WRITE)) {
-            return Ok(None);
-        }
-        let (pa_lo, pa_hi) = (entry.translate(va_lo), entry.translate(va_hi));
-        if self.machine.phys.tier(pa_lo.frame()) != self.machine.phys.tier(pa_hi.frame()) {
-            return Ok(None);
-        }
-        // Commit: one LRU refresh of the hit entry stands in for
-        // `total` refreshes of the same entry (relative stamp order,
-        // and therefore future evictions, are unchanged).
-        let t0 = self.machine.op_start();
-        let looked = self.mmu.rtlb_mut().lookup(asid, va_lo);
-        debug_assert_eq!(looked, Some(entry));
-        self.machine.perf.rtlb_hits += total;
-        self.machine.charge_opn(CostKind::RtlbHit, total);
-        let mut value = first_value;
-        for r in runs {
-            let pa = entry.translate(base + r.start_page * PAGE_SIZE);
-            let stride_bytes = r.stride.wrapping_mul(PAGE_SIZE as i64);
-            bulk_memory(&mut self.machine, pa, stride_bytes, r.len, write, value);
-            value += r.len;
-        }
-        self.machine
-            .op_end_n(t0, OpKind::AccessHit, self.mech_str(), total);
-        Ok(Some(value))
     }
 
     /// Bulk write through a mapping (charged per page copy).
@@ -1366,14 +1158,14 @@ impl FomKernel {
             let proc = self.procs.remove(pid).expect("listed");
             self.pt.release(&mut self.machine, proc.root);
             self.mmu.flush_asid(&mut self.machine, proc.asid);
+            self.mech.on_flush_asid(proc.asid);
             self.asids.free(proc.asid);
         }
-        // Pre-created page tables are rebuilt lazily after recovery.
-        let stale: Vec<FilePts> = self.file_pts.drain().map(|(_, v)| v).collect();
-        for fpt in stale {
-            for (_, node) in fpt.chunks {
-                self.pt.release(&mut self.machine, node);
-            }
+        // Mechanism state (pre-created page tables, residency records)
+        // was DRAM-resident too; it is rebuilt lazily after recovery.
+        {
+            let (mech, mut ctx) = self.seam();
+            mech.on_crash(&mut ctx);
         }
         let span = self.pmfs.span();
         let journal = self.pmfs.journal().clone();
@@ -1428,23 +1220,9 @@ impl FomKernel {
     }
 }
 
-/// PTE/range flags for a protection level.
-fn pte_for(prot: Prot) -> PteFlags {
-    match prot {
-        Prot::Read => PteFlags::user_ro(),
-        Prot::ReadWrite => PteFlags::user_rw(),
-        Prot::ReadExec => PteFlags::user_ro().union(PteFlags::EXEC),
-    }
-}
-
 impl MemSys for FomKernel {
     fn sys_name(&self) -> &'static str {
-        match self.mech {
-            MapMech::PageTables => "fom-pt",
-            MapMech::SharedPt => "fom-shared",
-            MapMech::Pbm => "fom-pbm",
-            MapMech::Ranges => "fom-ranges",
-        }
+        self.mech.label()
     }
 
     fn machine(&self) -> &Machine {
@@ -1516,9 +1294,14 @@ impl MemSys for FomKernel {
     ) -> Result<u64, VmError> {
         // Range translations can often swallow a whole batch — even a
         // random one — in one uniformity proof; everything else runs
-        // the per-run engine (same result, proven per prefix).
-        if self.machine.fastforward() && self.mmu.ranges_enabled && !runs.is_empty() {
-            if let Some(value) = self.try_bulk_runs(pid, base, runs, write, first_value)? {
+        // the per-run engine (same result, proven per prefix). A
+        // mechanism without a whole-batch prover refuses charge-free.
+        if self.machine.fastforward() && !runs.is_empty() {
+            let proven = {
+                let (mech, mut ctx) = self.seam();
+                mech.try_bulk_runs(&mut ctx, pid, base, runs, write, first_value)?
+            };
+            if let Some(value) = proven {
                 return Ok(value);
             }
         }
@@ -1536,12 +1319,7 @@ impl MemSys for FomKernel {
 mod tests {
     use super::*;
 
-    const MECHS: [MapMech; 4] = [
-        MapMech::PageTables,
-        MapMech::SharedPt,
-        MapMech::Pbm,
-        MapMech::Ranges,
-    ];
+    const MECHS: [MapMech; 6] = MapMech::ALL;
 
     #[test]
     fn process_table_exhaustion_is_an_error() {
@@ -1968,15 +1746,13 @@ mod tests {
             let t0 = k.machine().now();
             let new_va2 = k.fgrow(pid, new_va, 64 << 20).unwrap();
             let grow_ns = k.machine().now().since(t0);
-            // Ranges/huge-PT growth is O(extents). SharedPt/PBM pay
-            // the one-time pre-creation of the new chunks' page
-            // tables here (amortised over all future mappers). Either
-            // way it is far below the ~50 ms a fault-per-page grow of
-            // 64 MiB would cost on the baseline.
-            let limit = match mech {
-                MapMech::SharedPt | MapMech::Pbm => 2_000_000,
-                _ => 300_000,
-            };
+            // Ranges/huge-PT growth is O(extents). Mechanisms that
+            // pre-create chunk page tables or map 4 KiB-grained pay
+            // more up front (amortised over all future mappers); each
+            // mechanism declares its own envelope. Either way it is
+            // far below the ~50 ms a fault-per-page grow of 64 MiB
+            // would cost on the baseline.
+            let limit = k.fgrow_limit_ns();
             assert!(grow_ns < limit, "mech {mech:?}: fgrow took {grow_ns} ns");
             k.unmap(pid, new_va2).unwrap();
         }

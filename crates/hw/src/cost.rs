@@ -79,6 +79,15 @@ pub struct CostModel {
     pub range_walk: u64,
     /// Inserting an entry into the range TLB.
     pub rtlb_fill: u64,
+    /// Hit in a hybrid mechanism's hashed, direct-mapped fast region:
+    /// one probe of a flat in-memory table (single cache-line read +
+    /// tag compare). Slightly above a TLB hit because the table lives
+    /// in memory, far below a multi-level walk.
+    pub hybrid_fast_hit: u64,
+    /// Installing a translation into the fast region after a page walk
+    /// resolved it: one tag + PTE-sized payload write into the
+    /// direct-mapped slot (possibly evicting the conflicting entry).
+    pub hybrid_fast_fill: u64,
 
     // ---- Page tables (software cost of maintaining them) ----
     /// Writing one page-table entry.
@@ -103,6 +112,10 @@ pub struct CostModel {
     pub slab_op: u64,
     /// Generating a fresh per-file encryption key (crypto-erase).
     pub key_gen: u64,
+    /// Dropping a per-file encryption key on erase: zeroizing the key
+    /// material and unhooking it from the keyring. O(1) regardless of
+    /// file size — the whole point of crypto-erase.
+    pub key_drop: u64,
 
     // ---- VM bookkeeping ----
     /// Creating a VMA and linking it into the address-space tree.
@@ -124,6 +137,11 @@ pub struct CostModel {
     pub swap_in_page: u64,
     /// Pinning or unpinning one page for device access.
     pub pin_page: u64,
+    /// Migrating one 4 KiB page between memory tiers: a streamed read
+    /// of the source plus a streamed write of the destination (NVM
+    /// write bandwidth bound, cf. `zero_page_nvm` = 850 for the write
+    /// half alone) plus the PTE rewrite and tiering bookkeeping.
+    pub page_migrate: u64,
 
     // ---- File system ----
     /// Path lookup of one name component.
@@ -170,6 +188,14 @@ impl CostModel {
             rtlb_hit: 1,
             range_walk: 16,
             rtlb_fill: 5,
+            // One hashed probe of a flat restrictive-region table
+            // (Utopia-style): a cache-line read + tag compare. Twice
+            // a TLB hit, an order of magnitude under a 4-level walk
+            // (4 * ptw_level_ref + tlb_fill = 37).
+            hybrid_fast_hit: 2,
+            // Tag + payload store into the direct-mapped slot; no
+            // allocation, no tree maintenance.
+            hybrid_fast_fill: 8,
 
             pte_write: 55,
             pt_node_alloc: 320,
@@ -182,6 +208,9 @@ impl CostModel {
             extent_free: 200,
             slab_op: 45,
             key_gen: 320,
+            // Zeroize 32 bytes of key material + keyring unlink —
+            // cheaper than generating (no entropy pool round trip).
+            key_drop: 90,
 
             vma_create: 900,
             vma_find: 140,
@@ -192,6 +221,11 @@ impl CostModel {
             swap_out_page: 9000,
             swap_in_page: 12000,
             pin_page: 180,
+            // 4 KiB tier migration ≈ sequential 4 KiB NVM write (the
+            // bound; cf. zero_page_nvm = 850) + 4 KiB DRAM read + PTE
+            // rewrite + bookkeeping. Far below swap_out_page (9000):
+            // NVM is memory, not a block device.
+            page_migrate: 1500,
 
             fs_lookup: 650,
             fs_create_inode: 1400,
@@ -233,8 +267,8 @@ impl CostModel {
     }
 
     /// Unit cost of one primitive of `kind` — the bridge between the
-    /// ledger's tags and this table. Kinds whose cost is a fixed
-    /// constant outside the model (DMA, key drop) and
+    /// ledger's tags and this table. Only the genuinely-external kinds
+    /// (device DMA constants, whose cost the `DmaEngine` owns) and
     /// [`CostKind::Untagged`] return 0; charge those with
     /// `Machine::charge_tagged`.
     #[inline]
@@ -259,6 +293,8 @@ impl CostModel {
             CostKind::RtlbHit => self.rtlb_hit,
             CostKind::RangeWalk => self.range_walk,
             CostKind::RtlbFill => self.rtlb_fill,
+            CostKind::HybridFastHit => self.hybrid_fast_hit,
+            CostKind::HybridFastFill => self.hybrid_fast_fill,
             CostKind::PteWrite => self.pte_write,
             CostKind::PtNodeAlloc => self.pt_node_alloc,
             CostKind::PtNodeFree => self.pt_node_free,
@@ -269,6 +305,7 @@ impl CostModel {
             CostKind::ExtentFree => self.extent_free,
             CostKind::SlabOp => self.slab_op,
             CostKind::KeyGen => self.key_gen,
+            CostKind::KeyDrop => self.key_drop,
             CostKind::VmaCreate => self.vma_create,
             CostKind::VmaFind => self.vma_find,
             CostKind::VmaDestroy => self.vma_destroy,
@@ -278,6 +315,7 @@ impl CostModel {
             CostKind::SwapOutPage => self.swap_out_page,
             CostKind::SwapInPage => self.swap_in_page,
             CostKind::PinPage => self.pin_page,
+            CostKind::PageMigrate => self.page_migrate,
             CostKind::FsLookup => self.fs_lookup,
             CostKind::FsCreateInode => self.fs_create_inode,
             CostKind::FsRemoveInode => self.fs_remove_inode,
@@ -285,7 +323,7 @@ impl CostModel {
             CostKind::JournalRecord => self.journal_record,
             CostKind::JournalCommit => self.journal_commit,
             CostKind::FileIoFixed => self.file_io_fixed,
-            CostKind::KeyDrop | CostKind::DmaPage | CostKind::IommuFault | CostKind::Untagged => 0,
+            CostKind::DmaPage | CostKind::IommuFault | CostKind::Untagged => 0,
         }
     }
 }

@@ -25,6 +25,7 @@ pub mod arena;
 pub mod cost;
 pub mod dma;
 pub mod fasthash;
+pub mod hybrid;
 pub mod machine;
 pub mod mmu;
 pub mod pagetable;
@@ -42,6 +43,7 @@ pub use addr::{
 };
 pub use cost::CostModel;
 pub use dma::{DmaEngine, DmaMode, DMA_PAGE_NS, IOMMU_FAULT_NS, IOTLB_ENTRIES};
+pub use hybrid::FastRegion;
 pub use machine::{
     fastforward_default, set_fastforward_default, CpuId, Machine, MachineConfig, ObsMode, SimNs,
     MAX_CPUS,

@@ -1,8 +1,8 @@
 //! Cost kinds and the subsystems that charge them.
 //!
-//! [`CostKind`] mirrors the cost model one-to-one: every `CostModel`
-//! field has a kind, plus a few primitives whose unit cost is a fixed
-//! constant outside the model (DMA, crypto-erase key drop) and the
+//! [`CostKind`] mirrors the cost model one-to-one: every `CostKind`
+//! field has a kind, plus the genuinely-external primitives whose unit
+//! cost lives outside the model (device DMA constants) and the
 //! [`CostKind::Untagged`] catch-all that keeps conservation exact even
 //! for charges nobody has attributed yet.
 
@@ -113,6 +113,8 @@ cost_kinds! {
     RtlbHit => ("rtlb_hit", Translation),
     RangeWalk => ("range_walk", Translation),
     RtlbFill => ("rtlb_fill", Translation),
+    HybridFastHit => ("hybrid_fast_hit", Translation),
+    HybridFastFill => ("hybrid_fast_fill", Translation),
     // ---- Page tables ----
     PteWrite => ("pte_write", PageTable),
     PtNodeAlloc => ("pt_node_alloc", PageTable),
@@ -136,6 +138,7 @@ cost_kinds! {
     SwapOutPage => ("swap_out_page", Vm),
     SwapInPage => ("swap_in_page", Vm),
     PinPage => ("pin_page", Vm),
+    PageMigrate => ("page_migrate", Vm),
     // ---- File system ----
     FsLookup => ("fs_lookup", Fs),
     FsCreateInode => ("fs_create_inode", Fs),

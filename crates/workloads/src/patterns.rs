@@ -52,6 +52,34 @@ pub enum AccessPattern {
         /// Percent of the region that is hot.
         hot_fraction_pct: u32,
     },
+    /// `count` Zipf-skewed touches at *object* granularity: the region
+    /// splits into `objects` equal clusters, an object's Zipf rank is
+    /// its index (object 0, at the lowest page indexes, is hottest),
+    /// and each touch lands uniformly inside the chosen object. This
+    /// is the tiering workload: extent-granular placement policies see
+    /// whole-object heat instead of scattered single-page heat.
+    ZipfHotCold {
+        /// Number of accesses.
+        count: u64,
+        /// Skew in (0, 1).
+        theta: f64,
+        /// Number of equal-sized objects the region divides into
+        /// (clamped to the page count).
+        objects: u64,
+    },
+}
+
+/// Page span of object `obj` when `pages` pages split into `objects`
+/// clusters: equal floors, remainder on the last object.
+fn object_span(pages: u64, objects: u64, obj: u64) -> (u64, u64) {
+    let size = pages / objects;
+    let start = obj * size;
+    let len = if obj == objects - 1 {
+        pages - start
+    } else {
+        size
+    };
+    (start, len)
 }
 
 impl AccessPattern {
@@ -92,6 +120,21 @@ impl AccessPattern {
                         } else {
                             rng.random_range(0..pages)
                         }
+                    })
+                    .collect()
+            }
+            AccessPattern::ZipfHotCold {
+                count,
+                theta,
+                objects,
+            } => {
+                let objects = objects.clamp(1, pages);
+                let z = Zipf::new(objects, theta);
+                let mut rng = StdRng::seed_from_u64(seed);
+                (0..count)
+                    .map(|_| {
+                        let (start, len) = object_span(pages, objects, z.sample(&mut rng));
+                        start + rng.random_range(0..len)
                     })
                     .collect()
             }
@@ -154,6 +197,22 @@ impl AccessPattern {
                     remaining: count,
                 }))
             }
+            AccessPattern::ZipfHotCold {
+                count,
+                theta,
+                objects,
+            } => {
+                let objects = objects.clamp(1, pages);
+                RunIterKind::Rle(Rle::new(IndexSource {
+                    rng: StdRng::seed_from_u64(seed),
+                    dist: IndexDist::ZipfHotCold {
+                        zipf: Zipf::new(objects, theta),
+                        pages,
+                        objects,
+                    },
+                    remaining: count,
+                }))
+            }
         };
         RunIter { kind }
     }
@@ -167,7 +226,8 @@ impl AccessPattern {
             AccessPattern::RandomUniform { count }
             | AccessPattern::Zipf { count, .. }
             | AccessPattern::Strided { count, .. }
-            | AccessPattern::HotCold { count, .. } => count,
+            | AccessPattern::HotCold { count, .. }
+            | AccessPattern::ZipfHotCold { count, .. } => count,
         }
     }
 }
@@ -228,6 +288,11 @@ enum IndexDist {
         hot_pages: u64,
         hot_pct: u32,
     },
+    ZipfHotCold {
+        zipf: Zipf,
+        pages: u64,
+        objects: u64,
+    },
 }
 
 impl Iterator for IndexSource {
@@ -251,6 +316,14 @@ impl Iterator for IndexSource {
                 } else {
                     self.rng.random_range(0..*pages)
                 }
+            }
+            IndexDist::ZipfHotCold {
+                zipf,
+                pages,
+                objects,
+            } => {
+                let (start, len) = object_span(*pages, *objects, zipf.sample(&mut self.rng));
+                start + self.rng.random_range(0..len)
             }
         })
     }
@@ -404,6 +477,26 @@ mod tests {
     }
 
     #[test]
+    fn zipf_hot_cold_heat_is_object_clustered() {
+        // 1000 pages, 10 objects of 100 pages: object 0 (pages 0..100)
+        // must dominate, and its heat must spread across the whole
+        // object rather than pile onto one page — the property
+        // extent-granular tiering relies on.
+        let p = AccessPattern::ZipfHotCold {
+            count: 10_000,
+            theta: 0.9,
+            objects: 10,
+        };
+        let seq = p.generate(1000, 17);
+        assert!(seq.iter().all(|&i| i < 1000));
+        let obj0 = seq.iter().filter(|&&i| i < 100).count();
+        assert!(obj0 > 3_000, "hottest object draws the bulk: {obj0}/10000");
+        let touched: HashSet<u64> = seq.iter().filter(|&&i| i < 100).copied().collect();
+        assert!(touched.len() > 60, "heat spreads inside the object");
+        assert!(seq.iter().any(|&i| i >= 500), "cold objects still touched");
+    }
+
+    #[test]
     fn access_counts_match() {
         assert_eq!(AccessPattern::OnePerPage.access_count(42), 42);
         assert_eq!(AccessPattern::Sweep { sweeps: 2 }.access_count(10), 20);
@@ -443,6 +536,17 @@ mod tests {
                 count: 2000,
                 hot_pct: 90,
                 hot_fraction_pct: 10,
+            },
+            AccessPattern::ZipfHotCold {
+                count: 2000,
+                theta: 0.9,
+                objects: 16,
+            },
+            // More objects than pages: clamps to per-page objects.
+            AccessPattern::ZipfHotCold {
+                count: 500,
+                theta: 0.5,
+                objects: 1 << 20,
             },
         ]
     }

@@ -79,6 +79,17 @@ if [ "${1:-}" = "--gate" ]; then
         --fig fig_smp --latency --attrib --threads 4 \
         --json "$out/smp4.json" --no-bench >/dev/null
     cmp "$out/smp1.json" "$out/smp4.json"
+    echo "==> tiering determinism gate (fig_tiering bytes across --threads)"
+    # The tiering figure runs background migration between access
+    # rounds; its bytes must not depend on host-side parallelism any
+    # more than the rest of the suite.
+    cargo run --release -p o1-bench --bin figures -- \
+        --fig fig_tiering --latency --attrib --threads 1 \
+        --json "$out/tier1.json" --no-bench >/dev/null
+    cargo run --release -p o1-bench --bin figures -- \
+        --fig fig_tiering --latency --attrib --threads 4 \
+        --json "$out/tier4.json" --no-bench >/dev/null
+    cmp "$out/tier1.json" "$out/tier4.json"
     echo "ci.sh: perf gate OK"
     exit 0
 fi

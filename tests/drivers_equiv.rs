@@ -69,12 +69,7 @@ fn generic_and_erased_drivers_agree_on_baseline() {
 
 #[test]
 fn generic_and_erased_drivers_agree_on_every_fom_mech() {
-    for mech in [
-        MapMech::PageTables,
-        MapMech::SharedPt,
-        MapMech::Pbm,
-        MapMech::Ranges,
-    ] {
+    for mech in MapMech::ALL {
         assert_paths_identical(
             || FomKernel::builder().mech(mech).build(),
             &format!("fom {mech:?}"),

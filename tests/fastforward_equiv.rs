@@ -122,12 +122,7 @@ fn all_kernel_pairs() -> Vec<(String, KernelPair)> {
         ("baseline".into(), baseline_pair(ThpMode::Never)),
         ("baseline-thp".into(), baseline_pair(ThpMode::Aligned2M)),
     ];
-    for mech in [
-        MapMech::PageTables,
-        MapMech::SharedPt,
-        MapMech::Pbm,
-        MapMech::Ranges,
-    ] {
+    for mech in MapMech::ALL {
         pairs.push((format!("fom-{mech:?}"), fom_pair(mech)));
     }
     pairs

@@ -471,3 +471,60 @@ fn fig_smp_churn_tax_linear_on_baseline_flat_on_fom() {
         assert!(b > 10.0 * fy, "at {x} CPUs: baseline {b} vs fom {fy}");
     }
 }
+
+#[test]
+fn fig_tiering_obase_crosses_toward_dram_bound() {
+    let f = exp::fig_tiering();
+    let obase = f.series("fom-obase (DRAM pool)").unwrap();
+    let utopia = f.series("fom-utopia (fast-region slots)").unwrap();
+    let pt = f.series("fom-pt (all NVM)").unwrap();
+    let dram = f.series("baseline (all DRAM)").unwrap();
+    // The references are flat: nothing in them depends on the
+    // capacity under sweep.
+    for s in [pt, dram] {
+        let ys: Vec<f64> = s.points.iter().map(|&(_, y)| y).collect();
+        assert!(
+            ys.windows(2).all(|w| w[0] == w[1]),
+            "{}: reference series is flat",
+            s.label
+        );
+    }
+    let floor = dram.points[0].1;
+    let static_nvm = pt.points[0].1;
+    // More DRAM never hurts: the obase curve is monotone down the
+    // sweep, from ~2x the all-DRAM bound at a 3% pool to under 1.25x
+    // with the whole working set promoted.
+    let ys: Vec<f64> = obase.points.iter().map(|&(_, y)| y).collect();
+    assert!(
+        ys.windows(2).all(|w| w[1] < w[0]),
+        "obase improves monotonically with DRAM: {ys:?}"
+    );
+    for &(pct, y) in &obase.points {
+        assert!(
+            y < static_nvm,
+            "at {pct}%: obase {y} beats static NVM {static_nvm}"
+        );
+        assert!(y > floor, "at {pct}%: obase {y} above the DRAM bound {floor}");
+        if pct >= 6 {
+            assert!(
+                y < 2.0 * floor,
+                "at {pct}%: obase {y} tracks all-DRAM {floor} within 2x"
+            );
+        }
+    }
+    // The hybrid fast region saves walks, not placement: it improves
+    // with slots but stays on the NVM side of the gap.
+    let (u_first, u_last) = utopia.ends().unwrap();
+    assert!(
+        u_last < u_first,
+        "utopia improves with slots: {u_first} -> {u_last}"
+    );
+    assert!(
+        u_last < static_nvm,
+        "a working-set-sized fast region beats raw page tables"
+    );
+    assert!(
+        u_last > 1.5 * floor,
+        "translation alone cannot reach the DRAM bound"
+    );
+}

@@ -156,12 +156,7 @@ fn all_kernels_agree_with_the_oracle() {
             expected,
             "baseline diverged, seed {seed}"
         );
-        for mech in [
-            MapMech::PageTables,
-            MapMech::SharedPt,
-            MapMech::Pbm,
-            MapMech::Ranges,
-        ] {
+        for mech in MapMech::ALL {
             let mut fom = FomKernel::builder().mech(mech).build();
             let free0 = fom.free_frames();
             assert_eq!(
