@@ -31,7 +31,13 @@ fn push_pct(out: &mut String, ns: u64, total: u64) {
 /// Render one figure's attribution as an aligned text table: totals,
 /// per-subsystem and per-phase splits, and every non-zero cost kind.
 pub fn attribution_table(trace: &FigureTrace) -> String {
-    let a = attribute(trace);
+    attribution_table_with(trace, &attribute(trace))
+}
+
+/// [`attribution_table`] over a precomputed [`Attribution`], so
+/// callers that also embed the JSON section derive both views from
+/// one computation.
+pub fn attribution_table_with(trace: &FigureTrace, a: &Attribution) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,

@@ -26,8 +26,8 @@ use o1_bench::diff::{figure_metrics, write_metrics_json};
 use o1_bench::jsonval;
 use o1_bench::runner::{figure_fn, run_figures, RunReport, RunnerOptions, ALL_IDS};
 use o1_bench::{
-    attribution_table, figures_to_json_pretty, figures_to_json_pretty_enriched, json,
-    latency_table, Figure,
+    attribution_table_with, figure_extras, figures_to_json_pretty,
+    figures_to_json_pretty_with_extras, json, latency_table_with, Figure,
 };
 
 const USAGE: &str = "\
@@ -46,6 +46,13 @@ usage: figures [options]
                       <dir>/chrome_trace.json
   --attrib            print per-figure attribution tables; with --json,
                       embed an \"attribution\" section per figure
+  --timeline <dir>    sample gauge timelines on the simulated clock and
+                      write <dir>/timeline.jsonl plus
+                      <dir>/timeline_chrome.json (counter tracks); with
+                      --json, embed a \"timeline\" summary per figure
+  --timeline-interval <ns>
+                      virtual-ns sampling period for --timeline
+                      (default 100000)
   --latency           print per-figure tail-latency tables (p50/p90/p99/
                       p999/max per operation and mechanism); with --json,
                       embed a \"latency\" section per figure
@@ -69,6 +76,8 @@ struct Cli {
     csv_dir: Option<String>,
     profile: bool,
     trace_dir: Option<String>,
+    timeline_dir: Option<String>,
+    timeline_interval: u64,
     attrib: bool,
     latency: bool,
     fastforward: bool,
@@ -85,6 +94,8 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
         csv_dir: None,
         profile: false,
         trace_dir: None,
+        timeline_dir: None,
+        timeline_interval: 100_000,
         attrib: false,
         latency: false,
         fastforward: true,
@@ -135,6 +146,17 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
             "--csv" => cli.csv_dir = Some(value(args, &mut i, "--csv")?),
             "--profile" => cli.profile = true,
             "--trace" => cli.trace_dir = Some(value(args, &mut i, "--trace")?),
+            "--timeline" => cli.timeline_dir = Some(value(args, &mut i, "--timeline")?),
+            "--timeline-interval" => {
+                let v = value(args, &mut i, "--timeline-interval")?;
+                let ns: u64 = v.parse().map_err(|_| {
+                    format!("--timeline-interval expects a positive integer (ns), got '{v}'")
+                })?;
+                if ns == 0 {
+                    return Err("--timeline-interval must be at least 1".into());
+                }
+                cli.timeline_interval = ns;
+            }
             "--attrib" => cli.attrib = true,
             "--latency" => cli.latency = true,
             "--no-fastforward" => cli.fastforward = false,
@@ -314,6 +336,10 @@ fn main() {
     // Machines snapshot this default at construction, so setting it
     // before any figure runs covers every kernel the suite builds.
     o1_hw::set_fastforward_default(cli.fastforward);
+    // Likewise for the gauge-timeline sampling interval (0 = off).
+    if cli.timeline_dir.is_some() {
+        o1_obs::set_timeline_default(cli.timeline_interval);
+    }
 
     let fns: Vec<o1_bench::runner::FigureEntry> = match &cli.want {
         Some(id) => match figure_fn(id) {
@@ -329,7 +355,8 @@ fn main() {
     let threads = cli.threads.unwrap_or_else(|| {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     });
-    let tracing = cli.trace_dir.is_some() || cli.attrib || cli.latency;
+    let tracing =
+        cli.trace_dir.is_some() || cli.timeline_dir.is_some() || cli.attrib || cli.latency;
     let opts = RunnerOptions {
         threads,
         repeat: cli.repeat,
@@ -378,20 +405,51 @@ fn main() {
         );
     }
 
+    // One traced run feeds every downstream view: the stdout tables,
+    // the enriched JSON sections, and the trace/timeline exporters all
+    // derive from the same `traces`, with attribution and latency rows
+    // computed exactly once.
+    let extras = figure_extras(
+        &figures,
+        &traces,
+        cli.attrib,
+        cli.latency,
+        cli.timeline_dir.is_some(),
+    );
+    for (f, e) in figures.iter().zip(&extras) {
+        // The attribution and the raw trace are two projections of one
+        // ledger; their clock totals agreeing is the cheap invariant
+        // that catches the views drifting onto different runs.
+        if let (Some(t), Some(a)) = (traces.iter().find(|t| t.id == f.id), &e.attribution) {
+            assert_eq!(
+                a.total_ns,
+                t.total_ns(),
+                "{}: attribution and trace disagree on total simulated ns",
+                t.id
+            );
+        }
+    }
+
     println!("# Towards O(1) Memory — regenerated figures (simulated ns, deterministic)\n");
     for f in &figures {
         println!("{}", f.to_table());
     }
 
     if cli.attrib {
-        for t in &traces {
-            println!("{}", attribution_table(t));
+        for (f, e) in figures.iter().zip(&extras) {
+            if let (Some(t), Some(a)) =
+                (traces.iter().find(|t| t.id == f.id), &e.attribution)
+            {
+                println!("{}", attribution_table_with(t, a));
+            }
         }
     }
 
     if cli.latency {
-        for t in &traces {
-            println!("{}", latency_table(t));
+        for (f, e) in figures.iter().zip(&extras) {
+            if let (Some(t), Some(rows)) = (traces.iter().find(|t| t.id == f.id), &e.latency) {
+                println!("{}", latency_table_with(t, rows));
+            }
         }
     }
 
@@ -405,13 +463,24 @@ fn main() {
         eprintln!("wrote {jsonl} and {chrome}");
     }
 
+    if let Some(dir) = &cli.timeline_dir {
+        std::fs::create_dir_all(dir).expect("create timeline dir");
+        let jsonl = format!("{dir}/timeline.jsonl");
+        std::fs::write(&jsonl, o1_obs::export_timeline_jsonl(&traces))
+            .expect("write timeline jsonl");
+        let chrome = format!("{dir}/timeline_chrome.json");
+        std::fs::write(&chrome, o1_obs::export_timeline_chrome(&traces))
+            .expect("write timeline chrome trace");
+        eprintln!("wrote {jsonl} and {chrome}");
+    }
+
     if let Some(dir) = &cli.csv_dir {
         write_csvs(dir, &figures);
     }
 
     if let Some(path) = &cli.json_path {
-        let json = if cli.attrib || cli.latency {
-            figures_to_json_pretty_enriched(&figures, &traces, cli.attrib, cli.latency)
+        let json = if cli.attrib || cli.latency || cli.timeline_dir.is_some() {
+            figures_to_json_pretty_with_extras(&figures, &extras)
         } else {
             figures_to_json_pretty(&figures)
         };

@@ -57,31 +57,38 @@
 //!     ]
 //! ```
 //!
+//! A run with `--timeline` bumps enriched figures to **schema version
+//! 3**, appending (after `"latency"`, when present) a `"timeline"`
+//! array with one summary object per sampled gauge:
+//!
+//! ```json
+//!     "schema_version": 3,
+//!     "timeline": [
+//!       {"gauge": "mmu.tlb_entries",  // dotted gauge name
+//!        "samples": 412,              // points in the merged series
+//!        "first": 0, "last": 37,      // value at first/last sample
+//!        "min": 0, "max": 64}         // extremes over the series
+//!     ]
+//! ```
+//!
+//! The full point-by-point series (simulated-ns timestamp, value) go
+//! to `--timeline <dir>` as JSONL plus a Chrome counter track; the
+//! in-document summary is the compact view diff tools key on.
+//!
 //! All enriched values are integers derived from the deterministic
-//! ledger, so v2 documents are byte-identical across `--threads`
-//! values too. `bench-diff` consumes either this document or the
+//! ledger, so v2 and v3 documents are byte-identical across
+//! `--threads` values too. `bench-diff` consumes either this document or the
 //! `BENCH_figures.json` self-profile (see `crate::diff`), whose
 //! `"metrics"` section carries the same series/latency numbers in
 //! precomputed form plus the dated `"trajectory"` array of past gate
 //! runs. The full schema is also documented in EXPERIMENTS.md.
 
-/// Escape a string per RFC 8259 and append it, quoted.
+/// Escape a string per RFC 8259 and append it, quoted. One escaper
+/// serves the whole workspace — this delegates to
+/// [`o1_obs::json_escape`] so the figure JSON, the trace exporters,
+/// and the [`jsonval`](crate::jsonval) writer can never drift apart.
 pub fn push_str_escaped(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
+    o1_obs::json_escape(out, s);
 }
 
 /// Append an `f64` as a JSON number (finite values only).
@@ -107,6 +114,41 @@ mod tests {
         let mut s = String::new();
         push_str_escaped(&mut s, "a\"b\\c\nd\u{1}");
         assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn escaped_strings_round_trip_through_the_parser() {
+        // Every control character, the two mandatory escapes, and
+        // non-ASCII text (multi-byte UTF-8 passes through unescaped)
+        // must survive escape → parse exactly.
+        let mut cases: Vec<String> = (0u32..0x20)
+            .map(|c| format!("a{}b", char::from_u32(c).unwrap()))
+            .collect();
+        cases.extend(
+            [
+                "",
+                "plain ascii",
+                "quote\" backslash\\ slash/",
+                "tab\there\nnewline\rreturn",
+                "héllo wörld",
+                "日本語のテキスト",
+                "emoji 🦀 and combining é",
+                "\u{7f}\u{80}\u{2028}\u{2029}",
+            ]
+            .map(String::from),
+        );
+        for case in &cases {
+            let mut escaped = String::new();
+            push_str_escaped(&mut escaped, case);
+            let parsed = crate::jsonval::parse(&escaped)
+                .unwrap_or_else(|e| panic!("parse {escaped:?}: {e}"));
+            match parsed {
+                crate::jsonval::Value::Str(s) => {
+                    assert_eq!(&s, case, "round trip through {escaped:?}");
+                }
+                other => panic!("expected string, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@
 
 use std::fmt::Write as _;
 
-use o1_obs::{attribute, latency_rows, Attribution, FigureTrace, LatencyRow};
+use o1_obs::{attribute, latency_rows, merge_series, Attribution, FigureTrace, GaugeSeries, LatencyRow};
 
 use crate::attrib::write_attribution_json;
 use crate::json;
@@ -24,7 +24,12 @@ use crate::Figure;
 /// one row per `(mechanism, op, phase)` with count, p50/p90/p99/p999,
 /// and the exact maximum, all in simulated ns.
 pub fn latency_table(trace: &FigureTrace) -> String {
-    let rows = latency_rows(trace);
+    latency_table_with(trace, &latency_rows(trace))
+}
+
+/// [`latency_table`] over precomputed rows, so callers that also
+/// embed the JSON section derive both views from one computation.
+pub fn latency_table_with(trace: &FigureTrace, rows: &[LatencyRow]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -38,7 +43,7 @@ pub fn latency_table(trace: &FigureTrace) -> String {
         "{:>12}  {:>12}  {:>14}  {:>10}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}",
         "mech", "op", "phase", "count", "p50", "p90", "p99", "p999", "max"
     );
-    for r in &rows {
+    for r in rows {
         let (p50, p90, p99, p999) = r.hist.percentiles();
         let _ = writeln!(
             out,
@@ -86,48 +91,134 @@ pub(crate) fn write_latency_json(out: &mut String, rows: &[LatencyRow], level: u
     out.push(']');
 }
 
-/// [`figures_to_json_pretty`](crate::figures_to_json_pretty) plus the
-/// requested enrichment sections. A figure with a matching trace gains
-/// `"schema_version": 2` followed by an `"attribution"` member (when
-/// `attrib`) and/or a `"latency"` member (when `latency`); figures
-/// without a trace — and the whole document when both flags are off —
+/// Append a figure's `"timeline"` JSON member: one summary object per
+/// gauge of the figure's merged (order-independent) timeline — sample
+/// count plus first/last/min/max values. The full point-by-point data
+/// goes to `--timeline <dir>`; this section is the compact in-document
+/// view diff tools can key on.
+pub(crate) fn write_timeline_json(out: &mut String, series: &[GaugeSeries], level: usize) {
+    json::push_indent(out, level);
+    out.push_str("\"timeline\": [");
+    for (i, s) in series.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::push_indent(out, level + 1);
+        out.push_str("{\"gauge\": ");
+        json::push_str_escaped(out, s.name);
+        let values = s.points.iter().map(|&(_, v)| v);
+        let _ = write!(
+            out,
+            ", \"samples\": {}, \"first\": {}, \"last\": {}, \"min\": {}, \"max\": {}}}",
+            s.points.len(),
+            s.points.first().map_or(0, |&(_, v)| v),
+            s.points.last().map_or(0, |&(_, v)| v),
+            values.clone().min().unwrap_or(0),
+            values.max().unwrap_or(0),
+        );
+    }
+    if !series.is_empty() {
+        json::push_indent(out, level);
+    }
+    out.push(']');
+}
+
+/// The enrichment computed once per figure and shared by the stdout
+/// tables and the JSON document, so the two views can never disagree
+/// (each used to re-derive its own copy from the trace).
+pub struct FigureExtras {
+    /// Cost attribution, when `--attrib` requested it.
+    pub attribution: Option<Attribution>,
+    /// Merged latency rows, when `--latency` requested them.
+    pub latency: Option<Vec<LatencyRow>>,
+    /// Merged gauge timelines, when `--timeline` requested them.
+    pub timeline: Option<Vec<GaugeSeries>>,
+}
+
+impl FigureExtras {
+    fn is_empty(&self) -> bool {
+        self.attribution.is_none() && self.latency.is_none() && self.timeline.is_none()
+    }
+}
+
+/// Compute the requested enrichment for every figure, from its
+/// matching trace (figures without a trace get empty extras).
+pub fn figure_extras(
+    figures: &[Figure],
+    traces: &[FigureTrace],
+    attrib: bool,
+    latency: bool,
+    timeline: bool,
+) -> Vec<FigureExtras> {
+    figures
+        .iter()
+        .map(|f| {
+            let trace = traces.iter().find(|t| t.id == f.id);
+            FigureExtras {
+                attribution: trace.filter(|_| attrib).map(attribute),
+                latency: trace.filter(|_| latency).map(latency_rows),
+                timeline: trace.filter(|_| timeline).map(|t| {
+                    let groups: Vec<&[GaugeSeries]> =
+                        t.machines.iter().map(|m| m.timeline.as_slice()).collect();
+                    merge_series(&groups)
+                }),
+            }
+        })
+        .collect()
+}
+
+/// [`figures_to_json_pretty`](crate::figures_to_json_pretty) plus
+/// precomputed enrichment sections. A figure with non-empty extras
+/// gains a `"schema_version"` marker — `2` for attribution/latency
+/// only, `3` once a `"timeline"` member appears — followed by the
+/// sections in attribution, latency, timeline order. Figures with
+/// empty extras — and the whole document when every figure's are —
 /// serialize byte-identically to the plain path, which is what keeps
 /// untraced output stable across releases (implicit schema version 1).
+pub fn figures_to_json_pretty_with_extras(figures: &[Figure], extras: &[FigureExtras]) -> String {
+    assert_eq!(figures.len(), extras.len(), "one extras entry per figure");
+    write_figures_pretty(figures, |out, fi| {
+        let e = &extras[fi];
+        if e.is_empty() {
+            return;
+        }
+        out.push(',');
+        json::push_indent(out, 2);
+        let version = if e.timeline.is_some() { 3 } else { 2 };
+        let _ = write!(out, "\"schema_version\": {version},");
+        let mut first = true;
+        let mut sep = |out: &mut String| {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+        };
+        if let Some(a) = &e.attribution {
+            sep(out);
+            write_attribution_json(out, a, 2);
+        }
+        if let Some(l) = &e.latency {
+            sep(out);
+            write_latency_json(out, l, 2);
+        }
+        if let Some(t) = &e.timeline {
+            sep(out);
+            write_timeline_json(out, t, 2);
+        }
+    })
+}
+
+/// [`figures_to_json_pretty_with_extras`] over freshly computed
+/// attribution/latency extras (the stable schema-v2 surface; use
+/// [`figure_extras`] directly to add the v3 timeline section or to
+/// share the computation with the stdout tables).
 pub fn figures_to_json_pretty_enriched(
     figures: &[Figure],
     traces: &[FigureTrace],
     attrib: bool,
     latency: bool,
 ) -> String {
-    type Extra = (Option<Attribution>, Option<Vec<LatencyRow>>);
-    let extras: Vec<Extra> = figures
-        .iter()
-        .map(|f| {
-            let trace = traces.iter().find(|t| t.id == f.id);
-            (
-                trace.filter(|_| attrib).map(attribute),
-                trace.filter(|_| latency).map(latency_rows),
-            )
-        })
-        .collect();
-    write_figures_pretty(figures, |out, fi| {
-        let (a, l) = &extras[fi];
-        if a.is_none() && l.is_none() {
-            return;
-        }
-        out.push(',');
-        json::push_indent(out, 2);
-        out.push_str("\"schema_version\": 2,");
-        if let Some(a) = a {
-            write_attribution_json(out, a, 2);
-            if l.is_some() {
-                out.push(',');
-            }
-        }
-        if let Some(l) = l {
-            write_latency_json(out, l, 2);
-        }
-    })
+    figures_to_json_pretty_with_extras(figures, &figure_extras(figures, traces, attrib, latency, false))
 }
 
 #[cfg(test)]

@@ -18,9 +18,12 @@ pub mod latency;
 pub mod runner;
 pub mod series;
 
-pub use attrib::{attribution_table, figures_to_json_pretty_with_attribution};
+pub use attrib::{attribution_table, attribution_table_with, figures_to_json_pretty_with_attribution};
 pub use diff::{diff_metrics, figure_metrics, metrics_from_value, DiffReport, Thresholds};
 pub use experiments::all_figures;
-pub use latency::{figures_to_json_pretty_enriched, latency_table};
+pub use latency::{
+    figure_extras, figures_to_json_pretty_enriched, figures_to_json_pretty_with_extras,
+    latency_table, latency_table_with, FigureExtras,
+};
 pub use runner::{run_figures, RunnerOptions};
 pub use series::{figures_to_json_pretty, Figure, Series};

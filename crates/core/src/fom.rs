@@ -368,8 +368,12 @@ impl FomKernel {
     /// [`MapMech::Obase`] this is the background migration daemon.
     /// Returns pages moved between tiers.
     pub fn mechanism_tick(&mut self, budget_pages: u64) -> u64 {
-        let (mech, mut ctx) = self.seam();
-        mech.background_tick(&mut ctx, budget_pages)
+        let moved = {
+            let (mech, mut ctx) = self.seam();
+            mech.background_tick(&mut ctx, budget_pages)
+        };
+        self.poll_timeline();
+        moved
     }
 
     /// Total bytes the mechanism has migrated between memory tiers.
@@ -398,6 +402,29 @@ impl FomKernel {
     /// [`ErasePolicy::CryptoErase`]).
     pub fn keys_live(&self) -> u64 {
         self.keys_live
+    }
+
+    /// Sample the gauge timeline if the machine's sampler is due.
+    ///
+    /// Called at the end of every top-level kernel operation — the
+    /// poll rides the syscall funnel rather than `advance` itself so
+    /// gauges are read at quiescent points, never mid-operation.
+    /// Idempotent at a given clock value: the first due sample re-arms
+    /// the sampler past `now`, so nested ops polling again are no-ops.
+    fn poll_timeline(&mut self) {
+        if !self.machine.timeline_due() {
+            return;
+        }
+        let mut g: Vec<(&'static str, u64)> = vec![
+            ("kernel.procs_live", self.procs.len() as u64),
+            ("kernel.asids_live", u64::from(self.asids.live())),
+            ("kernel.pt_meta_bytes", self.pt.metadata_bytes()),
+            ("kernel.keys_live", self.keys_live),
+            ("kernel.free_frames", self.pmfs.free_frames()),
+        ];
+        self.mmu.gauges(&mut g);
+        self.mech.gauges(&mut g);
+        self.machine.timeline_sample(&g);
     }
 
     fn proc(&self, pid: Pid) -> Result<&FomProc, VmError> {
@@ -438,6 +465,7 @@ impl FomKernel {
             },
         );
         self.machine.op_end(t0, OpKind::Launch, self.mech_str());
+        self.poll_timeline();
         Ok(pid)
     }
 
@@ -457,6 +485,7 @@ impl FomKernel {
         self.asids.free(proc.asid);
         self.pt.release(&mut self.machine, proc.root);
         self.machine.op_end(t0, OpKind::Teardown, self.mech_str());
+        self.poll_timeline();
         Ok(())
     }
 
@@ -606,6 +635,7 @@ impl FomKernel {
         }
         let va = self.map_file_internal(pid, id, name, bytes, Prot::ReadWrite, auto_unlink)?;
         self.machine.op_end(t0, OpKind::Alloc, self.mech_str());
+        self.poll_timeline();
         Ok((id, va))
     }
 
@@ -622,6 +652,7 @@ impl FomKernel {
         let id = pmfs.lookup(machine, name).map_err(VmError::from)?;
         let bytes = pmfs.inode(id).map_err(VmError::from)?.size();
         let va = self.map_file_internal(pid, id, name, bytes, prot, false)?;
+        self.poll_timeline();
         Ok((id, va))
     }
 
@@ -716,6 +747,7 @@ impl FomKernel {
             self.on_file_destroyed(mapping.file, &extents);
         }
         self.machine.op_end(t0, OpKind::Free, self.mech_str());
+        self.poll_timeline();
         Ok(())
     }
 
@@ -879,6 +911,7 @@ impl FomKernel {
         let new_base = self.map_file_internal(pid, id, &name, new_bytes, Prot::ReadWrite, auto)?;
         let (machine, pmfs) = (&mut self.machine, &mut self.pmfs);
         pmfs.dec_ref(machine, id).map_err(VmError::from)?;
+        self.poll_timeline();
         Ok(new_base)
     }
 
@@ -1031,6 +1064,7 @@ impl FomKernel {
             // A fom access never demand-faults: every page is mapped at
             // allocation time, so the hit/fault split is degenerate here.
             self.machine.op_end(t0, OpKind::AccessHit, self.mech_str());
+            self.poll_timeline();
         }
         Ok(v)
     }
@@ -1045,6 +1079,7 @@ impl FomKernel {
         self.machine.phys.write_u64(pa, value);
         if traced {
             self.machine.op_end(t0, OpKind::AccessHit, self.mech_str());
+            self.poll_timeline();
         }
         Ok(())
     }
@@ -1077,6 +1112,7 @@ impl FomKernel {
                     bulk_memory(&mut self.machine, pa, stride, span, write, first_value + k);
                     self.machine
                         .op_end_n(t0, OpKind::AccessHit, self.mech_str(), span);
+                    self.poll_timeline();
                     k += span;
                     continue;
                 }

@@ -196,6 +196,13 @@ pub(crate) trait MapMechanism: std::fmt::Debug + Send {
     fn migrated_pages(&self) -> u64 {
         0
     }
+
+    /// Append this mechanism's gauge readings for the timeline
+    /// sampler (fast-region fill, DRAM-pool occupancy, heat summary,
+    /// …). Mechanisms without interesting live state append nothing.
+    fn gauges(&self, out: &mut Vec<(&'static str, u64)>) {
+        let _ = out;
+    }
 }
 
 /// Construction-time parameters not derivable from [`MapMech`] alone.
@@ -861,6 +868,11 @@ impl MapMechanism for UtopiaMech {
     fn on_flush_asid(&mut self, asid: Asid) {
         self.fast.remove_asid(asid);
     }
+
+    fn gauges(&self, out: &mut Vec<(&'static str, u64)>) {
+        out.push(("utopia.fast_occupied", self.fast.occupied() as u64));
+        out.push(("utopia.fast_capacity", self.fast.capacity() as u64));
+    }
 }
 
 // ---- OBASE tiering (arXiv:2603.00378) ---------------------------------------
@@ -1272,5 +1284,17 @@ impl MapMechanism for ObaseMech {
 
     fn migrated_pages(&self) -> u64 {
         self.migrated
+    }
+
+    fn gauges(&self, out: &mut Vec<(&'static str, u64)>) {
+        let used = self.dram_frames - self.free_dram_total();
+        let promoted = self.records.iter().filter(|r| r.dram_start.is_some()).count();
+        let heat: u64 = self.records.iter().map(|r| r.heat).sum();
+        out.push(("obase.dram_pool_bytes", used * PAGE_SIZE));
+        out.push(("obase.dram_free_bytes", self.free_dram_total() * PAGE_SIZE));
+        out.push(("obase.extents_tracked", self.records.len() as u64));
+        out.push(("obase.extents_promoted", promoted as u64));
+        out.push(("obase.heat_sum", heat));
+        out.push(("obase.pages_migrated", self.migrated));
     }
 }

@@ -152,6 +152,14 @@ pub struct Machine {
     /// on this machine (simulated output is identical either way; the
     /// flag exists so CI can diff the two execution modes).
     fastforward: bool,
+    /// Fast-forwarded run completions (one per [`Machine::op_end_n`]
+    /// call). Pure host-side observability: never charged, never in
+    /// [`PerfCounters`], only surfaced as timeline gauges so the
+    /// fast-forward hit ratio is visible over simulated time.
+    pub ffwd_runs: u64,
+    /// Accesses covered by fast-forwarded runs (the sum of
+    /// [`Machine::op_end_n`] counts).
+    pub ffwd_accesses: u64,
 }
 
 impl Machine {
@@ -175,6 +183,8 @@ impl Machine {
             cpus: config.cpus,
             trace: traced.then(|| Box::new(MachineTrace::new())),
             fastforward: fastforward_default(),
+            ffwd_runs: 0,
+            ffwd_accesses: 0,
         }
     }
 
@@ -316,13 +326,16 @@ impl Machine {
     /// span `started`..now — the fast-forward path's latency record.
     /// Each op is logged at `total / count` ns, which must divide
     /// exactly (a uniform run charges `count` identical per-access
-    /// costs, so it does by construction). No clock effect; a no-op
-    /// without a ledger.
+    /// costs, so it does by construction). No clock effect; the
+    /// fast-forward hit counters bump either way, but the latency
+    /// record itself is a no-op without a ledger.
     #[inline]
     pub fn op_end_n(&mut self, started: SimNs, op: OpKind, mech: &'static str, count: u64) {
         if count == 0 {
             return;
         }
+        self.ffwd_runs += 1;
+        self.ffwd_accesses += count;
         if let Some(trace) = self.trace.as_mut() {
             let total = self.clock_ns - started.0;
             debug_assert_eq!(total % count, 0, "fast-forwarded run must be uniform");
@@ -334,6 +347,35 @@ impl Machine {
     /// observability is off). After this the machine records nothing.
     pub fn take_trace(&mut self) -> Option<o1_obs::MachineReport> {
         self.trace.take().map(|t| t.finish(self.clock_ns))
+    }
+
+    /// True iff a gauge-timeline sample is due at the current clock.
+    /// Kernels poll this at operation boundaries and gather gauges
+    /// only on a hit, so the untelemetered path does one `Option`
+    /// check and nothing else.
+    #[inline]
+    pub fn timeline_due(&self) -> bool {
+        self.trace
+            .as_ref()
+            .is_some_and(|t| t.timeline_due(self.clock_ns))
+    }
+
+    /// Sample the machine-level gauges plus the caller's `extra`
+    /// kernel/MMU gauges at the current simulated clock. A no-op
+    /// unless a sample is [due](Self::timeline_due).
+    pub fn timeline_sample(&mut self, extra: &[(&'static str, u64)]) {
+        if !self.timeline_due() {
+            return;
+        }
+        let mut gauges: Vec<(&'static str, u64)> = Vec::with_capacity(extra.len() + 3);
+        gauges.push(("machine.backed_frames", self.phys.backed_frames() as u64));
+        gauges.push(("machine.ffwd_runs", self.ffwd_runs));
+        gauges.push(("machine.ffwd_accesses", self.ffwd_accesses));
+        gauges.extend_from_slice(extra);
+        let clock_ns = self.clock_ns;
+        if let Some(trace) = self.trace.as_mut() {
+            trace.timeline_sample(clock_ns, &gauges);
+        }
     }
 
     /// Number of CPUs (affects shootdown costs).

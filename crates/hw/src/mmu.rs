@@ -296,6 +296,29 @@ impl Mmu {
         &mut self.cpus[self.current.index()].rtlb
     }
 
+    /// Append this MMU's gauge readings (for the timeline sampler):
+    /// TLB / range-TLB / walk-cache occupancy summed across CPUs,
+    /// total ASID presence-mask population, and the broadcast
+    /// invalidation epoch.
+    pub fn gauges(&self, out: &mut Vec<(&'static str, u64)>) {
+        let (mut tlb, mut rtlb, mut walk) = (0u64, 0u64, 0u64);
+        for cpu in &self.cpus {
+            tlb += cpu.tlb.occupancy() as u64;
+            rtlb += cpu.rtlb.occupancy() as u64;
+            walk += cpu.walk_cache.len() as u64;
+        }
+        let presence: u64 = self
+            .asid_cpus
+            .values()
+            .map(|m| u64::from(m.count_ones()))
+            .sum();
+        out.push(("mmu.tlb_entries", tlb));
+        out.push(("mmu.rtlb_entries", rtlb));
+        out.push(("mmu.walk_cache_entries", walk));
+        out.push(("mmu.asid_presence", presence));
+        out.push(("mmu.inval_epoch", self.inval_epoch));
+    }
+
     /// Remote CPUs that would respond to a broadcast for `asid`: those
     /// whose presence bit is set, excluding the initiating (current)
     /// CPU.

@@ -95,15 +95,32 @@ impl PerfCounters {
 }
 
 /// A typed point-in-time capture of a machine: simulated clock plus
-/// all counters. The unit `MemSys::stats` returns, replacing ad-hoc
+/// all counters, plus the host-heap gauges of the capturing thread.
+/// The unit `MemSys::stats` returns, replacing ad-hoc
 /// `machine().now()` / `machine().perf` pairs at call sites.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+///
+/// Equality deliberately ignores [`host`](Self::host): two captures of
+/// the same *simulated* state are equal even if the harness's own heap
+/// differed (equivalence tests compare simulated universes, not the
+/// allocator's mood).
+#[derive(Clone, Copy, Debug, Default)]
 pub struct PerfSnapshot {
     /// Simulated time of the capture.
     pub at: crate::machine::SimNs,
     /// Counter values at the capture.
     pub counters: PerfCounters,
+    /// Host-heap gauges of the capturing thread (all zero unless the
+    /// `hostmem` feature installed the counting allocator).
+    pub host: o1_obs::HostMemSnapshot,
 }
+
+impl PartialEq for PerfSnapshot {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.counters) == (other.at, other.counters)
+    }
+}
+
+impl Eq for PerfSnapshot {}
 
 impl PerfSnapshot {
     /// Capture the machine's current clock and counters.
@@ -111,6 +128,7 @@ impl PerfSnapshot {
         PerfSnapshot {
             at: machine.now(),
             counters: machine.perf.snapshot(),
+            host: o1_obs::hostmem::snapshot(),
         }
     }
 

@@ -125,6 +125,74 @@ pub fn export_chrome_trace(traces: &[FigureTrace]) -> String {
     out
 }
 
+/// One JSON line per gauge series: figure, machine index, gauge name,
+/// and the full `[[ns, value], …]` point list. Machines without
+/// timelines contribute nothing, so the file is empty (not absent)
+/// when sampling was off.
+pub fn export_timeline_jsonl(traces: &[FigureTrace]) -> String {
+    let mut out = String::new();
+    for t in traces {
+        for (mi, m) in t.machines.iter().enumerate() {
+            for g in &m.timeline {
+                out.push_str("{\"fig\":");
+                json_escape(&mut out, &t.id);
+                let _ = write!(out, ",\"machine\":{mi},\"gauge\":");
+                json_escape(&mut out, g.name);
+                out.push_str(",\"points\":[");
+                for (i, &(ns, v)) in g.points.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "[{ns},{v}]");
+                }
+                out.push_str("]}\n");
+            }
+        }
+    }
+    out
+}
+
+/// Chrome trace-event JSON carrying the gauge timelines as counter
+/// (`"C"`) events: same process-per-figure / thread-per-machine layout
+/// as [`export_chrome_trace`], so the counter tracks line up under the
+/// phase spans when both files are loaded.
+pub fn export_timeline_chrome(traces: &[FigureTrace]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    let mut event = |out: &mut String| {
+        if first {
+            first = false;
+        } else {
+            out.push(',');
+        }
+        out.push_str("\n ");
+    };
+    for (pid, t) in traces.iter().enumerate() {
+        if t.machines.iter().all(|m| m.timeline.is_empty()) {
+            continue;
+        }
+        event(&mut out);
+        out.push_str("{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":");
+        let _ = write!(out, "{pid},\"tid\":0,\"args\":{{\"name\":");
+        json_escape(&mut out, &t.id);
+        out.push_str("}}");
+        for (tid, m) in t.machines.iter().enumerate() {
+            for g in &m.timeline {
+                for &(ns, v) in &g.points {
+                    event(&mut out);
+                    out.push_str("{\"ph\":\"C\",\"cat\":\"gauge\",\"name\":");
+                    json_escape(&mut out, g.name);
+                    let _ = write!(out, ",\"pid\":{pid},\"tid\":{tid},\"ts\":");
+                    push_us(&mut out, ns);
+                    let _ = write!(out, ",\"args\":{{\"value\":{v}}}}}");
+                }
+            }
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,6 +224,56 @@ mod tests {
         );
         assert!(lines[1].contains("\"subsystem\":\"cpu\",\"kind\":\"syscall\",\"count\":1,\"ns\":500"));
         assert!(lines[2].contains("\"phase\":\"access\""));
+    }
+
+    fn sample_with_timeline() -> Vec<FigureTrace> {
+        let mut t = MachineTrace::with_timeline(100);
+        t.record(CostKind::Syscall, 1, 500);
+        t.timeline_sample(0, &[("mmu.tlb_entries", 0), ("kernel.procs_live", 1)]);
+        t.timeline_sample(120, &[("mmu.tlb_entries", 7), ("kernel.procs_live", 1)]);
+        t.timeline_sample(130, &[("mmu.tlb_entries", 9)]); // not due
+        vec![FigureTrace {
+            id: "figT".into(),
+            machines: vec![t.finish(500)],
+        }]
+    }
+
+    #[test]
+    fn timeline_jsonl_lists_points_per_gauge() {
+        let traces = sample_with_timeline();
+        let a = export_timeline_jsonl(&traces);
+        assert_eq!(a, export_timeline_jsonl(&traces));
+        let lines: Vec<&str> = a.lines().collect();
+        assert_eq!(lines.len(), 2, "{a}");
+        // Name-sorted: kernel.* before mmu.*.
+        assert_eq!(
+            lines[0],
+            "{\"fig\":\"figT\",\"machine\":0,\"gauge\":\"kernel.procs_live\",\
+             \"points\":[[0,1],[120,1]]}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"fig\":\"figT\",\"machine\":0,\"gauge\":\"mmu.tlb_entries\",\
+             \"points\":[[0,0],[120,7]]}"
+        );
+        // Sampling off: empty file, not a partial one.
+        assert_eq!(export_timeline_jsonl(&sample()), "");
+    }
+
+    #[test]
+    fn timeline_chrome_is_counter_events() {
+        let out = export_timeline_chrome(&sample_with_timeline());
+        assert!(out.starts_with("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["));
+        assert!(out.ends_with("]}\n"));
+        assert!(out.contains("\"ph\":\"C\""));
+        assert!(out.contains("\"name\":\"mmu.tlb_entries\",\"pid\":0,\"tid\":0,\"ts\":0.120"));
+        assert!(out.contains("\"args\":{\"value\":7}"));
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(out.matches(open).count(), out.matches(close).count());
+        }
+        // No timelines: header and footer only, no stray comma.
+        let empty = export_timeline_chrome(&sample());
+        assert_eq!(empty, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n]}\n");
     }
 
     #[test]

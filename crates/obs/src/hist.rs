@@ -118,16 +118,18 @@ impl Histogram {
         Histogram::default()
     }
 
-    /// Record one value.
+    /// Record one value. Counters saturate at `u64::MAX` instead of
+    /// wrapping: a saturated histogram reports a too-small sum, never
+    /// a corrupted one.
     #[inline]
     pub fn record(&mut self, v: u64) {
         let b = bucket_of(v);
         if b >= self.counts.len() {
             self.counts.resize(b + 1, 0);
         }
-        self.counts[b] += 1;
-        self.count += 1;
-        self.sum += v;
+        self.counts[b] = self.counts[b].saturating_add(1);
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(v);
         self.max = self.max.max(v);
     }
 
@@ -145,9 +147,12 @@ impl Histogram {
         if b >= self.counts.len() {
             self.counts.resize(b + 1, 0);
         }
-        self.counts[b] += n;
-        self.count += n;
-        self.sum += v * n;
+        self.counts[b] = self.counts[b].saturating_add(n);
+        self.count = self.count.saturating_add(n);
+        // v·n can overflow u64 even when neither factor does; widen so
+        // the saturation point matches n individual `record` calls.
+        let vn = u64::try_from(u128::from(v) * u128::from(n)).unwrap_or(u64::MAX);
+        self.sum = self.sum.saturating_add(vn);
         self.max = self.max.max(v);
     }
 
@@ -174,10 +179,10 @@ impl Histogram {
             self.counts.resize(other.counts.len(), 0);
         }
         for (a, &b) in self.counts.iter_mut().zip(&other.counts) {
-            *a += b;
+            *a = a.saturating_add(b);
         }
-        self.count += other.count;
-        self.sum += other.sum;
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
         self.max = self.max.max(other.max);
     }
 
@@ -296,6 +301,86 @@ mod tests {
                 }
                 assert_eq!(bulk, looped, "v={v} n={n}");
             }
+        }
+    }
+
+    #[test]
+    fn record_n_at_bucket_boundaries() {
+        // The exact values where bucket membership flips: each bucket's
+        // inclusive upper bound and the next value (its neighbour's
+        // lower bound) must land in adjacent buckets, via record_n and
+        // record alike.
+        for i in 1..127usize {
+            let hi = bucket_hi(i);
+            assert_eq!(bucket_of(hi), i, "upper bound of bucket {i}");
+            assert_eq!(bucket_of(hi + 1), i + 1, "lower bound of bucket {}", i + 1);
+            let mut h = Histogram::new();
+            h.record_n(hi, 3);
+            h.record_n(hi + 1, 2);
+            assert_eq!(h.count(), 5);
+            assert_eq!(h.max(), hi + 1);
+            // p50 (rank 3) is still in bucket i; p100 is the exact max.
+            assert_eq!(h.quantile(1, 2), hi);
+            assert_eq!(h.quantile(1, 1), hi + 1);
+        }
+    }
+
+    #[test]
+    fn record_n_saturates_instead_of_wrapping() {
+        // Count overflow: u64::MAX values plus more values.
+        let mut h = Histogram::new();
+        h.record_n(2, u64::MAX);
+        h.record_n(2, 5);
+        h.record(2);
+        assert_eq!(h.count(), u64::MAX, "count saturates");
+        assert_eq!(h.sum(), u64::MAX, "2·MAX overflows u64, sum saturates");
+        assert_eq!(h.max(), 2);
+
+        // Max-value bucket: u64::MAX lands in bucket 127 and sum
+        // saturates on the second value rather than wrapping to small.
+        let mut h = Histogram::new();
+        h.record_n(u64::MAX, 2);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.percentiles(), (u64::MAX, u64::MAX, u64::MAX, u64::MAX));
+
+        // Merge of two saturated histograms stays saturated.
+        let mut a = Histogram::new();
+        a.record_n(1, u64::MAX);
+        let b = a.clone();
+        a.merge(&b);
+        assert_eq!(a.count(), u64::MAX);
+        assert_eq!(a.sum(), u64::MAX);
+    }
+
+    #[test]
+    fn merge_is_commutative_on_random_histograms() {
+        // Deterministic LCG so the property test needs no rng crate.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state
+        };
+        for _ in 0..200 {
+            let mut a = Histogram::new();
+            let mut b = Histogram::new();
+            for _ in 0..(next() % 64) {
+                // Bias toward small values but keep huge ones in play.
+                let v = next() >> (next() % 64);
+                a.record_n(v, next() % 4);
+            }
+            for _ in 0..(next() % 64) {
+                let v = next() >> (next() % 64);
+                b.record_n(v, next() % 4);
+            }
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            assert_eq!(ab, ba, "merge must be commutative");
+            assert_eq!(ab.count(), a.count().saturating_add(b.count()));
+            assert_eq!(ab.sum(), a.sum().saturating_add(b.sum()));
         }
     }
 

@@ -1,0 +1,193 @@
+//! Host-memory self-observation: a counting `#[global_allocator]`.
+//!
+//! The paper's central claim is about *host* state — kernel metadata
+//! staying O(1) in the size of the address space — so the harness
+//! measures its own heap. [`CountingAlloc`] wraps the system allocator
+//! and keeps per-thread live/peak/total byte counters; because the
+//! figure runner executes each figure wholly on one worker thread, a
+//! figure's delta readings are deterministic regardless of what other
+//! threads do, and identical across `--threads` values.
+//!
+//! The counters are thread-local [`Cell`]s with `const` initializers:
+//! no lazy allocation (an allocator must never recurse into itself)
+//! and no `Drop`, accessed via `try_with` so allocations during
+//! thread teardown are silently uncounted rather than aborting.
+//!
+//! Everything here is behind the `hostmem` cargo feature (default on).
+//! With the feature off the global allocator is *not* replaced, the
+//! counters stay zero, and [`counting`] returns false so shape tests
+//! can skip their assertions — zero overhead on the untelemetered
+//! path. Either way the *simulated* numbers are untouched: counting
+//! host bytes never advances the simulated clock.
+
+use std::cell::Cell;
+
+#[cfg(feature = "hostmem")]
+use std::alloc::{GlobalAlloc, Layout, System};
+
+thread_local! {
+    /// Live heap bytes allocated by this thread, minus bytes this
+    /// thread freed. Signed: a thread may free more than it allocated
+    /// (cross-thread frees), which must not wrap.
+    static LIVE: Cell<i64> = const { Cell::new(0) };
+    /// High-water mark of `LIVE` since the last [`reset_peak`].
+    static PEAK: Cell<i64> = const { Cell::new(0) };
+    /// Total bytes ever allocated by this thread.
+    static TOTAL: Cell<u64> = const { Cell::new(0) };
+    /// Total allocation calls ever made by this thread.
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+#[cfg(feature = "hostmem")]
+#[inline]
+fn on_alloc(bytes: usize) {
+    // try_with: during thread teardown the TLS slot may be gone while
+    // destructors still allocate; dropping those counts is fine.
+    let _ = TOTAL.try_with(|t| t.set(t.get().saturating_add(bytes as u64)));
+    let _ = ALLOCS.try_with(|a| a.set(a.get().saturating_add(1)));
+    let _ = LIVE.try_with(|l| {
+        let live = l.get().saturating_add(bytes as i64);
+        l.set(live);
+        let _ = PEAK.try_with(|p| {
+            if live > p.get() {
+                p.set(live);
+            }
+        });
+    });
+}
+
+#[cfg(feature = "hostmem")]
+#[inline]
+fn on_free(bytes: usize) {
+    let _ = LIVE.try_with(|l| l.set(l.get().saturating_sub(bytes as i64)));
+}
+
+/// A [`GlobalAlloc`] wrapper that counts every allocation into the
+/// thread-local gauges above, then forwards to `A`.
+#[cfg(feature = "hostmem")]
+pub struct CountingAlloc<A> {
+    inner: A,
+}
+
+#[cfg(feature = "hostmem")]
+unsafe impl<A: GlobalAlloc> GlobalAlloc for CountingAlloc<A> {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { self.inner.alloc(layout) };
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { self.inner.alloc_zeroed(layout) };
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { self.inner.dealloc(ptr, layout) };
+        on_free(layout.size());
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = unsafe { self.inner.realloc(ptr, layout, new_size) };
+        if !p.is_null() {
+            on_free(layout.size());
+            on_alloc(new_size);
+        }
+        p
+    }
+}
+
+#[cfg(feature = "hostmem")]
+#[global_allocator]
+static HOST_COUNTER: CountingAlloc<System> = CountingAlloc { inner: System };
+
+/// True iff the counting allocator is installed (the `hostmem`
+/// feature is on). Shape tests over host bytes gate on this.
+pub const fn counting() -> bool {
+    cfg!(feature = "hostmem")
+}
+
+/// Point-in-time reading of this thread's host-heap gauges.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct HostMemSnapshot {
+    /// Live heap bytes (this thread's allocations minus its frees,
+    /// clamped at 0).
+    pub live_bytes: u64,
+    /// High-water mark of `live_bytes` since the last [`reset_peak`].
+    pub peak_bytes: u64,
+    /// Total bytes ever allocated by this thread.
+    pub total_bytes: u64,
+    /// Total allocation calls ever made by this thread.
+    pub alloc_calls: u64,
+}
+
+/// Read this thread's gauges. All-zero when [`counting`] is false.
+pub fn snapshot() -> HostMemSnapshot {
+    HostMemSnapshot {
+        live_bytes: LIVE.with(|l| l.get()).max(0) as u64,
+        peak_bytes: PEAK.with(|p| p.get()).max(0) as u64,
+        total_bytes: TOTAL.with(|t| t.get()),
+        alloc_calls: ALLOCS.with(|a| a.get()),
+    }
+}
+
+/// Restart this thread's peak tracking from the current live value —
+/// call at a phase boundary to measure that phase's high-water mark
+/// as `peak_bytes - live_bytes`-at-reset.
+pub fn reset_peak() {
+    let live = LIVE.with(|l| l.get());
+    PEAK.with(|p| p.set(live));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_tracks_this_threads_allocations() {
+        if !counting() {
+            return;
+        }
+        reset_peak();
+        let before = snapshot();
+        let v: Vec<u8> = Vec::with_capacity(1 << 20);
+        let during = snapshot();
+        assert!(
+            during.live_bytes >= before.live_bytes + (1 << 20),
+            "live grew by at least the Vec: {before:?} -> {during:?}"
+        );
+        assert!(during.peak_bytes >= during.live_bytes);
+        assert!(during.total_bytes > before.total_bytes);
+        assert!(during.alloc_calls > before.alloc_calls);
+        drop(v);
+        let after = snapshot();
+        assert!(after.live_bytes < during.live_bytes, "free shrinks live");
+        assert!(after.peak_bytes >= during.live_bytes, "peak is sticky");
+        reset_peak();
+        let reset = snapshot();
+        assert!(reset.peak_bytes <= after.live_bytes.max(reset.live_bytes));
+    }
+
+    #[test]
+    fn peak_measures_a_scope_after_reset() {
+        if !counting() {
+            return;
+        }
+        reset_peak();
+        let base = snapshot().live_bytes;
+        {
+            let _big: Vec<u8> = Vec::with_capacity(4 << 20);
+            let _small: Vec<u8> = Vec::with_capacity(1 << 10);
+        }
+        let peak = snapshot().peak_bytes;
+        assert!(
+            peak >= base + (4 << 20),
+            "scope high-water mark visible after the scope freed: base {base}, peak {peak}"
+        );
+    }
+}

@@ -11,6 +11,7 @@ use std::collections::BTreeMap;
 
 use crate::hist::{Histogram, OpKind};
 use crate::kind::{CostKind, Subsystem};
+use crate::timeline::{timeline_default, GaugeSeries, TimelineSampler};
 
 /// Phase label a machine starts in before anyone calls `set_phase`.
 pub const INITIAL_PHASE: &str = "main";
@@ -47,14 +48,45 @@ pub struct MachineTrace {
     charged_ns: u64,
     /// `(phase index, op discriminant, mechanism) → latency histogram`.
     ops: BTreeMap<(usize, u8, &'static str), Histogram>,
+    /// Gauge timeline sampler; present only when the process-global
+    /// timeline interval was nonzero at construction.
+    timeline: Option<TimelineSampler>,
 }
 
 impl MachineTrace {
-    /// Fresh ledger: clock 0, phase [`INITIAL_PHASE`].
+    /// Fresh ledger: clock 0, phase [`INITIAL_PHASE`]. Snapshots the
+    /// process-global [`timeline_default`] interval: a nonzero value
+    /// arms a gauge sampler for this machine's lifetime.
     pub fn new() -> MachineTrace {
+        let interval = timeline_default();
         MachineTrace {
             phases: vec![INITIAL_PHASE],
+            timeline: (interval > 0).then(|| TimelineSampler::new(interval)),
             ..MachineTrace::default()
+        }
+    }
+
+    /// Fresh ledger with a gauge sampler armed at `interval_ns`
+    /// regardless of the process-global default (0 = no sampler).
+    pub fn with_timeline(interval_ns: u64) -> MachineTrace {
+        MachineTrace {
+            timeline: (interval_ns > 0).then(|| TimelineSampler::new(interval_ns)),
+            ..MachineTrace::new()
+        }
+    }
+
+    /// True iff a gauge sample is due at clock value `clock_ns`.
+    /// Always false without a sampler, so kernels skip gauge
+    /// gathering entirely when timelines are off.
+    #[inline]
+    pub fn timeline_due(&self, clock_ns: u64) -> bool {
+        self.timeline.as_ref().is_some_and(|t| t.due(clock_ns))
+    }
+
+    /// Record one point per gauge at `clock_ns` if a sample is due.
+    pub fn timeline_sample(&mut self, clock_ns: u64, gauges: &[(&'static str, u64)]) {
+        if let Some(t) = &mut self.timeline {
+            t.sample(clock_ns, gauges);
         }
     }
 
@@ -151,6 +183,7 @@ impl MachineTrace {
             spans: self.spans,
             rows,
             ops,
+            timeline: self.timeline.map(TimelineSampler::finish).unwrap_or_default(),
             clock_ns,
             charged_ns: self.charged_ns,
         }
@@ -193,6 +226,9 @@ pub struct MachineReport {
     /// Per-operation latency histograms, ordered by (phase first-use,
     /// op, mechanism).
     pub ops: Vec<OpRow>,
+    /// Gauge timelines, name-sorted; empty unless the machine was
+    /// built with a nonzero timeline interval.
+    pub timeline: Vec<GaugeSeries>,
     /// Final simulated clock value (machines start at 0).
     pub clock_ns: u64,
     /// Sum of all recorded entries.

@@ -25,7 +25,16 @@
 //!   simulated latency into an integer-only, log-bucketed
 //!   [`Histogram`] keyed by `(phase, [`OpKind`], mechanism)`, merged
 //!   per figure by [`latency_rows`] — the tail-latency view
-//!   (`figures --latency`) that means can never show.
+//!   (`figures --latency`) that means can never show;
+//! * [`TimelineSampler`] records gauge readings (TLB occupancy, live
+//!   ASIDs, DRAM-pool bytes, …) against the *simulated* clock into
+//!   order-independent, mergeable [`GaugeSeries`] — the temporal view
+//!   (`figures --timeline`), off unless [`set_timeline_default`] arms
+//!   it;
+//! * [`hostmem`] counts the harness's own heap through a wrapping
+//!   `#[global_allocator]`, so the O(1)-host-metadata claim is a
+//!   measured number ([`HostMemSnapshot`], `fig_hostmem`) instead of
+//!   prose.
 //!
 //! The ledger is strictly opt-in: a machine built while no collector
 //! is installed (and not forced on) carries no ledger at all, records
@@ -36,14 +45,22 @@
 mod collect;
 mod export;
 mod hist;
+pub mod hostmem;
 mod kind;
 mod ledger;
+mod timeline;
 
 pub use collect::{collector_active, install_collector, submit, take_collector, with_collector};
-pub use export::{export_chrome_trace, export_jsonl, json_escape};
+pub use export::{
+    export_chrome_trace, export_jsonl, export_timeline_chrome, export_timeline_jsonl, json_escape,
+};
 pub use hist::{Histogram, OpKind};
+pub use hostmem::HostMemSnapshot;
 pub use kind::{CostKind, Subsystem};
 pub use ledger::{
     attribute, conservation_errors, latency_rows, Attribution, FigureTrace, LatencyRow,
     MachineReport, MachineTrace, OpRow, PhaseSpan, TraceRow, INITIAL_PHASE,
+};
+pub use timeline::{
+    merge_series, set_timeline_default, timeline_default, GaugeSeries, TimelineSampler,
 };

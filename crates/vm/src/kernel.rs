@@ -323,6 +323,28 @@ impl BaselineKernel {
         Ok(self.proc(pid)?.vmas.len())
     }
 
+    /// Sample the gauge timeline if the machine's sampler is due.
+    ///
+    /// Mirrors `FomKernel::poll_timeline`: rides the syscall/access
+    /// funnel so gauges are read at quiescent points, and is
+    /// idempotent at a given clock value (the first due sample re-arms
+    /// the sampler past `now`).
+    fn poll_timeline(&mut self) {
+        if !self.machine.timeline_due() {
+            return;
+        }
+        let mut g: Vec<(&'static str, u64)> = vec![
+            ("kernel.procs_live", self.procs.len() as u64),
+            ("kernel.asids_live", u64::from(self.asids.live())),
+            ("kernel.pt_meta_bytes", self.pt.metadata_bytes()),
+            ("kernel.free_frames", self.alloc.free_frames()),
+            ("kernel.swap_used_slots", self.swap.used_slots() as u64),
+            ("kernel.lru_tracked", self.lru.len() as u64),
+        ];
+        self.mmu.gauges(&mut g);
+        self.machine.timeline_sample(&g);
+    }
+
     fn proc(&self, pid: Pid) -> Result<&Proc, VmError> {
         self.procs.get(pid).ok_or(VmError::NoProcess)
     }
@@ -367,6 +389,7 @@ impl BaselineKernel {
             },
         );
         self.machine.op_end(t0, OpKind::Launch, MECH);
+        self.poll_timeline();
         Ok(pid)
     }
 
@@ -392,6 +415,7 @@ impl BaselineKernel {
         self.asids.free(proc.asid);
         self.pt.release(&mut self.machine, proc.root);
         self.machine.op_end(t0, OpKind::Teardown, MECH);
+        self.poll_timeline();
         Ok(())
     }
 
@@ -491,6 +515,7 @@ impl BaselineKernel {
                 swapped: c_swapped,
             },
         );
+        self.poll_timeline();
         Ok(child)
     }
 
@@ -650,6 +675,7 @@ impl BaselineKernel {
             }
         }
         self.machine.op_end(t0, OpKind::Mmap, MECH);
+        self.poll_timeline();
         Ok(start)
     }
 
@@ -663,6 +689,7 @@ impl BaselineKernel {
         }
         self.unmap_region(pid, va, o1_hw::round_up_pages(len))?;
         self.machine.op_end(t0, OpKind::Munmap, MECH);
+        self.poll_timeline();
         Ok(())
     }
 
@@ -1251,6 +1278,7 @@ impl BaselineKernel {
             self.free_frame(frame);
             evicted += 1;
         }
+        self.poll_timeline();
         evicted
     }
 
@@ -1305,6 +1333,7 @@ impl BaselineKernel {
                 OpKind::AccessHit
             };
             self.machine.op_end(t0, op, MECH);
+            self.poll_timeline();
         }
     }
 
@@ -1381,6 +1410,7 @@ impl BaselineKernel {
                     // Every access in the span hit — `span` AccessHit
                     // latencies, each of the identical per-access cost.
                     self.machine.op_end_n(t0, OpKind::AccessHit, MECH, span);
+                    self.poll_timeline();
                     k += span;
                     continue;
                 }

@@ -90,6 +90,40 @@ if [ "${1:-}" = "--gate" ]; then
         --fig fig_tiering --latency --attrib --threads 4 \
         --json "$out/tier4.json" --no-bench >/dev/null
     cmp "$out/tier1.json" "$out/tier4.json"
+    echo "==> timeline determinism gate (full-suite --timeline across --threads)"
+    # Gauge timelines are sampled on the simulated clock at op
+    # boundaries, so both export formats must be byte-identical no
+    # matter how many host threads regenerate the suite.
+    cargo run --release -p o1-bench --bin figures -- \
+        --timeline "$out/tl1" --threads 1 --no-bench >/dev/null
+    cargo run --release -p o1-bench --bin figures -- \
+        --timeline "$out/tl4" --threads 4 --no-bench >/dev/null
+    cmp "$out/tl1/timeline.jsonl" "$out/tl4/timeline.jsonl"
+    cmp "$out/tl1/timeline_chrome.json" "$out/tl4/timeline_chrome.json"
+    echo "==> hostmem gate (fig_hostmem: baseline grows, fom stays flat)"
+    # The 23rd figure measures the simulator's own peak heap per mapped
+    # address space. The paper's shape claim, numerically: the baseline
+    # column must grow strictly monotonically down the sweep and end
+    # >= 100x above fom extent ranges (full thresholds live in
+    # tests/figures_shapes.rs; this is the cheap end-to-end smoke).
+    cargo run --release -p o1-bench --bin figures -- \
+        --fig fig_hostmem --no-bench > "$out/hostmem.txt"
+    awk '
+        NF == 4 && $1 ~ /^[0-9]+$/ {
+            rows++
+            if (prev_base != "" && $2 <= prev_base) {
+                printf "hostmem gate: baseline not monotone (%s -> %s)\n", prev_base, $2
+                exit 1
+            }
+            prev_base = $2; last_base = $2; last_ranges = $4
+        }
+        END {
+            if (rows < 4) { print "hostmem gate: expected 4 sweep rows, saw " rows; exit 1 }
+            if (last_base < 100 * last_ranges) {
+                printf "hostmem gate: baseline %s not >= 100x fom-ranges %s\n", last_base, last_ranges
+                exit 1
+            }
+        }' "$out/hostmem.txt"
     echo "ci.sh: perf gate OK"
     exit 0
 fi

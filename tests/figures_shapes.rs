@@ -528,3 +528,44 @@ fn fig_tiering_obase_crosses_toward_dram_bound() {
         "translation alone cannot reach the DRAM bound"
     );
 }
+
+#[test]
+fn fig_hostmem_baseline_linear_fom_flat() {
+    if !o1_obs::hostmem::counting() {
+        eprintln!("skipped: build without the obs `hostmem` feature");
+        return;
+    }
+    let f = exp::fig_hostmem();
+    // The paper's O(1) claim, measured on the simulator's own heap:
+    // the baseline kernel's host footprint (PTEs, struct-page
+    // metadata, rmap, LRU lists) grows with the mapped address space,
+    // while fom's stays flat. 16 → 512 MiB is a 32x sweep.
+    let base = f.series("baseline (per-page kernel)").unwrap();
+    let (b0, b_last) = base.ends().unwrap();
+    assert!(
+        b_last > 10.0 * b0,
+        "baseline host heap grows with the mapping: {b0} → {b_last}"
+    );
+    let ranges = f.series("fom extent ranges").unwrap();
+    let (r0, r_last) = ranges.ends().unwrap();
+    assert!(
+        r_last < 5.0 * r0,
+        "fom-ranges host heap ≈ flat over a 32x sweep: {r0} → {r_last}"
+    );
+    // fom page tables share one set of PTEs with the file, so they
+    // also stay orders below the per-process baseline.
+    let pt = f.series("fom page tables").unwrap();
+    let (_, p_last) = pt.ends().unwrap();
+    assert!(
+        b_last > 100.0 * r_last && b_last > 100.0 * p_last,
+        "at 512 MiB: baseline {b_last} vs fom {p_last} / {r_last}"
+    );
+    // Sanity: every point measured something.
+    for s in [base, pt, ranges] {
+        assert!(
+            s.points.iter().all(|&(_, y)| y > 0.0),
+            "{}: peaks recorded",
+            s.label
+        );
+    }
+}

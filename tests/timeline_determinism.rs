@@ -1,0 +1,148 @@
+//! Regression gate for gauge timelines: series are sampled on the
+//! *simulated* clock at quiescent points of the kernel funnel, so —
+//! exactly like the figures and the cost-attribution traces — the
+//! exported JSONL and Chrome counter tracks must be byte-identical no
+//! matter how many host threads regenerate the suite. Sampling must
+//! also never disturb what it observes: the ledger still conserves the
+//! simulated clock, and figure bytes still agree across thread counts
+//! with telemetry armed.
+//!
+//! Every test in this binary runs with the process-global timeline
+//! default armed; tests that need it off live elsewhere (the default
+//! is snapshotted per machine at construction).
+
+use o1_bench::runner::{figure_fn, run_figures, RunnerOptions, ALL_IDS};
+use o1_bench::{figure_extras, figures_to_json_pretty, figures_to_json_pretty_with_extras};
+use o1_obs::{
+    conservation_errors, export_timeline_chrome, export_timeline_jsonl, set_timeline_default,
+};
+
+#[test]
+fn full_suite_timelines_byte_identical_across_thread_counts() {
+    set_timeline_default(100_000);
+    let fns: Vec<_> = ALL_IDS
+        .iter()
+        .map(|id| figure_fn(id).expect("known id"))
+        .collect();
+
+    let seq = run_figures(
+        &fns,
+        &RunnerOptions {
+            threads: 1,
+            repeat: 1,
+            trace: true,
+        },
+    );
+    let par = run_figures(
+        &fns,
+        &RunnerOptions {
+            threads: 4,
+            repeat: 1,
+            trace: true,
+        },
+    );
+
+    let ts = seq.traces();
+    let tp = par.traces();
+    assert_eq!(ts.len(), ALL_IDS.len(), "every figure produced a trace");
+
+    // The suite actually sampled: gauges exist and carry points.
+    let points: usize = ts
+        .iter()
+        .flat_map(|t| &t.machines)
+        .flat_map(|m| &m.timeline)
+        .map(|s| s.points.len())
+        .sum();
+    assert!(points > 1000, "suite sampled {points} gauge points");
+    // Both kernel families surfaced their gauges somewhere.
+    let names: std::collections::BTreeSet<&str> = ts
+        .iter()
+        .flat_map(|t| &t.machines)
+        .flat_map(|m| &m.timeline)
+        .map(|s| s.name)
+        .collect();
+    for want in [
+        "kernel.procs_live",
+        "kernel.free_frames",
+        "machine.backed_frames",
+        "mmu.tlb_entries",
+        "obase.dram_pool_bytes",
+        "utopia.fast_occupied",
+    ] {
+        assert!(names.contains(want), "gauge {want} missing from suite");
+    }
+
+    // Determinism: timeline bytes are independent of the thread count.
+    assert_eq!(
+        export_timeline_jsonl(&ts),
+        export_timeline_jsonl(&tp),
+        "timeline JSONL diverged across thread counts"
+    );
+    assert_eq!(
+        export_timeline_chrome(&ts),
+        export_timeline_chrome(&tp),
+        "timeline Chrome track diverged across thread counts"
+    );
+
+    // Observation must not disturb the observed: the ledger still
+    // conserves the simulated clock with sampling armed, and figure
+    // bytes still agree across thread counts.
+    let errors = conservation_errors(&ts);
+    assert!(
+        errors.is_empty(),
+        "ledger must conserve with sampling on:\n{}",
+        errors.join("\n")
+    );
+    assert_eq!(
+        figures_to_json_pretty(&seq.figures()),
+        figures_to_json_pretty(&par.figures()),
+        "thread count never changes figure bytes"
+    );
+
+    // The schema-v3 document: per-figure timeline summaries merge
+    // order-independently, so the enriched JSON agrees too.
+    let figs_seq = seq.figures();
+    let figs_par = par.figures();
+    let js_seq =
+        figures_to_json_pretty_with_extras(&figs_seq, &figure_extras(&figs_seq, &ts, false, false, true));
+    let js_par =
+        figures_to_json_pretty_with_extras(&figs_par, &figure_extras(&figs_par, &tp, false, false, true));
+    assert!(js_seq.contains("\"schema_version\": 3,"));
+    assert!(js_seq.contains("\"timeline\": ["));
+    assert!(js_seq.contains("\"gauge\": "));
+    assert_eq!(js_seq, js_par, "timeline JSON diverged across thread counts");
+}
+
+#[test]
+fn sampling_interval_bounds_point_spacing() {
+    set_timeline_default(100_000);
+    let fns = vec![figure_fn("fig_churn").expect("known id")];
+    let report = run_figures(
+        &fns,
+        &RunnerOptions {
+            threads: 1,
+            repeat: 1,
+            trace: true,
+        },
+    );
+    let traces = report.traces();
+    let mut checked = 0usize;
+    for m in &traces[0].machines {
+        for s in &m.timeline {
+            for w in s.points.windows(2) {
+                // Re-arming rounds up to the next interval boundary, so
+                // consecutive samples always land in distinct buckets
+                // (though the raw gap can undershoot the interval).
+                assert!(
+                    w[1].0 / 100_000 > w[0].0 / 100_000,
+                    "gauge {} sampled twice inside one interval bucket: {} then {}",
+                    s.name,
+                    w[0].0,
+                    w[1].0
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked > 0, "fig_churn produced multi-point series");
+}

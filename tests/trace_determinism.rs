@@ -4,14 +4,18 @@
 //! oversubscribed thread pool — must serialize to byte-identical
 //! JSONL and Chrome-trace output, every machine ledger must account
 //! for every simulated nanosecond (conservation), and switching
-//! tracing on must never change a single figure byte. The same bar
+//! tracing on must never change a single figure byte (fig_hostmem,
+//! which measures the host heap itself and so sees the ledger's own
+//! allocations, is the one documented exception). The same bar
 //! applies to the tail-latency view: the full-suite `--latency` JSON
 //! (log-bucketed histograms merged across machines) must be
 //! byte-identical at any thread count.
 
 use o1_bench::runner::{figure_fn, run_figures, RunnerOptions, ALL_IDS};
 use o1_bench::{figures_to_json_pretty, figures_to_json_pretty_enriched};
-use o1_obs::{conservation_errors, export_chrome_trace, export_jsonl, latency_rows, OpKind};
+use o1_obs::{
+    conservation_errors, export_chrome_trace, export_jsonl, latency_rows, CostKind, OpKind,
+};
 
 #[test]
 fn full_suite_traces_conserve_and_are_byte_identical_across_threads() {
@@ -104,6 +108,116 @@ fn full_suite_traces_conserve_and_are_byte_identical_across_threads() {
         let (p50, _, p99, p999) = r.hist.percentiles();
         assert!(p50 <= p99 && p99 <= p999 && p999 <= r.hist.max());
     }
+}
+
+#[test]
+fn full_suite_exercises_every_cost_kind() {
+    // Every `CostKind` the ledger can record must actually be charged
+    // somewhere in the figure suite — including the mechanism-specific
+    // kinds (HybridFastHit/Fill from fig_tiering's utopia runs,
+    // PageMigrate from obase's background promotion, and
+    // TlbShootdownPercpu from fig_smp's cross-CPU churn). A variant
+    // that no figure ever reaches is either dead cost-model surface or
+    // a figure that silently stopped driving its path; both should
+    // fail loudly here.
+    let fns: Vec<_> = ALL_IDS
+        .iter()
+        .map(|id| figure_fn(id).expect("known id"))
+        .collect();
+    let report = run_figures(
+        &fns,
+        &RunnerOptions {
+            threads: 4,
+            repeat: 1,
+            trace: true,
+        },
+    );
+    let traces = report.traces();
+    let mut seen = std::collections::BTreeSet::new();
+    for t in &traces {
+        for m in &t.machines {
+            for r in &m.rows {
+                if r.count > 0 {
+                    seen.insert(r.kind);
+                }
+            }
+        }
+    }
+    // Two paths live off the figure suite (the 22 published figures
+    // are byte-frozen, so they can't grow new work): eager zeroing on
+    // the NVM tier, and baseline swap-in of a previously evicted
+    // page. Cover them with targeted traced drivers so the union is
+    // still total.
+    for report in [eager_nvm_zero_trace(), swap_in_trace()] {
+        for r in &report.rows {
+            if r.count > 0 {
+                seen.insert(r.kind);
+            }
+        }
+    }
+    let missing: Vec<&str> = CostKind::ALL
+        .iter()
+        // Untagged is the fallback for clock advances outside any
+        // charge path; a fully-attributed suite never emits it, and
+        // that's the healthy state.
+        .filter(|k| !seen.contains(k) && **k != CostKind::Untagged)
+        .map(|k| k.name())
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "cost kinds never charged by any figure or targeted driver: {missing:?}"
+    );
+}
+
+/// A fom kernel with [`ErasePolicy::Eager`] zeroes volatile extents on
+/// the allocation path, and its data tier is NVM — the one way to
+/// charge `zero_page_nvm`.
+fn eager_nvm_zero_trace() -> o1_obs::MachineReport {
+    use o1mem::core::ErasePolicy;
+    use o1mem::vm::MemSys;
+    let mut k = o1mem::core::FomKernel::builder()
+        .erase(ErasePolicy::Eager)
+        .obs(o1mem::hw::ObsMode::On)
+        .build();
+    let pid = MemSys::create_process(&mut k).unwrap();
+    MemSys::alloc(&mut k, pid, 16 * o1mem::PAGE_SIZE, true).unwrap();
+    let report = k.machine_mut().take_trace().unwrap();
+    assert!(
+        report
+            .rows
+            .iter()
+            .any(|r| r.kind == CostKind::ZeroPageNvm && r.count > 0),
+        "eager erase on the NVM tier charges zero_page_nvm"
+    );
+    report
+}
+
+/// A memory-starved baseline kernel swaps pages out under pressure;
+/// re-reading them major-faults through `swap_in_page`.
+fn swap_in_trace() -> o1_obs::MachineReport {
+    use o1mem::vm::MemSys;
+    let mut k = o1mem::vm::BaselineKernel::builder()
+        .dram(96 * o1mem::PAGE_SIZE)
+        .swap(true)
+        .obs(o1mem::hw::ObsMode::On)
+        .build();
+    let pid = MemSys::create_process(&mut k).unwrap();
+    let va = MemSys::alloc(&mut k, pid, 180 * o1mem::PAGE_SIZE, false).unwrap();
+    for i in 0..180u64 {
+        MemSys::store(&mut k, pid, va + i * o1mem::PAGE_SIZE, i).unwrap();
+    }
+    for i in 0..180u64 {
+        assert_eq!(MemSys::load(&mut k, pid, va + i * o1mem::PAGE_SIZE).unwrap(), i);
+    }
+    let report = k.machine_mut().take_trace().unwrap();
+    assert!(
+        report
+            .rows
+            .iter()
+            .any(|r| r.kind == CostKind::SwapInPage && r.count > 0),
+        "memory pressure then re-access charges swap_in_page"
+    );
+    report
 }
 
 #[test]
