@@ -14,7 +14,8 @@
 //! usage or unreadable input.
 
 use o1_bench::diff::{
-    append_trajectory, diff_metrics, metrics_from_value, today_utc, Thresholds, TrajectoryEntry,
+    append_trajectory, diff_metrics, full_suite_ms, metrics_from_value, today_utc, Thresholds,
+    TrajectoryEntry,
 };
 use o1_bench::jsonval;
 
@@ -139,12 +140,20 @@ fn main() {
     );
 
     if let Some(path) = &cli.append {
+        // Wall clock over the comparable set (figures the reference
+        // run also has), from the candidate's self-profile — absent
+        // when the candidate is a raw figure array.
+        let suite_ms = std::fs::read_to_string(&cli.new)
+            .ok()
+            .and_then(|text| jsonval::parse(&text).ok())
+            .and_then(|doc| full_suite_ms(&doc, &old));
         let entry = TrajectoryEntry {
             date: cli.date.clone().unwrap_or_else(today_utc),
             old: cli.old.clone(),
             new: cli.new.clone(),
             comparisons: report.comparisons,
             regressions: report.regressions.len() as u64,
+            full_suite_ms: suite_ms,
             note: cli.note.clone().unwrap_or_else(|| verdict.to_string()),
         };
         if let Err(e) = append_trajectory(path, &entry) {

@@ -475,20 +475,62 @@ pub struct TrajectoryEntry {
     pub comparisons: u64,
     /// Regressions found (0 on a passing gate).
     pub regressions: u64,
+    /// Wall-clock milliseconds of the candidate run over the
+    /// *comparable* figure set — see [`full_suite_ms`]. `None` when
+    /// the candidate document carries no wall-clock samples.
+    pub full_suite_ms: Option<f64>,
     /// Free-form note.
     pub note: String,
 }
 
 impl TrajectoryEntry {
     fn to_value(&self) -> Value {
-        Value::Obj(vec![
+        let mut members = vec![
             ("date".into(), Value::Str(self.date.clone())),
             ("old".into(), Value::Str(self.old.clone())),
             ("new".into(), Value::Str(self.new.clone())),
             ("comparisons".into(), Value::num_u64(self.comparisons)),
             ("regressions".into(), Value::num_u64(self.regressions)),
-            ("note".into(), Value::Str(self.note.clone())),
-        ])
+        ];
+        if let Some(ms) = self.full_suite_ms {
+            members.push(("full_suite_ms".into(), Value::num_f64(ms)));
+        }
+        members.push(("note".into(), Value::Str(self.note.clone())));
+        Value::Obj(members)
+    }
+}
+
+/// Full-suite wall clock of a candidate self-profile, scoped to the
+/// figures the reference run also has: for every figure of `doc`
+/// whose id appears in `old`, take the fastest wall-clock sample
+/// across all runs and repeats, and sum those minima (milliseconds).
+/// Restricting the sum to the comparable set keeps trajectory entries
+/// meaningful across PRs that *add* figures — new figures add work on
+/// top, they don't slow the figures both sides share. `None` when
+/// `doc` is not a bench self-profile (e.g. a `figures --json` array)
+/// or holds no samples for any comparable figure.
+pub fn full_suite_ms(doc: &Value, old: &[FigMetrics]) -> Option<f64> {
+    let runs = doc.get("runs")?.as_arr()?;
+    let mut best: Vec<(&str, f64)> = Vec::new();
+    for run in runs {
+        for fig in run.get("figures").and_then(Value::as_arr).into_iter().flatten() {
+            let Some(id) = fig.get("id").and_then(Value::as_str) else { continue };
+            if !old.iter().any(|f| f.id == id) {
+                continue;
+            }
+            for w in fig.get("wall_ms").and_then(Value::as_arr).into_iter().flatten() {
+                let Some(ms) = w.as_f64() else { continue };
+                match best.iter_mut().find(|(b, _)| *b == id) {
+                    Some((_, b)) => *b = b.min(ms),
+                    None => best.push((id, ms)),
+                }
+            }
+        }
+    }
+    if best.is_empty() {
+        None
+    } else {
+        Some(best.iter().map(|&(_, ms)| ms).sum())
     }
 }
 
@@ -704,6 +746,7 @@ mod tests {
             new: "new.json".into(),
             comparisons: 42,
             regressions: 0,
+            full_suite_ms: Some(123.456),
             note: "unit test".into(),
         };
         append_trajectory(path, &entry).unwrap();
@@ -716,6 +759,33 @@ mod tests {
         assert_eq!(traj.len(), 2);
         assert_eq!(traj[0].get("date").unwrap().as_str(), Some("2026-08-05"));
         assert_eq!(traj[1].get("comparisons").unwrap().as_u64(), Some(42));
+        assert_eq!(
+            traj[0].get("full_suite_ms").unwrap().as_f64(),
+            Some(123.456),
+            "wall clock is a structured member, not note prose: {text}"
+        );
+    }
+
+    #[test]
+    fn full_suite_ms_scopes_to_comparable_figures() {
+        let doc = parse(
+            "{\"runs\": [\
+               {\"figures\": [{\"id\": \"fig1a\", \"wall_ms\": [5.0, 3.0]},\
+                              {\"id\": \"fig_brand_new\", \"wall_ms\": [100.0]}]},\
+               {\"figures\": [{\"id\": \"fig1a\", \"wall_ms\": [4.0]}]}]}",
+        )
+        .unwrap();
+        let old = vec![FigMetrics {
+            id: "fig1a".into(),
+            series: Vec::new(),
+            latency: Vec::new(),
+        }];
+        // min over runs × repeats of the comparable figure only.
+        assert_eq!(full_suite_ms(&doc, &old), Some(3.0));
+        // A raw figure array has no wall samples.
+        assert_eq!(full_suite_ms(&parse("[]").unwrap(), &old), None);
+        // No comparable figure ⇒ no number (not 0.0).
+        assert_eq!(full_suite_ms(&doc, &[]), None);
     }
 
     #[test]

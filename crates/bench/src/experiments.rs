@@ -17,7 +17,10 @@ use o1_palloc::{
 use o1_vm::{
     Backing, BaselineConfig, BaselineKernel, MapFlags, MemSys, Prot, ReclaimPolicy, ThpMode,
 };
-use o1_workloads::{drive_access, drive_churn, drive_launch_storm, AccessPattern, Trace};
+use o1_workloads::{
+    drive_access, drive_churn, drive_launch_storm, drive_launch_storm_migrating,
+    drive_service_fleet, AccessPattern, Trace,
+};
 
 use crate::series::{Figure, Series};
 
@@ -193,9 +196,10 @@ pub fn fig2() -> Figure {
                     MapFlags::private(),
                 )
                 .unwrap();
-            for p in 0..pages {
-                k.store(pid, va + p * PAGE_SIZE, p).unwrap();
-            }
+            // Same accesses as the old per-page store loop; the cold
+            // anonymous faults compress through the bulk-fault prover.
+            k.access_span(pid, va, PAGE_SIZE as i64, pages, true, 0)
+                .unwrap();
             s_anon.push(pages, k.machine().now().since(t0) as f64);
         }
         // File on a persistent-memory fs (page-granular mmap, like the
@@ -205,7 +209,11 @@ pub fn fig2() -> Figure {
             let mut k = baseline((bytes * 2).max(256 << 20));
             let pid = Pid0::pid(&mut k);
             let id = k.create_file("f", bytes).unwrap();
-            k.file_write(id, 0, &vec![0u8; bytes as usize]).unwrap();
+            // fallocate-style setup: same frames in the same order as a
+            // streaming write of zeros, without materializing the
+            // buffer (setup runs before t0, so only the resulting file
+            // state can influence the measured series).
+            k.file_allocate(id, 0, bytes).unwrap();
             let t0 = k.machine().now();
             let va = k
                 .mmap(
@@ -216,9 +224,8 @@ pub fn fig2() -> Figure {
                     MapFlags::shared(),
                 )
                 .unwrap();
-            for p in 0..pages {
-                k.store(pid, va + p * PAGE_SIZE, p).unwrap();
-            }
+            k.access_span(pid, va, PAGE_SIZE as i64, pages, true, 0)
+                .unwrap();
             s_file.push(pages, k.machine().now().since(t0) as f64);
         }
         // File-only memory.
@@ -227,9 +234,8 @@ pub fn fig2() -> Figure {
             let pid = k.create_process().unwrap();
             let t0 = k.machine().now();
             let (_, va) = k.falloc(pid, bytes, FileClass::Volatile).unwrap();
-            for p in 0..pages {
-                k.store(pid, va + p * PAGE_SIZE, p).unwrap();
-            }
+            k.access_span(pid, va, PAGE_SIZE as i64, pages, true, 0)
+                .unwrap();
             s_fom.push(pages, k.machine().now().since(t0) as f64);
         }
     }
@@ -569,9 +575,11 @@ pub fn fig_reclaim() -> Figure {
                     MapFlags::private(),
                 )
                 .unwrap();
-            for p in 0..resident {
-                k.store(pid, va + p * PAGE_SIZE, p).unwrap();
-            }
+            // One sequential write run per page (value p at page p),
+            // identical to a per-page store loop; the cold faults
+            // fast-forward through the bulk-fault prover.
+            k.access_span(pid, va, PAGE_SIZE as i64, resident, true, 0)
+                .unwrap();
             let t0 = k.machine().now();
             k.reclaim_until(target);
             s_clock.push(resident, k.machine().now().since(t0) as f64);
@@ -1368,6 +1376,189 @@ pub fn fig_hostmem() -> Figure {
     fig
 }
 
+/// Tenant lifecycles the `fig_service` latency fleets stream by
+/// default, split 1:2:2 over baseline / fom-ranges / fom-sharedpt
+/// (the two populate-only gauge fleets add another fifth on top).
+/// `O1_SERVICE_TENANTS` overrides the total for smoke runs — the CI
+/// gate uses a reduced fleet and byte-compares it against
+/// `--no-fastforward` at the same size.
+pub const SERVICE_TENANTS: u64 = 1_000_000;
+
+/// Concurrent tenants alive at once in every `fig_service` fleet.
+pub const SERVICE_LIVE_CAP: usize = 256;
+
+/// **fig_service** — a serverless launch fleet streamed through the
+/// run-compressed API: ~1M short-lived tenants (monotonic pids,
+/// Zipf(0.9)-skewed app popularity picking 2–8-page working sets,
+/// mmap → fault → teardown churn with at most [`SERVICE_LIVE_CAP`]
+/// alive). Reports per-tenant launch-latency percentiles (x = 50, 99,
+/// 999) per mechanism, host-live gauges over populate-only fleets
+/// (x = checkpoint 1–10, flat ⇔ host memory is O(live tenants), the
+/// fig_hostmem claim under churn), and a launch-storm series over the
+/// CPU count (x = CPUs) contrasting the home-CPU storm — flat by
+/// construction, every teardown flush is local — with the
+/// migration-heavy variant whose teardowns pay one remote shootdown
+/// per CPU the tenant ran on.
+pub fn fig_service() -> Figure {
+    let mut fig = Figure::new(
+        "fig_service",
+        "serverless tenant fleet: launch latency, host footprint, storm migration",
+        "percentile | checkpoint | CPUs",
+        "ns | KiB | total ns",
+    );
+    let tenants = std::env::var("O1_SERVICE_TENANTS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&v| v >= 100)
+        .unwrap_or(SERVICE_TENANTS);
+    const APPS: u64 = 4096;
+    const THETA: f64 = 0.9;
+    const SEED: u64 = 17;
+    fn pctl(sorted: &[u64], per_mille: u64) -> f64 {
+        sorted[((sorted.len() as u64 - 1) * per_mille / 1000) as usize] as f64
+    }
+    fn latency_series(label: &str, mut launch_ns: Vec<u64>) -> Series {
+        launch_ns.sort_unstable();
+        let mut s = Series::new(label);
+        s.push(50, pctl(&launch_ns, 500));
+        s.push(99, pctl(&launch_ns, 990));
+        s.push(999, pctl(&launch_ns, 999));
+        s
+    }
+    let service_baseline = |cpus: u32| {
+        BaselineKernel::builder()
+            .config(BaselineConfig {
+                dram_bytes: 64 << 20,
+                reclaim: ReclaimPolicy::Clock,
+                low_watermark_frames: 0,
+                swap_enabled: false,
+                thp: ThpMode::Never,
+                fault_around: 1,
+            })
+            .cpus(cpus)
+            .build()
+    };
+    let service_fom = |mech: MapMech, cpus: u32| {
+        FomKernel::builder()
+            .mech(mech)
+            .nvm(256 << 20)
+            .cpus(cpus)
+            .build()
+    };
+    // Latency fleets: the faulting path the bulk-fault prover
+    // compresses; per-tenant ns are simulated clock deltas, so the
+    // ff-vs-noff CI gate holds them byte-identical.
+    let t_base = tenants / 5;
+    let t_ranges = tenants * 2 / 5;
+    let t_shared = tenants - t_base - t_ranges;
+    let s_lat_base = {
+        let mut k = service_baseline(4);
+        let r = drive_service_fleet(
+            &mut k,
+            t_base,
+            SERVICE_LIVE_CAP,
+            APPS,
+            THETA,
+            SEED,
+            false,
+            |_| {},
+        )
+        .unwrap();
+        latency_series("baseline launch latency (ns)", r.launch_ns)
+    };
+    let s_lat_ranges = {
+        let mut k = service_fom(MapMech::Ranges, 4);
+        let r = drive_service_fleet(
+            &mut k,
+            t_ranges,
+            SERVICE_LIVE_CAP,
+            APPS,
+            THETA,
+            SEED,
+            false,
+            |_| {},
+        )
+        .unwrap();
+        latency_series("fom-ranges launch latency (ns)", r.launch_ns)
+    };
+    let s_lat_shared = {
+        let mut k = service_fom(MapMech::SharedPt, 4);
+        let r = drive_service_fleet(
+            &mut k,
+            t_shared,
+            SERVICE_LIVE_CAP,
+            APPS,
+            THETA,
+            SEED,
+            false,
+            |_| {},
+        )
+        .unwrap();
+        latency_series("fom-sharedpt launch latency (ns)", r.launch_ns)
+    };
+    // Host-live gauges over populate-only fleets (no loads or stores,
+    // so the sampled host bytes cannot depend on the fast-forward
+    // engine — the fig_hostmem rule). A flat line is the claim: the
+    // kernel's host heap tracks the ≤SERVICE_LIVE_CAP live tenants,
+    // not the ever-growing total streamed through.
+    fn gauge_series(label: &str, run: impl FnOnce(&mut Series)) -> Series {
+        let mut s = Series::new(label);
+        run(&mut s);
+        s
+    }
+    let t_gauge = (tenants / 10).max(100);
+    let s_gauge_base = gauge_series("baseline host live over churn (KiB)", |s| {
+        let mut k = service_baseline(4);
+        let live0 = o1_obs::hostmem::snapshot().live_bytes;
+        let mut i = 0u64;
+        drive_service_fleet(&mut k, t_gauge, SERVICE_LIVE_CAP, APPS, THETA, SEED, true, |_| {
+            i += 1;
+            let live = o1_obs::hostmem::snapshot().live_bytes;
+            s.push(i, live.saturating_sub(live0) as f64 / 1024.0);
+        })
+        .unwrap();
+    });
+    let s_gauge_ranges = gauge_series("fom-ranges host live over churn (KiB)", |s| {
+        let mut k = service_fom(MapMech::Ranges, 4);
+        let live0 = o1_obs::hostmem::snapshot().live_bytes;
+        let mut i = 0u64;
+        drive_service_fleet(&mut k, t_gauge, SERVICE_LIVE_CAP, APPS, THETA, SEED, true, |_| {
+            i += 1;
+            let live = o1_obs::hostmem::snapshot().live_bytes;
+            s.push(i, live.saturating_sub(live0) as f64 / 1024.0);
+        })
+        .unwrap();
+    });
+    // Storm-migration contrast over the CPU count.
+    const STORM_PROCS: u32 = 16;
+    const STORM_PAGES: u64 = 64;
+    let mut s_storm_home = Series::new("baseline storm, home-CPU (total ns)");
+    let mut s_storm_mig = Series::new("baseline storm, migrating (total ns)");
+    let mut s_storm_mig_fom = Series::new("fom-ranges storm, migrating (total ns)");
+    for cpus in [1u32, 2, 4, 8, 16] {
+        let mut k = service_baseline(cpus);
+        let m = drive_launch_storm(&mut k, STORM_PROCS, STORM_PAGES).unwrap();
+        s_storm_home.push(u64::from(cpus), m.ns as f64);
+        let mut k = service_baseline(cpus);
+        let m = drive_launch_storm_migrating(&mut k, STORM_PROCS, STORM_PAGES).unwrap();
+        s_storm_mig.push(u64::from(cpus), m.ns as f64);
+        let mut k = service_fom(MapMech::Ranges, cpus);
+        let m = drive_launch_storm_migrating(&mut k, STORM_PROCS, STORM_PAGES).unwrap();
+        s_storm_mig_fom.push(u64::from(cpus), m.ns as f64);
+    }
+    fig.series = vec![
+        s_lat_base,
+        s_lat_ranges,
+        s_lat_shared,
+        s_gauge_base,
+        s_gauge_ranges,
+        s_storm_home,
+        s_storm_mig,
+        s_storm_mig_fom,
+    ];
+    fig
+}
+
 /// All figures, in presentation order.
 pub fn all_figures() -> Vec<Figure> {
     vec![
@@ -1394,6 +1585,7 @@ pub fn all_figures() -> Vec<Figure> {
         fig_smp(),
         fig_tiering(),
         fig_hostmem(),
+        fig_service(),
     ]
 }
 

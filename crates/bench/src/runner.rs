@@ -21,7 +21,7 @@ use crate::experiments;
 use crate::Figure;
 
 /// Canonical ids of every figure, in output order.
-pub const ALL_IDS: [&str; 23] = [
+pub const ALL_IDS: [&str; 24] = [
     "fig1a",
     "fig1b",
     "fig2",
@@ -45,6 +45,7 @@ pub const ALL_IDS: [&str; 23] = [
     "fig_smp",
     "fig_tiering",
     "fig_hostmem",
+    "fig_service",
 ];
 
 /// A canonical figure id plus its generator function, as resolved by
@@ -78,6 +79,7 @@ pub fn figure_fn(id: &str) -> Option<FigureEntry> {
         "smp" | "fig_smp" => ("fig_smp", experiments::fig_smp),
         "tiering" | "fig_tiering" => ("fig_tiering", experiments::fig_tiering),
         "hostmem" | "fig_hostmem" => ("fig_hostmem", experiments::fig_hostmem),
+        "service" | "fig_service" => ("fig_service", experiments::fig_service),
         _ => return None,
     };
     Some(entry)

@@ -48,10 +48,10 @@ pub use machine::{
     fastforward_default, set_fastforward_default, CpuId, Machine, MachineConfig, ObsMode, SimNs,
     MAX_CPUS,
 };
-pub use mmu::{Access, Mmu, Satisfied, TranslateError, Translated, WalkMode};
+pub use mmu::{span_within, Access, Mmu, Satisfied, TranslateError, Translated, WalkMode};
 pub use o1_obs::{CostKind, OpKind, Subsystem};
 pub use pagetable::{Entry, MapError, PageTables, PtNodeId, PteFlags, Translation};
 pub use perf::{PerfCounters, PerfSnapshot};
-pub use phys::{MemTier, PhysicalMemory};
+pub use phys::{FrameImage, MemTier, PhysicalMemory};
 pub use range::{RangeEntry, RangeError, RangeTable, RangeTlb};
 pub use tlb::{Asid, AsidAllocator, AsidGrant, Tlb};

@@ -343,6 +343,37 @@ impl Machine {
         }
     }
 
+    /// Bump the fast-forward counters for one fused run of `count`
+    /// accesses, without recording any latency. The bulk-fault path
+    /// uses this together with [`op_record_n`](Self::op_record_n):
+    /// fault latencies within one run are *not* uniform (buddy splits
+    /// and page-table creation vary page to page), so the run cannot
+    /// go through [`op_end_n`](Self::op_end_n) — instead it is logged
+    /// as groups of identical-latency ops and counted here once.
+    #[inline]
+    pub fn note_ffwd_run(&mut self, count: u64) {
+        if count == 0 {
+            return;
+        }
+        self.ffwd_runs += 1;
+        self.ffwd_accesses += count;
+    }
+
+    /// Record `count` completed operations of identical `per_ns`
+    /// latency each. Trace-only: no clock effect, no fast-forward
+    /// counters ([`note_ffwd_run`](Self::note_ffwd_run) covers those
+    /// once per fused run), a no-op without a ledger — so untraced
+    /// runs stay bit-identical.
+    #[inline]
+    pub fn op_record_n(&mut self, op: OpKind, mech: &'static str, per_ns: u64, count: u64) {
+        if count == 0 {
+            return;
+        }
+        if let Some(trace) = self.trace.as_mut() {
+            trace.record_op_n(op, mech, per_ns, count);
+        }
+    }
+
     /// Close and remove the ledger, returning the report (None if
     /// observability is off). After this the machine records nothing.
     pub fn take_trace(&mut self) -> Option<o1_obs::MachineReport> {

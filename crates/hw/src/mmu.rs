@@ -551,6 +551,151 @@ impl Mmu {
         Some((pa0, span))
     }
 
+    /// Fast-forward **miss** probe — the dual of
+    /// [`translate_run`](Self::translate_run): prove that none of the
+    /// next `len` accesses of the arithmetic run (`va`, `va + stride`,
+    /// …) has any translation installed, so every one would miss the
+    /// TLB, walk to an absent entry, and fault. Charges nothing and
+    /// mutates no simulated state beyond the same presence note an
+    /// interpreted translate would make; the caller (the kernel's
+    /// bulk-fault path) replays the aggregate miss/fault charges.
+    ///
+    /// Proof obligations:
+    ///
+    /// * the current CPU has observed every broadcast invalidation
+    ///   ([`run_prover_ready`](Self::run_prover_ready); refusal syncs,
+    ///   so the next probe may pass);
+    /// * range translations are **disabled** — a range entry could
+    ///   satisfy an access the page tables know nothing about;
+    /// * `|stride| ≥ PAGE_SIZE`, so successive accesses touch
+    ///   strictly monotone, pairwise-distinct pages (a mapping the
+    ///   caller installs for access *k* can never satisfy access
+    ///   *k+1* of the same run);
+    /// * absence is proven from the page tables: an `Entry::None` in a
+    ///   level-`l` node covers an aligned `PAGE_SIZE << 9l`-byte
+    ///   region with nothing mapped below it, and any `Entry::Leaf`
+    ///   (base or huge) ends the provable span;
+    /// * page-TLB absence follows from the invariant TLB ⊆ page
+    ///   tables (every unmap path invalidates eagerly), re-checked
+    ///   per page in debug builds.
+    ///
+    /// Returns `Some(span)` with `span ≥ 2` — a shorter provable
+    /// prefix is not worth fusing — or `None`.
+    pub fn translate_miss_run(
+        &mut self,
+        pt: &PageTables,
+        root: PtNodeId,
+        asid: Asid,
+        va: VirtAddr,
+        stride: i64,
+        len: u64,
+    ) -> Option<u64> {
+        use crate::addr::PAGE_SIZE;
+        if len < 2 || stride.unsigned_abs() < PAGE_SIZE || self.ranges_enabled {
+            return None;
+        }
+        if !self.run_prover_ready() {
+            return None;
+        }
+        let mut span = 0u64;
+        let mut at = va.0;
+        while span < len {
+            // Descend to the absent region covering `at`, if any.
+            let mut cur = root;
+            let mut level = pt.level(cur);
+            let region = loop {
+                match pt.entry(cur, VirtAddr(at).pt_index(level)) {
+                    Entry::None => {
+                        let bytes = PAGE_SIZE << (9 * u32::from(level));
+                        let lo = at & !(bytes - 1);
+                        break lo.checked_add(bytes).map(|hi| (lo, hi));
+                    }
+                    Entry::Table(child) => {
+                        cur = child;
+                        level -= 1;
+                    }
+                    Entry::Leaf { .. } => break None,
+                }
+            };
+            let Some((lo, hi)) = region else { break };
+            let step = span_within(at, stride, len - span, lo, hi);
+            span += step;
+            if span >= len {
+                break;
+            }
+            // First access past the region; stop on address overflow
+            // (no such run is provable, the prefix stands).
+            let Some(delta) = stride.checked_mul(i64::try_from(step).ok()?) else {
+                break;
+            };
+            let Some(next) = at.checked_add_signed(delta) else {
+                break;
+            };
+            at = next;
+        }
+        if span < 2 {
+            return None;
+        }
+        #[cfg(debug_assertions)]
+        {
+            let c = self.current.index();
+            let mut a = va.0;
+            for _ in 0..span {
+                debug_assert!(
+                    self.cpus[c].tlb.peek(asid, VirtAddr(a)).is_none(),
+                    "TLB ⊄ page tables: resident entry for an unmapped page"
+                );
+                a = a.wrapping_add_signed(stride);
+            }
+        }
+        // The interpreter's faulting translates would note presence on
+        // this CPU; the fused replay must leave the same mask.
+        self.note_presence(asid);
+        Some(span)
+    }
+
+    /// Leave the current CPU's software page-walk cache exactly as an
+    /// interpreted bulk-fault run would have. Per faulted page the
+    /// interpreter walks once to prove absence (caching nothing),
+    /// installs the mapping (bumping the page-table epoch), and walks
+    /// again successfully — so each page's cache fill is flushed by
+    /// the next page's install, and the run ends with precisely one
+    /// slot cached: the final page's. The cache is a pure host-side
+    /// accelerator, but its occupancy is a timeline gauge
+    /// (`mmu.walk_cache_entries`), so the fused replay must converge
+    /// to the same contents. Charge-free by construction.
+    pub fn replay_fault_run_walk_cache(
+        &mut self,
+        pt: &PageTables,
+        root: PtNodeId,
+        last_va: VirtAddr,
+    ) {
+        let cpu = &mut self.cpus[self.current.index()];
+        if cpu.walk_epoch != pt.epoch() {
+            cpu.walk_cache.clear();
+            cpu.walk_epoch = pt.epoch();
+        }
+        let Some((node, index, touched)) = pt.leaf_slot(root, last_va) else {
+            debug_assert!(false, "bulk-fault replay: final page must be mapped");
+            return;
+        };
+        let size = match pt.level(node) {
+            0 => PageSize::Base,
+            1 => PageSize::Huge2M,
+            2 => PageSize::Huge1G,
+            _ => unreachable!("leaf at root level"),
+        };
+        cpu.walk_cache.insert(
+            (root, last_va.page()),
+            WalkSlot {
+                node,
+                index: index as u16,
+                levels_touched: touched,
+                size,
+            },
+        );
+    }
+
     /// Hardware page walk through the software page-walk cache.
     ///
     /// Returns the same [`Translation`] the raw [`PageTables::walk`]
@@ -625,8 +770,14 @@ impl Mmu {
     pub fn invalidate_page(&mut self, m: &mut Machine, asid: Asid, va: VirtAddr) {
         m.charge_invlpg_broadcast(self.responders(asid));
         self.inval_epoch += 1;
-        for cpu in &mut self.cpus {
-            cpu.tlb.invalidate_page(asid, va);
+        // Only CPUs whose presence bit is set can hold entries for the
+        // ASID (set on translate, cleared with the entries by a full
+        // flush), so the broadcast walks just those TLBs.
+        let mut bits = self.asid_cpus.get(&asid).copied().unwrap_or(0);
+        while bits != 0 {
+            let c = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            self.cpus[c].tlb.invalidate_page(asid, va);
         }
         self.cpus[self.current.index()].synced_epoch = self.inval_epoch;
     }
@@ -636,8 +787,11 @@ impl Mmu {
     pub fn invalidate_range(&mut self, m: &mut Machine, asid: Asid, base: VirtAddr) {
         m.charge_invlpg_broadcast(self.responders(asid));
         self.inval_epoch += 1;
-        for cpu in &mut self.cpus {
-            cpu.rtlb.invalidate(asid, base);
+        let mut bits = self.asid_cpus.get(&asid).copied().unwrap_or(0);
+        while bits != 0 {
+            let c = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            self.cpus[c].rtlb.invalidate(asid, base);
         }
         self.cpus[self.current.index()].synced_epoch = self.inval_epoch;
     }
@@ -649,9 +803,12 @@ impl Mmu {
     pub fn flush_asid(&mut self, m: &mut Machine, asid: Asid) {
         m.charge_shootdown(self.responders(asid));
         self.inval_epoch += 1;
-        for cpu in &mut self.cpus {
-            cpu.tlb.flush_asid(asid);
-            cpu.rtlb.flush_asid(asid);
+        let mut bits = self.asid_cpus.get(&asid).copied().unwrap_or(0);
+        while bits != 0 {
+            let c = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            self.cpus[c].tlb.flush_asid(asid);
+            self.cpus[c].rtlb.flush_asid(asid);
         }
         self.asid_cpus.remove(&asid);
         self.cpus[self.current.index()].synced_epoch = self.inval_epoch;
@@ -669,7 +826,9 @@ impl Mmu {
 
 /// How many leading accesses of the arithmetic run `va, va+stride, …`
 /// (at most `len`) stay inside `[lo, hi)`. `va` itself must be inside.
-fn span_within(va: u64, stride: i64, len: u64, lo: u64, hi: u64) -> u64 {
+/// Public because the kernels' fast-forward paths clamp provable runs
+/// to VMA/extent bounds with exactly this rule.
+pub fn span_within(va: u64, stride: i64, len: u64, lo: u64, hi: u64) -> u64 {
     debug_assert!(lo <= va && va < hi);
     if stride == 0 {
         return len;

@@ -239,9 +239,17 @@ impl PageTables {
     /// Allocate a fresh node at `level`, charging one node allocation.
     /// The caller holds the initial reference.
     pub fn create_node(&mut self, m: &mut Machine, level: u8) -> PtNodeId {
-        assert!(level < crate::addr::PT_LEVELS, "bad page-table level");
         m.charge_kind(CostKind::PtNodeAlloc);
         m.perf.pt_nodes_alloced += 1;
+        self.create_node_uncharged(level)
+    }
+
+    /// State-only node allocation: identical arena and epoch effects
+    /// to [`create_node`](Self::create_node) but no cost or perf
+    /// charge. The bulk-fault fast path uses it and replays the
+    /// aggregate `PtNodeAlloc` charge afterwards.
+    fn create_node_uncharged(&mut self, level: u8) -> PtNodeId {
+        assert!(level < crate::addr::PT_LEVELS, "bad page-table level");
         self.epoch += 1;
         let node = Node::new(level);
         match self.free_ids.pop() {
@@ -307,6 +315,13 @@ impl PageTables {
     fn set_entry(&mut self, m: &mut Machine, node: PtNodeId, index: usize, e: Entry) {
         m.charge_kind(CostKind::PteWrite);
         m.perf.pte_writes += 1;
+        self.set_entry_uncharged(node, index, e);
+    }
+
+    /// State-only entry write: identical node and epoch effects to
+    /// [`set_entry`] but no cost or perf charge (bulk-fault fast
+    /// path; the caller replays the aggregate `PteWrite` charge).
+    fn set_entry_uncharged(&mut self, node: PtNodeId, index: usize, e: Entry) {
         self.epoch += 1;
         let n = self.node_mut(node);
         let old_live = !matches!(n.entries[index], Entry::None);
@@ -416,6 +431,153 @@ impl PageTables {
             entries += 1;
         }
         Ok(entries)
+    }
+
+    /// Map one page of `size` with the same arena mutations, epoch
+    /// bumps and failure modes as [`map`](Self::map) but **no**
+    /// cost/perf charges. Returns the number of intermediate nodes
+    /// created so the caller can replay the aggregate charge
+    /// (`PtNodeAlloc` per node, `PteWrite` per node link + leaf).
+    ///
+    /// This is the state half of the bulk-fault fast path: the ledger
+    /// accumulates `(phase, kind)` sums and the clock is a sum, so
+    /// charging N pages' worth at once is byte-identical to the
+    /// interpreter's interleaved charges.
+    pub fn map_uncharged(
+        &mut self,
+        root: PtNodeId,
+        va: VirtAddr,
+        frame: FrameNo,
+        size: PageSize,
+        flags: PteFlags,
+    ) -> Result<u64, MapError> {
+        if !va.is_aligned(size.bytes()) || !frame.base().is_aligned(size.bytes()) {
+            return Err(MapError::Misaligned);
+        }
+        let leaf_level = size.leaf_level();
+        let mut created = 0u64;
+        let mut cur = root;
+        let mut level = self.node(cur).level;
+        debug_assert_eq!(level, crate::addr::PT_LEVELS - 1);
+        while level > leaf_level {
+            let idx = va.pt_index(level);
+            match self.entry(cur, idx) {
+                Entry::Table(child) => cur = child,
+                Entry::None => {
+                    let child = self.create_node_uncharged(level - 1);
+                    self.set_entry_uncharged(cur, idx, Entry::Table(child));
+                    created += 1;
+                    cur = child;
+                }
+                Entry::Leaf { .. } => return Err(MapError::Conflict),
+            }
+            level -= 1;
+        }
+        let idx = va.pt_index(leaf_level);
+        match self.entry(cur, idx) {
+            Entry::None => {
+                self.set_entry_uncharged(cur, idx, Entry::Leaf { frame, flags });
+                Ok(created)
+            }
+            _ => Err(MapError::AlreadyMapped),
+        }
+    }
+
+    /// Run-compressed [`map_extent`](Self::map_extent): identical
+    /// mappings, identical total charges, one aggregate charge block
+    /// instead of per-entry calls. On a mid-extent error the pages
+    /// already installed are charged (as the interpreter would have)
+    /// before the error propagates.
+    #[allow(clippy::too_many_arguments)]
+    pub fn map_extent_run(
+        &mut self,
+        m: &mut Machine,
+        root: PtNodeId,
+        va: VirtAddr,
+        frame: FrameNo,
+        npages: u64,
+        flags: PteFlags,
+        use_huge: bool,
+    ) -> Result<u64, MapError> {
+        if !va.is_aligned(PAGE_SIZE) {
+            return Err(MapError::Misaligned);
+        }
+        let mut entries = 0u64;
+        let mut created = 0u64;
+        let mut va = va;
+        let mut frame = frame;
+        let mut left = npages;
+        let mut result = Ok(());
+        while left > 0 {
+            let size = if use_huge {
+                Self::best_size(va, frame, left)
+            } else {
+                PageSize::Base
+            };
+            match self.map_uncharged(root, va, frame, size, flags) {
+                Ok(n) => created += n,
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+            let pages = size.bytes() / PAGE_SIZE;
+            va += size.bytes();
+            frame = frame + pages;
+            left -= pages;
+            entries += 1;
+        }
+        // Aggregate replay of what map() would have charged per page.
+        // Zero-count charges are skipped so no ledger row appears that
+        // the interpreter would not have created.
+        if created > 0 {
+            m.charge_opn(CostKind::PtNodeAlloc, created);
+            m.perf.pt_nodes_alloced += created;
+        }
+        if created + entries > 0 {
+            m.charge_opn(CostKind::PteWrite, created + entries);
+            m.perf.pte_writes += created + entries;
+        }
+        result.map(|()| entries)
+    }
+
+    /// Prove that the `pages` consecutive base pages starting at `va`
+    /// (which must be page-aligned) have **no** entry installed — the
+    /// page-table half of the bulk-populate proof. An [`Entry::None`]
+    /// found in a level-`l` node covers an aligned `PAGE_SIZE << 9l`-
+    /// byte region with nothing mapped below it, so whole subtrees are
+    /// skipped per probe; any leaf (base or huge) ends the provable
+    /// prefix. Returns how many leading pages are provably absent.
+    /// Read-only and charge-free: refusal costs nothing.
+    pub fn absent_run(&self, root: PtNodeId, va: VirtAddr, pages: u64) -> u64 {
+        debug_assert!(va.is_aligned(PAGE_SIZE));
+        let mut proved = 0u64;
+        let mut at = va.0;
+        while proved < pages {
+            let mut cur = root;
+            let mut level = self.node(cur).level;
+            let hi = loop {
+                match self.entry(cur, VirtAddr(at).pt_index(level)) {
+                    Entry::None => {
+                        let bytes = PAGE_SIZE << (9 * u32::from(level));
+                        break (at & !(bytes - 1)).checked_add(bytes);
+                    }
+                    Entry::Table(child) => {
+                        cur = child;
+                        level -= 1;
+                    }
+                    Entry::Leaf { .. } => break None,
+                }
+            };
+            let Some(hi) = hi else { break };
+            let step = ((hi - at) / PAGE_SIZE).min(pages - proved);
+            proved += step;
+            match at.checked_add(step * PAGE_SIZE) {
+                Some(next) => at = next,
+                None => break,
+            }
+        }
+        proved
     }
 
     fn best_size(va: VirtAddr, frame: FrameNo, pages_left: u64) -> PageSize {

@@ -21,11 +21,69 @@ use crate::fasthash::FastMap;
 const CHUNK_FRAMES: u64 = 64;
 const CHUNK_SHIFT: u32 = CHUNK_FRAMES.trailing_zeros();
 
+/// Reference page of zeros for the sparse zero-write fast path.
+static ZERO_PAGE: [u8; PAGE_SIZE as usize] = [0u8; PAGE_SIZE as usize];
+
+/// Word entries a frame can hold before its backing is promoted to a
+/// fully materialized page.
+const WORDS_MAX: usize = 4;
+
+/// Backing for one simulated frame. Streaming store workloads write a
+/// word or two per page; materializing a 4 KiB host page (one
+/// allocation plus one host page fault per simulated frame) for each
+/// of those would make the *host* cost of a fused N-page store run
+/// linear in N with a large constant, so sparse word writes are kept
+/// inline until a frame accumulates enough bytes to deserve a page.
+#[derive(Debug)]
+enum FrameBacking {
+    /// Up to [`WORDS_MAX`] non-overlapping 8-byte writes into an
+    /// otherwise-zero frame; `(byte_offset, value)` pairs, first
+    /// `len` entries valid.
+    Words(u8, [(u16, u64); WORDS_MAX]),
+    /// Fully materialized page bytes.
+    Full(Box<[u8]>),
+}
+
+impl FrameBacking {
+    /// Materialized page bytes equivalent to this backing.
+    fn to_page(&self) -> Box<[u8]> {
+        let mut bytes = vec![0u8; PAGE_SIZE as usize].into_boxed_slice();
+        match self {
+            FrameBacking::Words(n, words) => {
+                for &(eo, v) in &words[..*n as usize] {
+                    bytes[eo as usize..eo as usize + 8].copy_from_slice(&v.to_le_bytes());
+                }
+            }
+            FrameBacking::Full(b) => bytes.copy_from_slice(b),
+        }
+        bytes
+    }
+
+    /// Copy `[off, off+out.len())` of the frame into `out`.
+    fn read_into(&self, off: usize, out: &mut [u8]) {
+        match self {
+            FrameBacking::Words(n, words) => {
+                out.fill(0);
+                for &(eo, v) in &words[..*n as usize] {
+                    let eo = eo as usize;
+                    let s = eo.max(off);
+                    let e = (eo + 8).min(off + out.len());
+                    if s < e {
+                        out[s - off..e - off]
+                            .copy_from_slice(&v.to_le_bytes()[s - eo..e - eo]);
+                    }
+                }
+            }
+            FrameBacking::Full(bytes) => out.copy_from_slice(&bytes[off..off + out.len()]),
+        }
+    }
+}
+
 /// One group of up to [`CHUNK_FRAMES`] backed frames.
 #[derive(Debug)]
 struct Chunk {
     /// Backing for frame `chunk_base + i`; `None` reads as zero.
-    frames: Box<[Option<Box<[u8]>>]>,
+    frames: Box<[Option<FrameBacking>]>,
     /// Number of `Some` entries (chunk is dropped at zero).
     backed: u32,
 }
@@ -35,6 +93,81 @@ impl Chunk {
         Chunk {
             frames: (0..CHUNK_FRAMES).map(|_| None).collect(),
             backed: 0,
+        }
+    }
+}
+
+/// Apply one in-frame aligned word write to a slot, preferring a word
+/// entry over materializing the page. Returns `true` iff the slot went
+/// from unbacked to backed.
+fn write_word_slot(slot: &mut Option<FrameBacking>, off: u16, v: u64) -> bool {
+    match slot {
+        None => {
+            // Zeros into an unbacked frame are already there.
+            if v == 0 {
+                return false;
+            }
+            let mut words = [(0u16, 0u64); WORDS_MAX];
+            words[0] = (off, v);
+            *slot = Some(FrameBacking::Words(1, words));
+            true
+        }
+        Some(FrameBacking::Full(bytes)) => {
+            bytes[off as usize..off as usize + 8].copy_from_slice(&v.to_le_bytes());
+            false
+        }
+        Some(FrameBacking::Words(n, words)) => {
+            for e in words[..*n as usize].iter_mut() {
+                if e.0 == off {
+                    e.1 = v;
+                    return false;
+                }
+            }
+            let overlap = words[..*n as usize]
+                .iter()
+                .any(|e| (i32::from(e.0) - i32::from(off)).abs() < 8);
+            if !overlap {
+                if v == 0 {
+                    // Zeros into untouched bytes of the frame.
+                    return false;
+                }
+                if (*n as usize) < WORDS_MAX {
+                    words[*n as usize] = (off, v);
+                    *n += 1;
+                    return false;
+                }
+            }
+            // Overlapping or overflowing: materialize and write through.
+            let mut bytes = slot.as_ref().expect("checked Some").to_page();
+            bytes[off as usize..off as usize + 8].copy_from_slice(&v.to_le_bytes());
+            *slot = Some(FrameBacking::Full(bytes));
+            false
+        }
+    }
+}
+
+/// A frame's backing moved out of physical memory — the page image a
+/// swap device stores. Moving the backing (instead of copying 4 KiB
+/// through an intermediate buffer) keeps the host cost of swapping a
+/// frame proportional to what was actually written into it.
+#[derive(Debug, Default)]
+pub struct FrameImage(Option<FrameBacking>);
+
+impl FrameImage {
+    /// Image holding a fully materialized page.
+    ///
+    /// # Panics
+    /// Panics unless `bytes` is exactly one page.
+    pub fn from_page(bytes: Box<[u8]>) -> FrameImage {
+        assert_eq!(bytes.len() as u64, PAGE_SIZE, "frame images are whole pages");
+        FrameImage(Some(FrameBacking::Full(bytes)))
+    }
+
+    /// Materialized page bytes equivalent to this image.
+    pub fn to_page(&self) -> Box<[u8]> {
+        match &self.0 {
+            Some(b) => b.to_page(),
+            None => vec![0u8; PAGE_SIZE as usize].into_boxed_slice(),
         }
     }
 }
@@ -82,25 +215,38 @@ impl PhysicalMemory {
         }
     }
 
-    /// Borrow the backing bytes of `frame`, if any.
+    /// Borrow the backing of `frame`, if any.
     #[inline]
-    fn frame_bytes(&self, frame: u64) -> Option<&[u8]> {
+    fn frame_backing(&self, frame: u64) -> Option<&FrameBacking> {
         self.chunks
             .get(&(frame >> CHUNK_SHIFT))?
             .frames[(frame & (CHUNK_FRAMES - 1)) as usize]
-            .as_deref()
+            .as_ref()
     }
 
-    /// Backing bytes of `frame`, allocated (zeroed) on first touch.
+    /// Fully materialized backing bytes of `frame`, allocated (zeroed)
+    /// on first touch; word-entry backing is promoted to a page.
     fn frame_bytes_mut(&mut self, frame: u64) -> &mut Box<[u8]> {
         let chunk = self.chunks.entry(frame >> CHUNK_SHIFT).or_insert_with(Chunk::new);
         let slot = &mut chunk.frames[(frame & (CHUNK_FRAMES - 1)) as usize];
-        if slot.is_none() {
-            *slot = Some(vec![0u8; PAGE_SIZE as usize].into_boxed_slice());
-            chunk.backed += 1;
-            self.backed += 1;
+        match slot {
+            None => {
+                *slot = Some(FrameBacking::Full(
+                    vec![0u8; PAGE_SIZE as usize].into_boxed_slice(),
+                ));
+                chunk.backed += 1;
+                self.backed += 1;
+            }
+            Some(FrameBacking::Words(..)) => {
+                let page = slot.as_ref().expect("checked Some").to_page();
+                *slot = Some(FrameBacking::Full(page));
+            }
+            Some(FrameBacking::Full(_)) => {}
         }
-        slot.as_mut().expect("just filled")
+        match slot {
+            Some(FrameBacking::Full(bytes)) => bytes,
+            _ => unreachable!("just materialized"),
+        }
     }
 
     /// Drop the backing of `frame`, releasing its chunk when empty.
@@ -154,6 +300,27 @@ impl PhysicalMemory {
         }
     }
 
+    /// Tier of a whole frame span, or `None` when the span straddles
+    /// the DRAM/NVM boundary. This is the O(1) tier-uniformity probe
+    /// the bulk-fault prover runs before charging N accesses at one
+    /// tier's latency.
+    ///
+    /// # Panics
+    /// Panics if the span is empty or out of range.
+    #[inline]
+    pub fn span_tier(&self, start: FrameNo, frames: u64) -> Option<MemTier> {
+        assert!(frames > 0, "empty span");
+        let end = start.0.checked_add(frames).expect("frame range overflow");
+        assert!(end <= self.total_frames, "span out of range");
+        if end <= self.dram_frames {
+            Some(MemTier::Dram)
+        } else if start.0 >= self.dram_frames {
+            Some(MemTier::Nvm)
+        } else {
+            None
+        }
+    }
+
     /// True if `frame` is a valid frame number.
     #[inline]
     pub fn contains(&self, frame: FrameNo) -> bool {
@@ -163,6 +330,50 @@ impl PhysicalMemory {
     /// Number of frames with host backing allocated (diagnostics).
     pub fn backed_frames(&self) -> usize {
         self.backed
+    }
+
+    /// Move the backing of `frame` out as a [`FrameImage`], leaving the
+    /// frame reading as zero. Swap devices store the image directly, so
+    /// evicting a sparse frame never materializes a host page.
+    ///
+    /// # Panics
+    /// Panics if the frame is out of range.
+    pub fn take_frame_image(&mut self, frame: FrameNo) -> FrameImage {
+        assert!(frame.0 < self.total_frames, "frame {frame:?} out of range");
+        let Some(chunk) = self.chunks.get_mut(&(frame.0 >> CHUNK_SHIFT)) else {
+            return FrameImage(None);
+        };
+        let img = chunk.frames[(frame.0 & (CHUNK_FRAMES - 1)) as usize].take();
+        if img.is_some() {
+            chunk.backed -= 1;
+            self.backed -= 1;
+            if chunk.backed == 0 {
+                self.chunks.remove(&(frame.0 >> CHUNK_SHIFT));
+            }
+        }
+        FrameImage(img)
+    }
+
+    /// Install `img` as the backing of `frame`, replacing whatever was
+    /// there — the moved-image equivalent of writing a full page.
+    ///
+    /// # Panics
+    /// Panics if the frame is out of range.
+    pub fn put_frame_image(&mut self, frame: FrameNo, img: FrameImage) {
+        assert!(frame.0 < self.total_frames, "frame {frame:?} out of range");
+        let Some(backing) = img.0 else {
+            self.drop_frame(frame.0);
+            return;
+        };
+        let chunk = self
+            .chunks
+            .entry(frame.0 >> CHUNK_SHIFT)
+            .or_insert_with(Chunk::new);
+        let slot = &mut chunk.frames[(frame.0 & (CHUNK_FRAMES - 1)) as usize];
+        if slot.replace(backing).is_none() {
+            chunk.backed += 1;
+            self.backed += 1;
+        }
     }
 
     /// Read `buf.len()` bytes starting at `pa`. Unwritten memory reads
@@ -178,8 +389,8 @@ impl PhysicalMemory {
             let frame = addr >> crate::addr::PAGE_SHIFT;
             let off = (addr & (PAGE_SIZE - 1)) as usize;
             let take = usize::min(buf.len() - done, (PAGE_SIZE as usize) - off);
-            match self.frame_bytes(frame) {
-                Some(bytes) => buf[done..done + take].copy_from_slice(&bytes[off..off + take]),
+            match self.frame_backing(frame) {
+                Some(backing) => backing.read_into(off, &mut buf[done..done + take]),
                 None => buf[done..done + take].fill(0),
             }
             done += take;
@@ -199,8 +410,18 @@ impl PhysicalMemory {
             let frame = addr >> crate::addr::PAGE_SHIFT;
             let off = (addr & (PAGE_SIZE - 1)) as usize;
             let take = usize::min(buf.len() - done, (PAGE_SIZE as usize) - off);
+            let src = &buf[done..done + take];
+            // Writing zeros to an unbacked frame is a no-op: unbacked
+            // memory already reads as zero, so skipping the backing
+            // allocation leaves every future read identical while a
+            // zero-fill streaming write stays sparse on the host.
+            if src == &ZERO_PAGE[..take] && self.frame_backing(frame).is_none() {
+                done += take;
+                addr += take as u64;
+                continue;
+            }
             let bytes = self.frame_bytes_mut(frame);
-            bytes[off..off + take].copy_from_slice(&buf[done..done + take]);
+            bytes[off..off + take].copy_from_slice(src);
             done += take;
             addr += take as u64;
         }
@@ -214,9 +435,70 @@ impl PhysicalMemory {
         u64::from_le_bytes(b)
     }
 
-    /// Write a single `u64` at `pa` (little-endian).
+    /// Write a single `u64` at `pa` (little-endian). A word into an
+    /// otherwise-untouched frame is stored as a sparse word entry, not
+    /// a materialized page.
     pub fn write_u64(&mut self, pa: PhysAddr, v: u64) {
-        self.write(pa, &v.to_le_bytes());
+        let off = (pa.0 & (PAGE_SIZE - 1)) as usize;
+        if off > (PAGE_SIZE - 8) as usize {
+            // Frame-crossing word: the general path handles it.
+            self.write(pa, &v.to_le_bytes());
+            return;
+        }
+        self.check_range(pa, 8);
+        let frame = pa.0 >> crate::addr::PAGE_SHIFT;
+        if v == 0 && self.frame_backing(frame).is_none() {
+            return;
+        }
+        let chunk = self.chunks.entry(frame >> CHUNK_SHIFT).or_insert_with(Chunk::new);
+        let slot = &mut chunk.frames[(frame & (CHUNK_FRAMES - 1)) as usize];
+        if write_word_slot(slot, off as u16, v) {
+            chunk.backed += 1;
+            self.backed += 1;
+        }
+    }
+
+    /// Bulk word writes for the fast-forward engines: performs each
+    /// `(pa, value)` write exactly as [`write_u64`](Self::write_u64)
+    /// would, but reserves backing with one sparse-chunk probe per run
+    /// of same-chunk writes instead of one hash per word. Frames
+    /// handed out by a bulk allocation are mostly chunk-contiguous, so
+    /// a fused N-page run pays O(N / 64) probes.
+    pub fn write_u64_run(&mut self, writes: &[(PhysAddr, u64)]) {
+        let total_bytes = self.total_frames * PAGE_SIZE;
+        let mut idx = 0usize;
+        while idx < writes.len() {
+            let pa = writes[idx].0;
+            if pa.0 & (PAGE_SIZE - 1) > PAGE_SIZE - 8 {
+                // Frame-crossing word: the general path handles it.
+                let v = writes[idx].1;
+                self.write(pa, &v.to_le_bytes());
+                idx += 1;
+                continue;
+            }
+            let chunk_no = pa.0 >> crate::addr::PAGE_SHIFT >> CHUNK_SHIFT;
+            let mut newly_backed = 0usize;
+            let chunk = self.chunks.entry(chunk_no).or_insert_with(Chunk::new);
+            while idx < writes.len() {
+                let (pa, v) = writes[idx];
+                let off = (pa.0 & (PAGE_SIZE - 1)) as usize;
+                let frame = pa.0 >> crate::addr::PAGE_SHIFT;
+                if frame >> CHUNK_SHIFT != chunk_no || off > (PAGE_SIZE - 8) as usize {
+                    break;
+                }
+                assert!(
+                    pa.0 + 8 <= total_bytes,
+                    "physical access {pa:?}+8 beyond end of memory"
+                );
+                let slot = &mut chunk.frames[(frame & (CHUNK_FRAMES - 1)) as usize];
+                if write_word_slot(slot, off as u16, v) {
+                    newly_backed += 1;
+                }
+                idx += 1;
+            }
+            chunk.backed += newly_backed as u32;
+            self.backed += newly_backed;
+        }
     }
 
     /// Zero `frames` whole frames starting at `start`. Implemented by
@@ -237,9 +519,12 @@ impl PhysicalMemory {
     /// policies and persistence tests).
     pub fn frame_is_zero(&self, frame: FrameNo) -> bool {
         assert!(self.contains(frame), "frame out of range");
-        match self.frame_bytes(frame.0) {
+        match self.frame_backing(frame.0) {
             None => true,
-            Some(bytes) => bytes.iter().all(|&b| b == 0),
+            Some(FrameBacking::Words(n, words)) => {
+                words[..*n as usize].iter().all(|&(_, v)| v == 0)
+            }
+            Some(FrameBacking::Full(bytes)) => bytes.iter().all(|&b| b == 0),
         }
     }
 

@@ -186,6 +186,18 @@ impl Tlb {
         None
     }
 
+    /// Advance the LRU clock by `n` ticks without touching any entry.
+    ///
+    /// [`lookup`](Self::lookup) ages the whole TLB even when it
+    /// misses, so a fast-forwarded fault run — which proves its
+    /// lookups would miss and skips them — must replay those ticks
+    /// before each [`insert`](Self::insert) to leave stamps (and
+    /// therefore future eviction victims) exactly where the
+    /// interpreted run would have left them.
+    pub fn advance_ticks(&mut self, n: u64) {
+        self.tick += n;
+    }
+
     /// Insert a translation, evicting the LRU way of the set if full.
     pub fn insert(
         &mut self,

@@ -206,6 +206,34 @@ impl Tmpfs {
         Ok(ext.start)
     }
 
+    /// `fallocate()`-style preallocation: materialize every page
+    /// covering `[off, off+bytes)`, one page at a time exactly as a
+    /// streaming write would, minus the user→page-cache data copies.
+    /// Grows the logical size like a write past EOF does.
+    pub fn allocate_range(
+        &mut self,
+        m: &mut Machine,
+        alloc: &mut dyn FrameSource,
+        id: FileId,
+        off: u64,
+        bytes: u64,
+    ) -> Result<(), FsError> {
+        if bytes == 0 {
+            return Ok(());
+        }
+        let end = off + bytes;
+        {
+            let f = self.files.get_mut(&id).ok_or(FsError::NotFound)?;
+            if end > f.size {
+                f.size = end;
+            }
+        }
+        for page in off / PAGE_SIZE..end.div_ceil(PAGE_SIZE) {
+            self.get_or_alloc_page(m, alloc, id, page)?;
+        }
+        Ok(())
+    }
+
     /// Write `data` at byte `off`, growing the file as needed and
     /// allocating pages on demand. Charges one page copy per touched
     /// page (the kernel's user→page-cache copy).

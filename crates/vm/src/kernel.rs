@@ -17,9 +17,9 @@
 use o1_hw::{CostKind, OpKind};
 
 use o1_hw::{
-    Access, Asid, AsidAllocator, CpuId, FastMap, FrameNo, Machine, MachineConfig, MemTier, Mmu,
-    PageSize, PageTables, PhysAddr, PtNodeId, PteFlags, RangeTable, TranslateError, VirtAddr,
-    HUGE_2M, PAGE_SIZE,
+    span_within, Access, Asid, AsidAllocator, CpuId, FastMap, FrameNo, Machine, MachineConfig,
+    MemTier, Mmu, PageSize, PageTables, PhysAddr, PtNodeId, PteFlags, RangeTable, TranslateError,
+    VirtAddr, HUGE_2M, PAGE_SIZE, PT_LEVELS,
 };
 use o1_memfs::{FileId, Tmpfs};
 use o1_palloc::{BuddyAllocator, FrameSource, PhysExtent};
@@ -669,7 +669,15 @@ impl BaselineKernel {
         proc.vmas.insert(vma);
         if flags.populate {
             let mut va = start;
-            while va < start + len {
+            let end = start + len;
+            while va < end {
+                if self.machine.fastforward() {
+                    let left = (end.0 - va.0) / PAGE_SIZE;
+                    if let Some(done) = self.try_populate_run(pid, va, left, vma) {
+                        va += done * PAGE_SIZE;
+                        continue;
+                    }
+                }
                 self.populate_page(pid, va, vma)?;
                 va += PAGE_SIZE;
             }
@@ -964,6 +972,101 @@ impl BaselineKernel {
         Ok(())
     }
 
+    /// Bulk-populate fast-forward: install up to `pages` fresh
+    /// anonymous pages at `va` in one fused pass, charging exactly
+    /// what that many [`populate_page`](Self::populate_page) calls
+    /// would have. Proof obligations — base pages only (no THP),
+    /// anonymous backing, every page provably absent from the page
+    /// tables ([`PageTables::absent_run`]), DRAM-only placement, and
+    /// enough free frames that no allocation would have triggered
+    /// reclaim or failed mid-run. Returns the fused page count
+    /// (`≥ 2`), or `None` to fall back to the per-page interpreter —
+    /// which is charge-identical, merely slower on the host.
+    ///
+    /// The pass is free of host heap allocations: `mmap(populate)` is
+    /// the drive of the host-memory self-observation figures, whose
+    /// peak-heap numbers must not depend on the fast-forward engine.
+    fn try_populate_run(&mut self, pid: Pid, va: VirtAddr, pages: u64, vma: Vma) -> Option<u64> {
+        if pages < 2 || self.thp != ThpMode::Never || !matches!(vma.backing, Backing::Anon) {
+            return None;
+        }
+        // One tier keeps the zeroing charge uniform (true of every
+        // baseline machine; cheap to re-check).
+        if self.machine.phys.nvm_frames() != 0 {
+            return None;
+        }
+        // No allocation in the run may dip below the reclaim
+        // watermark or come up empty: the j-th allocation starts with
+        // `free0 - j` frames free, so the whole run stays above the
+        // watermark iff `span ≤ free0 - watermark + 1` (and OOM-free
+        // iff `span ≤ free0`). Clamping hands the tail — and with it
+        // the reclaim/OOM behaviour — to the interpreter unchanged.
+        let free0 = self.alloc.free_frames();
+        let max_n = if self.swap_enabled {
+            if free0 < self.low_watermark {
+                return None;
+            }
+            free0.min(free0 - self.low_watermark + 1)
+        } else {
+            free0
+        };
+        let want = pages.min(max_n);
+        if want < 2 {
+            return None;
+        }
+        let root = self.procs.get(pid)?.root;
+        let span = self.pt.absent_run(root, va, want);
+        if span < 2 {
+            return None;
+        }
+        // Committed: everything below is infallible and replays the
+        // interpreter's per-page state mutations, then the aggregate
+        // charges (the ledger sums `(phase, kind)` rows and the clock
+        // is a sum, so order does not matter).
+        let flags = pte_for(vma.prot);
+        let swap_on = self.swap_enabled;
+        let mut at = va;
+        let mut nodes_total = 0u64;
+        let BaselineKernel {
+            machine,
+            pt,
+            alloc,
+            meta,
+            lru,
+            ..
+        } = self;
+        alloc
+            .alloc_run_with(machine, span, |m, frame, _splits| {
+                m.phys.zero_frames(frame, 1);
+                let nodes = pt
+                    .map_uncharged(root, at, frame, PageSize::Base, flags)
+                    .expect("absence proven for the whole run");
+                nodes_total += nodes;
+                let pm = meta.get_mut(frame);
+                pm.mapcount = 1;
+                pm.rmap.push((pid, at));
+                pm.set(PageFlag::Swapbacked);
+                pm.set(PageFlag::Lru);
+                pm.set(PageFlag::Uptodate);
+                if swap_on {
+                    lru.insert(frame);
+                }
+                at += PAGE_SIZE;
+            })
+            .expect("span clamped to free frames");
+        machine.charge_zero_fg(MemTier::Dram, span * PAGE_SIZE);
+        if nodes_total > 0 {
+            machine.charge_opn(CostKind::PtNodeAlloc, nodes_total);
+            machine.perf.pt_nodes_alloced += nodes_total;
+        }
+        machine.charge_opn(CostKind::PteWrite, span + nodes_total);
+        machine.perf.pte_writes += span + nodes_total;
+        machine.charge_opn(CostKind::PageMetaUpdate, span);
+        machine.perf.page_meta_updates += span;
+        machine.note_ffwd_run(span);
+        Some(span)
+    }
+
     /// Allocate and map one 2 MiB huge page covering `va`, if the VMA
     /// fully covers the aligned region and a 512-frame block is
     /// available. Returns true on success.
@@ -1167,7 +1270,7 @@ impl BaselineKernel {
         let vma = *self.proc(pid)?.vmas.find(va).ok_or(VmError::BadAddress)?;
         let frame = self.alloc_frame()?;
         let data = self.swap.swap_in(&mut self.machine, slot);
-        self.machine.phys.write(frame.base(), &data);
+        self.machine.phys.put_frame_image(frame, data);
         let root = self.proc(pid)?.root;
         self.pt
             .map(
@@ -1252,8 +1355,7 @@ impl BaselineKernel {
             }
             // Evict.
             self.lru.verdict(frame, ScanDecision::Evict);
-            let mut data = vec![0u8; PAGE_SIZE as usize].into_boxed_slice();
-            self.machine.phys.read(frame.base(), &mut data);
+            let data = self.machine.phys.take_frame_image(frame);
             let slot = self.swap.swap_out(&mut self.machine, data);
             let mut round_asid = None;
             for (pid, va) in rmap {
@@ -1414,6 +1516,15 @@ impl BaselineKernel {
                     k += span;
                     continue;
                 }
+                // The dual case: prove the accesses all *miss* and
+                // demand-fault fresh pages, then install the mappings
+                // and charge the faults analytically.
+                if let Some(span) =
+                    self.try_fault_run(pid, root, asid, a, stride, len - k, write, first_value + k, t0)
+                {
+                    k += span;
+                    continue;
+                }
             }
             if write {
                 self.store(pid, a, first_value + k)?;
@@ -1423,6 +1534,233 @@ impl BaselineKernel {
             k += 1;
         }
         Ok(())
+    }
+
+    /// Bulk-fault fast-forward — the dual of [`Mmu::translate_run`]'s
+    /// hit span: prove that the next `len` accesses of the run all
+    /// miss translation and demand-fault fresh anonymous base pages
+    /// with a uniform outcome, then install every mapping and replay
+    /// the aggregate charges of `span` interpreted faults in O(1)
+    /// charge calls (plus the O(span) state writes the interpreter
+    /// would also make).
+    ///
+    /// Proof obligations, checked before anything is charged or
+    /// mutated:
+    ///
+    /// * plain demand paging — no THP, no fault-around;
+    /// * one memory tier (every baseline machine is DRAM-only);
+    /// * the faulting process has no pages in swap (a swap slot would
+    ///   turn a minor fault into a major one mid-run);
+    /// * one protection-uniform anonymous VMA covers the whole fused
+    ///   prefix (clamped via [`span_within`]), and a write run is
+    ///   permitted by it — a protection error falls back so the
+    ///   interpreter raises it with exact charges;
+    /// * no allocation would trigger reclaim or OOM (free-frame
+    ///   clamp, as in the bulk-populate path);
+    /// * no translation is installed anywhere in the run and no
+    ///   unobserved invalidation overlaps it
+    ///   ([`Mmu::translate_miss_run`]).
+    ///
+    /// Fault latencies within a run are *not* uniform — buddy splits
+    /// and page-table node creation vary page to page — so the ledger
+    /// records groups of equal-latency `AccessFault` ops
+    /// ([`Machine::op_record_n`]) whose per-op cost is reconstructed
+    /// from the cost model; a debug assertion checks the records sum
+    /// exactly to the clock advance. Returns the fused access count
+    /// (`≥ 2`), or `None` to interpret at least one access.
+    #[allow(clippy::too_many_arguments)] // one parameter per proof input
+    fn try_fault_run(
+        &mut self,
+        pid: Pid,
+        root: PtNodeId,
+        asid: Asid,
+        va: VirtAddr,
+        stride: i64,
+        len: u64,
+        write: bool,
+        first_value: u64,
+        t0: o1_hw::SimNs,
+    ) -> Option<u64> {
+        if self.thp != ThpMode::Never || self.fault_around != 1 {
+            return None;
+        }
+        if self.machine.phys.nvm_frames() != 0 {
+            return None;
+        }
+        let (vma_start, vma_end, prot) = {
+            let p = self.procs.get(pid)?;
+            if !p.swapped.is_empty() {
+                return None;
+            }
+            let vma = p.vmas.find(va)?;
+            if !matches!(vma.backing, Backing::Anon) {
+                return None;
+            }
+            if write && !vma.prot.writable() {
+                return None;
+            }
+            (vma.start.0, vma.end.0, vma.prot)
+        };
+        let len = len.min(span_within(va.0, stride, len, vma_start, vma_end));
+        let free0 = self.alloc.free_frames();
+        let max_n = if self.swap_enabled {
+            if free0 < self.low_watermark {
+                return None;
+            }
+            free0.min(free0 - self.low_watermark + 1)
+        } else {
+            free0
+        };
+        let len = len.min(max_n);
+        if len < 2 {
+            return None;
+        }
+        let span = self
+            .mmu
+            .translate_miss_run(&self.pt, root, asid, va, stride, len)?;
+        // Committed: everything below is infallible. Per page, the
+        // interpreter's sequence is: two failing translates (each one
+        // TLB-aging lookup and one full-depth walk), the fault-handler
+        // entry charges, a buddy allocation + zero, the page-table
+        // install, the `struct page` update, the TLB fill of the
+        // walked (pre-A/D) flags, and the data access itself. State
+        // writes happen per page below; charges land once, after.
+        let walk_flags = pte_for(prot);
+        let leaf_flags = if write {
+            // `map` writes the PTE, then `mark_accessed` sets A/D in
+            // place charge-free — fused into one leaf write here.
+            walk_flags.union(PteFlags::ACCESSED).union(PteFlags::DIRTY)
+        } else {
+            walk_flags.union(PteFlags::ACCESSED)
+        };
+        let refs = self.mmu.walk_mode.refs(PT_LEVELS);
+        let traced = self.machine.traced();
+        let (ns_fixed, ns_split, ns_node) = if traced {
+            let u = |k: CostKind| self.machine.cost.unit(k);
+            (
+                2 * refs * u(CostKind::PtwLevelRef)
+                    + u(CostKind::FaultTrap)
+                    + u(CostKind::FaultHandlerBase)
+                    + u(CostKind::VmaFind)
+                    + u(CostKind::BuddyAlloc)
+                    + u(CostKind::ZeroPageDram)
+                    + u(CostKind::PteWrite)
+                    + u(CostKind::PageMetaUpdate)
+                    + u(CostKind::TlbFill)
+                    + if write {
+                        u(CostKind::MemWriteDram)
+                    } else {
+                        u(CostKind::MemReadDram)
+                    },
+                u(CostKind::BuddyLevel),
+                u(CostKind::PtNodeAlloc) + u(CostKind::PteWrite),
+            )
+        } else {
+            (0, 0, 0)
+        };
+        let swap_on = self.swap_enabled;
+        let mut at = va.0;
+        let mut idx = 0u64;
+        let mut last_page = va;
+        let mut nodes_total = 0u64;
+        // Latency grouping: consecutive pages with equal (splits,
+        // nodes-created) cost the same, so they compress into one
+        // ledger record — scalar accumulators only, no host heap.
+        let mut grp = (u32::MAX, u64::MAX);
+        let (mut grp_ns, mut grp_cnt, mut recorded) = (0u64, 0u64, 0u64);
+        let BaselineKernel {
+            machine,
+            pt,
+            mmu,
+            alloc,
+            meta,
+            lru,
+            ..
+        } = self;
+        alloc
+            .alloc_run_with(machine, span, |m, frame, splits| {
+                let a = VirtAddr(at);
+                let page = a.page().base();
+                m.phys.zero_frames(frame, 1);
+                let nodes = pt
+                    .map_uncharged(root, page, frame, PageSize::Base, leaf_flags)
+                    .expect("miss prover guaranteed empty slots");
+                nodes_total += nodes;
+                let pm = meta.get_mut(frame);
+                pm.mapcount = 1;
+                pm.rmap.push((pid, page));
+                pm.set(PageFlag::Swapbacked);
+                pm.set(PageFlag::Lru);
+                pm.set(PageFlag::Uptodate);
+                if swap_on {
+                    lru.insert(frame);
+                }
+                // Two failing lookups age the whole TLB before the
+                // fill's own tick stamps the new entry.
+                let tlb = mmu.tlb_mut();
+                tlb.advance_ticks(2);
+                tlb.insert(asid, a, frame, PageSize::Base, walk_flags);
+                if write {
+                    let pa = PhysAddr(frame.base().0 + (at & (PAGE_SIZE - 1)));
+                    m.phys.write_u64(pa, first_value + idx);
+                }
+                if traced {
+                    let key = (splits, nodes);
+                    if key == grp {
+                        grp_cnt += 1;
+                    } else {
+                        if grp_cnt > 0 {
+                            m.op_record_n(OpKind::AccessFault, MECH, grp_ns, grp_cnt);
+                            recorded += grp_ns * grp_cnt;
+                        }
+                        grp = key;
+                        grp_cnt = 1;
+                        grp_ns = ns_fixed + u64::from(splits) * ns_split + nodes * ns_node;
+                    }
+                }
+                last_page = page;
+                idx += 1;
+                at = at.wrapping_add_signed(stride);
+            })
+            .expect("span clamped to free frames");
+        if traced && grp_cnt > 0 {
+            machine.op_record_n(OpKind::AccessFault, MECH, grp_ns, grp_cnt);
+            recorded += grp_ns * grp_cnt;
+        }
+        // Aggregate replay of the interpreter's per-fault charges (the
+        // buddy charges landed inside `alloc_run_with`).
+        machine.perf.tlb_misses += 2 * span;
+        machine.perf.page_walks += 2 * span;
+        machine.charge_opn(CostKind::PtwLevelRef, 2 * span * refs);
+        machine.charge_opn(CostKind::FaultTrap, span);
+        machine.charge_opn(CostKind::FaultHandlerBase, span);
+        machine.charge_opn(CostKind::VmaFind, span);
+        machine.perf.minor_faults += span;
+        machine.charge_zero_fg(MemTier::Dram, span * PAGE_SIZE);
+        if nodes_total > 0 {
+            machine.charge_opn(CostKind::PtNodeAlloc, nodes_total);
+            machine.perf.pt_nodes_alloced += nodes_total;
+        }
+        machine.charge_opn(CostKind::PteWrite, span + nodes_total);
+        machine.perf.pte_writes += span + nodes_total;
+        machine.charge_opn(CostKind::PageMetaUpdate, span);
+        machine.perf.page_meta_updates += span;
+        machine.charge_opn(CostKind::TlbFill, span);
+        if write {
+            machine.perf.stores += span;
+            machine.charge_opn(CostKind::MemWriteDram, span);
+        } else {
+            machine.perf.loads += span;
+            machine.charge_opn(CostKind::MemReadDram, span);
+        }
+        mmu.replay_fault_run_walk_cache(pt, root, last_page);
+        debug_assert!(
+            !traced || recorded == machine.now().since(t0),
+            "bulk-fault replay must conserve the clock"
+        );
+        machine.note_ffwd_run(span);
+        self.poll_timeline();
+        Some(span)
     }
 
     // ---- file I/O syscalls ---------------------------------------------------
@@ -1445,6 +1783,17 @@ impl BaselineKernel {
         let (machine, tmpfs, alloc) = (&mut self.machine, &mut self.tmpfs, &mut self.alloc);
         tmpfs
             .write(machine, alloc, id, off, data)
+            .map_err(VmError::from)
+    }
+
+    /// `fallocate()`-style syscall: preallocate the pages backing
+    /// `[off, off+bytes)` of a tmpfs file without writing data.
+    pub fn file_allocate(&mut self, id: FileId, off: u64, bytes: u64) -> Result<(), VmError> {
+        self.machine.charge_syscall();
+        self.machine.charge_kind(CostKind::FileIoFixed);
+        let (machine, tmpfs, alloc) = (&mut self.machine, &mut self.tmpfs, &mut self.alloc);
+        tmpfs
+            .allocate_range(machine, alloc, id, off, bytes)
             .map_err(VmError::from)
     }
 

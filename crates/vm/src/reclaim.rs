@@ -10,7 +10,7 @@
 use o1_hw::CostKind;
 use std::collections::VecDeque;
 
-use o1_hw::{FastMap, FastSet, FrameNo, Machine, PAGE_SIZE};
+use o1_hw::{FastMap, FastSet, FrameImage, FrameNo, Machine};
 
 /// A slot on the swap device.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -22,7 +22,7 @@ pub struct SwapDevice {
     /// Keyed by slot number — a trusted, kernel-issued fixed-width
     /// id, so the fast hasher is safe (and hot: one probe per page
     /// swapped either way).
-    slots: FastMap<u64, Box<[u8]>>,
+    slots: FastMap<u64, FrameImage>,
     next: u64,
     free: Vec<u64>,
 }
@@ -38,9 +38,10 @@ impl SwapDevice {
         self.slots.len()
     }
 
-    /// Write one page image out, charging swap-out I/O.
-    pub fn swap_out(&mut self, m: &mut Machine, data: Box<[u8]>) -> SwapSlot {
-        assert_eq!(data.len() as u64, PAGE_SIZE, "swap stores whole pages");
+    /// Write one page image out, charging swap-out I/O. The image is
+    /// stored as moved (possibly sparse) backing, so swapping a
+    /// lightly-written frame costs the host nothing page-sized.
+    pub fn swap_out(&mut self, m: &mut Machine, data: FrameImage) -> SwapSlot {
         m.charge_kind(CostKind::SwapOutPage);
         m.perf.pages_swapped_out += 1;
         let slot = self.free.pop().unwrap_or_else(|| {
@@ -57,7 +58,7 @@ impl SwapDevice {
     ///
     /// # Panics
     /// Panics on an unknown slot (kernel bug).
-    pub fn swap_in(&mut self, m: &mut Machine, slot: SwapSlot) -> Box<[u8]> {
+    pub fn swap_in(&mut self, m: &mut Machine, slot: SwapSlot) -> FrameImage {
         m.charge_kind(CostKind::SwapInPage);
         m.perf.pages_swapped_in += 1;
         let data = self
@@ -201,21 +202,23 @@ impl LruLists {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use o1_hw::PAGE_SIZE;
 
     #[test]
     fn swap_roundtrip() {
         let mut m = Machine::dram_only(1 << 20);
         let mut s = SwapDevice::new();
-        let data = vec![7u8; PAGE_SIZE as usize].into_boxed_slice();
+        let data = FrameImage::from_page(vec![7u8; PAGE_SIZE as usize].into_boxed_slice());
         let slot = s.swap_out(&mut m, data);
         assert_eq!(s.used_slots(), 1);
         let back = s.swap_in(&mut m, slot);
-        assert!(back.iter().all(|&b| b == 7));
+        assert!(back.to_page().iter().all(|&b| b == 7));
         assert_eq!(s.used_slots(), 0);
         assert_eq!(m.perf.pages_swapped_out, 1);
         assert_eq!(m.perf.pages_swapped_in, 1);
         // Slot numbers are recycled.
-        let slot2 = s.swap_out(&mut m, vec![1u8; PAGE_SIZE as usize].into_boxed_slice());
+        let slot2 =
+            s.swap_out(&mut m, FrameImage::from_page(vec![1u8; PAGE_SIZE as usize].into_boxed_slice()));
         assert_eq!(slot2, slot);
     }
 
@@ -224,7 +227,7 @@ mod tests {
         let mut m = Machine::dram_only(1 << 20);
         let mut s = SwapDevice::new();
         let (slot, out_ns) =
-            m.timed(|m| s.swap_out(m, vec![0u8; PAGE_SIZE as usize].into_boxed_slice()));
+            m.timed(|m| s.swap_out(m, FrameImage::default()));
         assert_eq!(out_ns, m.cost.swap_out_page);
         let (_, in_ns) = m.timed(|m| s.swap_in(m, slot));
         assert_eq!(in_ns, m.cost.swap_in_page);
@@ -234,7 +237,7 @@ mod tests {
     fn discard_frees_slot() {
         let mut m = Machine::dram_only(1 << 20);
         let mut s = SwapDevice::new();
-        let slot = s.swap_out(&mut m, vec![0u8; PAGE_SIZE as usize].into_boxed_slice());
+        let slot = s.swap_out(&mut m, FrameImage::default());
         s.discard(slot);
         assert_eq!(s.used_slots(), 0);
     }

@@ -1,10 +1,15 @@
 //! Workload drivers: run a scenario against any [`MemSys`] and report
 //! simulated time plus the perf-counter delta.
 
+use std::collections::VecDeque;
+
 use o1_hw::{PerfCounters, VirtAddr, PAGE_SIZE};
 use o1_vm::{AccessRun, CpuId, MemSys, Pid, VmError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 use crate::patterns::AccessPattern;
+use crate::zipf::Zipf;
 
 /// Result of one driven scenario.
 #[derive(Clone, Copy, Debug)]
@@ -187,6 +192,149 @@ pub fn drive_launch_storm<S: MemSys + ?Sized>(
             s.destroy_process(pid)?;
         }
         Ok(())
+    })
+}
+
+/// Migration-heavy launch storm: like [`drive_launch_storm`], but the
+/// scheduler migrates each process across every CPU while it touches
+/// its working set, so its address space ends up cached machine-wide
+/// and teardown pays one remote shootdown per CPU instead of the
+/// home-CPU storm's free local flush. The contrast closes the gap
+/// where the home-CPU storm series is flat in the CPU count *by
+/// construction*: here the teardown tax grows with the machine.
+pub fn drive_launch_storm_migrating<S: MemSys + ?Sized>(
+    sys: &mut S,
+    n: u32,
+    pages: u64,
+) -> Result<Measurement, VmError> {
+    sys.phase("launch");
+    let cpus = sys.cpu_count();
+    measure(sys, |s| {
+        let mut procs = Vec::new();
+        for i in 0..n {
+            s.set_cpu(CpuId(i % cpus));
+            let pid = s.create_process()?;
+            let va = s.alloc(pid, pages * PAGE_SIZE, true)?;
+            // Same every-8th-page touch as the home-CPU storm, but the
+            // stride-8 run is sliced into one leg per CPU, issued
+            // round-robin — the deterministic stand-in for a scheduler
+            // migrating the process mid-warmup. Identical accesses in
+            // identical order; only the issuing CPU differs.
+            let total = pages.div_ceil(8);
+            let per = total.div_ceil(u64::from(cpus));
+            let mut done = 0u64;
+            let mut value = 0u64;
+            let mut leg = 0u32;
+            while done < total {
+                let len = per.min(total - done);
+                s.set_cpu(CpuId(leg % cpus));
+                let touch = [AccessRun {
+                    start_page: done * 8,
+                    stride: 8,
+                    len,
+                }];
+                value = s.access_runs(pid, va, &touch, true, value)?;
+                done += len;
+                leg += 1;
+            }
+            procs.push(pid);
+        }
+        s.phase("teardown");
+        for (i, pid) in procs.into_iter().enumerate() {
+            s.set_cpu(CpuId(i as u32 % cpus));
+            s.destroy_process(pid)?;
+        }
+        Ok(())
+    })
+}
+
+/// Result of a [`drive_service_fleet`] run.
+#[derive(Debug)]
+pub struct FleetReport {
+    /// Whole-fleet simulated time and counter deltas.
+    pub total: Measurement,
+    /// Per-tenant launch latency (simulated ns for create + mmap +
+    /// first-touch faults), one entry per tenant in launch order. The
+    /// buffer is preallocated to full capacity before the stream
+    /// starts, so pushing never allocates — host-memory gauges sampled
+    /// mid-stream see only the kernel's own state grow.
+    pub launch_ns: Vec<u64>,
+}
+
+/// Serverless-style tenant fleet: stream `tenants` short-lived
+/// processes through the kernel with at most `live_cap` alive at once
+/// — each tenant is created, mmaps a small working set, faults it in
+/// (one sequential store run, the shape the bulk-fault fast-forward
+/// path proves), and is torn down when it becomes the oldest of a full
+/// fleet. Pids are monotonic (the kernel never recycles them), tenant
+/// popularity is Zipf(θ)-skewed over `apps` distinct applications, and
+/// an app's id deterministically picks its working-set size class
+/// (2/4/6/8 pages). `checkpoint(done)` fires every `tenants / 10`
+/// completed launches so callers can sample host-memory gauges
+/// mid-stream. With `populate` the working set is pre-faulted by the
+/// mmap itself and the store run is skipped — a drive that cannot
+/// depend on the fast-forward engine, which is what host-memory gauge
+/// series must be built from (simulated ns are ff-vs-noff gated
+/// byte-identical either way; host allocation *sequences* are only
+/// guaranteed identical on the populate-only path).
+#[allow(clippy::too_many_arguments)]
+pub fn drive_service_fleet<S: MemSys + ?Sized>(
+    sys: &mut S,
+    tenants: u64,
+    live_cap: usize,
+    apps: u64,
+    theta: f64,
+    seed: u64,
+    populate: bool,
+    mut checkpoint: impl FnMut(u64),
+) -> Result<FleetReport, VmError> {
+    assert!(live_cap > 0, "fleet needs at least one live slot");
+    let cpus = sys.cpu_count();
+    let zipf = Zipf::new(apps, theta);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut live: VecDeque<Pid> = VecDeque::with_capacity(live_cap);
+    let mut launch_ns = Vec::with_capacity(tenants as usize);
+    let every = (tenants / 10).max(1);
+    let before = sys.stats();
+    for t in 0..tenants {
+        let cpu = CpuId((t % u64::from(cpus)) as u32);
+        if live.len() == live_cap {
+            let victim = live.pop_front().expect("cap > 0");
+            sys.phase("teardown");
+            sys.set_cpu(cpu);
+            sys.destroy_process(victim)?;
+        }
+        let app = zipf.sample(&mut rng);
+        let pages = 2 + (app & 3) * 2;
+        sys.phase("launch");
+        sys.set_cpu(cpu);
+        let t0 = sys.stats();
+        let pid = sys.create_process()?;
+        let va = sys.alloc(pid, pages * PAGE_SIZE, populate)?;
+        if !populate {
+            let touch = [AccessRun {
+                start_page: 0,
+                stride: 1,
+                len: pages,
+            }];
+            sys.access_runs(pid, va, &touch, true, t)?;
+        }
+        let (ns, _) = sys.stats().since(&t0);
+        launch_ns.push(ns);
+        live.push_back(pid);
+        if (t + 1) % every == 0 {
+            checkpoint(t + 1);
+        }
+    }
+    sys.phase("teardown");
+    for (i, pid) in live.into_iter().enumerate() {
+        sys.set_cpu(CpuId(i as u32 % cpus));
+        sys.destroy_process(pid)?;
+    }
+    let (ns, perf) = sys.stats().since(&before);
+    Ok(FleetReport {
+        total: Measurement { ns, perf },
+        launch_ns,
     })
 }
 

@@ -62,6 +62,36 @@ if [ "${1:-}" = "--gate" ]; then
         --fig fig_sweep --latency --attrib --no-fastforward \
         --json "$out/noff.json" --no-bench >/dev/null
     cmp "$out/ff.json" "$out/noff.json"
+    echo "==> bulk-fault gate (small-fleet fig_service, --no-fastforward vs default)"
+    # The bulk-fault prover compresses cold-launch miss spans; a
+    # reduced-tenant fleet must still byte-match the interpreter,
+    # enriched JSON and all. (The latency fleets fault through the
+    # fast path; the host-heap gauges are populate-only and therefore
+    # fast-forward-independent by construction — see fig_hostmem.)
+    O1_SERVICE_TENANTS=50000 cargo run --release -p o1-bench --bin figures -- \
+        --fig fig_service --latency --attrib --json "$out/svc_ff.json" \
+        --no-bench >/dev/null
+    O1_SERVICE_TENANTS=50000 cargo run --release -p o1-bench --bin figures -- \
+        --fig fig_service --latency --attrib --no-fastforward \
+        --json "$out/svc_noff.json" --no-bench >/dev/null
+    cmp "$out/svc_ff.json" "$out/svc_noff.json"
+    echo "==> golden append gate (committed figure bytes survive verbatim)"
+    # A PR may append a new figure to GOLDEN_figures.json, but the
+    # bytes of every figure already committed must survive: the HEAD
+    # copy minus its closing "\n]\n" must be a byte-prefix of the new
+    # document. Rewriting history means a simulated number changed.
+    if git show HEAD:GOLDEN_figures.json >"$out/head_golden.json" 2>/dev/null \
+        && ! cmp -s GOLDEN_figures.json "$out/head_golden.json"; then
+        prefix_len=$(($(wc -c <"$out/head_golden.json") - 3))
+        head -c "$prefix_len" "$out/head_golden.json" >"$out/golden_prefix_head"
+        head -c "$prefix_len" GOLDEN_figures.json >"$out/golden_prefix_new"
+        if ! cmp -s "$out/golden_prefix_head" "$out/golden_prefix_new"; then
+            echo "ci.sh: GOLDEN_figures.json rewrote committed figure" \
+                "bytes (the golden file is append-only)" >&2
+            exit 1
+        fi
+        echo "golden: pure append over $prefix_len committed bytes"
+    fi
     echo "==> uniprocessor gate (plain figure bytes vs GOLDEN_figures.json)"
     # Every figure except fig_smp's inner sweep runs on one simulated
     # CPU, where the SMP machinery must be invisible: no IPI is ever

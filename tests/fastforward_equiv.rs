@@ -17,7 +17,10 @@ use rand::{Rng, SeedableRng};
 use o1mem::core::{FomKernel, MapMech};
 use o1mem::hw::ObsMode;
 use o1mem::vm::{BaselineKernel, CpuId, MemSys, ThpMode};
-use o1mem::workloads::{drive_access, drive_churn, drive_launch_storm, AccessPattern};
+use o1mem::workloads::{
+    drive_access, drive_churn, drive_launch_storm, drive_launch_storm_migrating,
+    drive_service_fleet, AccessPattern,
+};
 use o1mem::PAGE_SIZE;
 
 fn patterns() -> Vec<(AccessPattern, u64)> {
@@ -278,5 +281,124 @@ fn churn_and_launch_storm_drivers_match_the_interpreter() {
         assert_equivalent(a, b, &what, &|sys: &mut dyn MemSys| {
             drive_launch_storm(sys, 3, 64).unwrap();
         });
+    }
+}
+
+/// The bulk-fault fast-forward path proves whole missing spans and
+/// charges N faults analytically. A cold-start tenant fleet is its
+/// worst case: every launch's first touch is a miss span over fresh,
+/// unbacked memory, and the tenant is torn down moments later so
+/// nothing stays warm. Stream a Zipf fleet through every kernel and
+/// assert the analytic charge is indistinguishable from faulting
+/// page by page.
+#[test]
+fn cold_start_fleets_match_the_interpreter() {
+    for (name, (a, b)) in all_kernel_pairs() {
+        let what = format!("{name} cold-start fleet");
+        assert_equivalent(a, b, &what, &|sys: &mut dyn MemSys| {
+            drive_service_fleet(sys, 600, 48, 64, 0.9, 17, false, |_| {}).unwrap();
+        });
+    }
+}
+
+/// Migration slices each tenant's touch run across every CPU, so
+/// every leg's first batch lands on a cold TLB under a fresh ASID
+/// and must re-prove its span. Those re-proofs (and the refusals
+/// that precede them) have to cost exactly what the interpreter
+/// charges.
+#[test]
+fn migrating_storms_match_the_interpreter() {
+    let mut pairs: Vec<(String, KernelPair)> = vec![("baseline cpus=4".into(), {
+        let mk = || {
+            Box::new(
+                BaselineKernel::builder()
+                    .dram(256 << 20)
+                    .cpus(4)
+                    .obs(ObsMode::On)
+                    .build(),
+            ) as Box<dyn MemSys>
+        };
+        (mk(), mk())
+    })];
+    for mech in MapMech::ALL {
+        pairs.push((format!("fom-{mech:?} cpus=4"), {
+            let mk = move || {
+                Box::new(
+                    FomKernel::builder()
+                        .dram(128 << 20)
+                        .nvm(256 << 20)
+                        .mech(mech)
+                        .cpus(4)
+                        .obs(ObsMode::On)
+                        .build(),
+                ) as Box<dyn MemSys>
+            };
+            (mk(), mk())
+        }));
+    }
+    for (name, (a, b)) in pairs {
+        assert_equivalent(a, b, &name, &|sys: &mut dyn MemSys| {
+            drive_launch_storm_migrating(sys, 6, 96).unwrap();
+        });
+    }
+}
+
+/// The O(1)-memory claim under churn, measured on the simulator's
+/// own heap: streaming 100k tenants through a 256-slot fleet must
+/// leave the kernel's live host allocations tracking the 256 live
+/// processes, not the 100k that have come and gone. A per-tenant
+/// leak of ~80 bytes — one stale rmap entry, one unfreed pid-map
+/// slot — would trip the bound.
+#[test]
+fn tenant_churn_keeps_host_heap_bounded_by_live_processes() {
+    if !o1_obs::hostmem::counting() {
+        eprintln!("skipped: build without the obs `hostmem` feature");
+        return;
+    }
+    let kernels: Vec<(&str, Box<dyn MemSys>)> = vec![
+        (
+            "baseline",
+            Box::new(BaselineKernel::builder().dram(64 << 20).cpus(4).build()),
+        ),
+        (
+            "fom-Ranges",
+            Box::new(
+                FomKernel::builder()
+                    .nvm(256 << 20)
+                    .mech(MapMech::Ranges)
+                    .cpus(4)
+                    .build(),
+            ),
+        ),
+    ];
+    for (name, mut sys) in kernels {
+        // One warm-up fleet first, so steady-state table capacity is
+        // allocated before the baseline snapshot.
+        drive_service_fleet(sys.as_mut(), 2_000, 256, 4096, 0.9, 3, true, |_| {}).unwrap();
+        let live0 = o1_obs::hostmem::snapshot().live_bytes;
+        let mut deltas: Vec<u64> = Vec::new();
+        drive_service_fleet(sys.as_mut(), 100_000, 256, 4096, 0.9, 4, true, |_| {
+            let live = o1_obs::hostmem::snapshot().live_bytes;
+            deltas.push(live.saturating_sub(live0));
+        })
+        .unwrap();
+        // Early checkpoints still warm per-frame metadata (rmap
+        // capacity, buddy reach) as the allocator's footprint spreads
+        // across DRAM — that is O(frames), paid once. Past that ramp
+        // the heap must plateau: the final 20k tenants may add almost
+        // nothing, because live state is O(256 live processes). One
+        // leaked rmap entry per tenant (24 B x 20k) would trip this.
+        let (ramp, last) = (deltas[7], *deltas.last().unwrap());
+        assert!(
+            last.saturating_sub(ramp) < 256 << 10,
+            "{name}: live host heap still growing in steady state: {ramp} → {last}"
+        );
+        // Absolute scale sanity: 100k tenants' worth of per-process
+        // page tables alone would be hundreds of MiB.
+        let worst = deltas.iter().copied().max().unwrap_or(0);
+        assert!(
+            worst < 32 << 20,
+            "{name}: churning 100k tenants grew the live host heap by {worst} bytes"
+        );
     }
 }
